@@ -1,0 +1,39 @@
+"""Shared helpers for the evaluation benches.
+
+Each bench regenerates one table or figure of the paper: it runs the
+relevant experiments, renders the same rows/series the paper reports,
+writes them to ``benchmarks/results/<name>.txt``, prints them, and
+asserts the qualitative *shape* the paper claims (who wins, where the
+plateaus fall) — not absolute numbers, since the substrate here is a
+simulator rather than the authors' InfiniBand testbed.
+
+Set ``REPRO_FULL_SWEEP=1`` to use the paper's full 8..128 core grid in
+Figure 4 instead of the five-point default.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+__all__ = ["CORE_COUNTS", "RECOVERY_CORE_COUNTS", "write_report"]
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Core counts for the scalability sweeps (paper: 8,16,...,128).
+if os.environ.get("REPRO_FULL_SWEEP"):
+    CORE_COUNTS = tuple(range(8, 129, 8))
+else:
+    CORE_COUNTS = (8, 32, 64, 96, 128)
+
+#: Core counts for the Figure 6 recovery analysis.
+RECOVERY_CORE_COUNTS = (32, 64, 96, 128)
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a bench report and echo it."""
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,61 @@
+"""Ablation: queue batch size (paper section 5.4's closing trade-off).
+
+"Reducing the communication batch size can help reduce RFP overhead,
+but it may degrade performance during normal execution."  This bench
+sweeps the batch size on 197.parser with and without misspeculation:
+small batches detect misspeculation sooner (less squashed run-ahead),
+large batches amortize the MPI call overhead better.
+"""
+
+from _common import write_report
+from repro.analysis import render_table
+from repro.core import DSMTXSystem, SystemConfig
+from repro.workloads import Parser
+
+CORES = 32
+BATCH_SIZES = (256, 1024, 4096, 16384)
+ITERATIONS = 1024
+MISSPEC = set(range(199, ITERATIONS, 200))
+
+
+def _run(batch_bytes, misspec):
+    workload = Parser(iterations=ITERATIONS,
+                      misspec_iterations=misspec if misspec else set())
+    config = SystemConfig(total_cores=CORES, batch_bytes=batch_bytes)
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    result = system.run()
+    return result.elapsed_seconds, system.stats
+
+
+def _measure():
+    results = {}
+    rows = []
+    for batch_bytes in BATCH_SIZES:
+        clean_seconds, _ = _run(batch_bytes, misspec=None)
+        degraded_seconds, stats = _run(batch_bytes, misspec=MISSPEC)
+        overhead = max(0.0, degraded_seconds - clean_seconds)
+        accounted = stats.erm_seconds + stats.flq_seconds + stats.seq_seconds
+        refill = max(0.0, overhead - accounted)
+        results[batch_bytes] = {
+            "clean": clean_seconds,
+            "degraded": degraded_seconds,
+            "rfp": refill,
+        }
+        rows.append([batch_bytes, f"{clean_seconds * 1e3:.2f}",
+                     f"{degraded_seconds * 1e3:.2f}", f"{refill * 1e6:.0f}"])
+    report = render_table(
+        ["batch (bytes)", "clean (ms)", "0.5% misspec (ms)", "RFP (us)"],
+        rows,
+        title=f"Ablation: queue batch size on 197.parser ({CORES} cores)",
+    )
+    write_report("ablation_batch_size", report)
+    return results
+
+
+def bench_ablation_batch_size(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    # Larger batches are at least as good for clean execution...
+    assert results[4096]["clean"] <= results[256]["clean"] * 1.05
+    # ...but accumulate more squashable run-ahead: RFP grows with batch
+    # size (the section 5.4 trade-off).
+    assert results[16384]["rfp"] >= results[256]["rfp"]

@@ -1,0 +1,88 @@
+"""Ablation: Copy-On-Access granularity (paper section 4.2).
+
+The paper argues that COA at word granularity would be prohibitive on a
+cluster — every word costs a round trip — while page granularity
+aggressively speculates that nearby words will be needed, acting as a
+constructive prefetcher.  This bench runs a scan kernel with genuine
+spatial locality (many words read per page) under both granularities.
+"""
+
+from _common import write_report
+from repro.analysis import render_table
+from repro.core import DSMTXSystem, PipelineConfig, SystemConfig
+from repro.workloads import ParallelPlan, Workload
+from repro.memory import PAGE_BYTES
+
+WORDS_PER_ITERATION = 32
+CORES = 16
+
+
+class ScanKernel(Workload):
+    """Reads a dense run of words per iteration — the spatial-locality
+    pattern COA's page granularity is designed for."""
+
+    name = "scan-kernel"
+    suite = "ablation"
+    description = "dense table scan"
+    paradigm = "Spec-DOALL"
+    speculation = ()
+
+    def __init__(self, iterations=256, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        total_words = self.iterations * WORDS_PER_ITERATION
+        self.table_base = uva.malloc_page_aligned(owner, total_words * 8)
+        self.out_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for word in range(0, total_words, 8):
+            store.write(self.table_base + 8 * word, word + 1)
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        total = 0
+        for word in range(WORDS_PER_ITERATION):
+            value = yield from ctx.load(
+                self.table_base + 8 * (i * WORDS_PER_ITERATION + word))
+            total += value if isinstance(value, int) else 0
+        ctx.compute(40_000)
+        yield from ctx.store(self.out_base + 8 * i, total, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(self, "dsmtx", PipelineConfig.from_kinds(["DOALL"]),
+                            [self.sequential_body], label="Spec-DOALL")
+
+    def tls_plan(self):
+        return self.dsmtx_plan()
+
+
+def _measure():
+    results = {}
+    rows = []
+    for granularity, page_mode in (("page (DSMTX)", True), ("word", False)):
+        config = SystemConfig(total_cores=CORES, coa_page_granularity=page_mode)
+        workload = ScanKernel()
+        system = DSMTXSystem(workload.dsmtx_plan(), config)
+        run = system.run()
+        transfers = (system.stats.coa_pages_served if page_mode
+                     else system.stats.coa_words_served)
+        results[granularity] = (run.elapsed_seconds, transfers)
+        rows.append([granularity, f"{run.elapsed_seconds * 1e3:.2f}",
+                     transfers])
+    report = render_table(
+        ["COA granularity", "run time (ms)", "COA transfers"],
+        rows,
+        title=f"Ablation: COA granularity on a dense scan "
+              f"({WORDS_PER_ITERATION} words/iteration, {CORES} cores)",
+    )
+    write_report("ablation_coa_granularity", report)
+    return results
+
+
+def bench_ablation_coa_granularity(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    page_time, page_transfers = results["page (DSMTX)"]
+    word_time, word_transfers = results["word"]
+    # Word granularity needs a round trip per word: far more transfers
+    # and a clearly slower run — the paper's argument for pages.
+    assert word_transfers > 4 * page_transfers
+    assert word_time > 1.5 * page_time

@@ -1,0 +1,61 @@
+"""Ablation: inter-node latency sensitivity (the paper's core premise).
+
+Section 2.1 argues the whole case for Spec-DSWP on clusters: pipeline
+parallelism keeps dependence recurrences thread-local, so throughput is
+insensitive to inter-node latency, while TLS's cyclic communication puts
+every added microsecond on the critical path.  Figure 1 shows it for a
+toy loop; this ablation shows it at full-system scale by sweeping the
+simulated InfiniBand latency under 456.hmmer on 64 cores.
+"""
+
+from dataclasses import replace
+
+from _common import write_report
+from repro.analysis import render_table
+from repro.cluster import DEFAULT_CLUSTER
+from repro.core import DSMTXSystem, SystemConfig
+from repro.workloads import Hmmer
+
+CORES = 64
+LATENCIES_US = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _speedup(scheme, latency_us):
+    cluster = replace(DEFAULT_CLUSTER, inter_node_latency_s=latency_us * 1e-6)
+    config = SystemConfig(cluster=cluster, total_cores=CORES)
+    sequential = Hmmer().sequential_seconds(config)
+    workload = Hmmer()
+    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    result = DSMTXSystem(plan, config).run()
+    return sequential / result.elapsed_seconds
+
+
+def _measure():
+    results = {}
+    rows = []
+    for latency_us in LATENCIES_US:
+        dswp = _speedup("dsmtx", latency_us)
+        tls = _speedup("tls", latency_us)
+        results[latency_us] = (dswp, tls)
+        rows.append([f"{latency_us:.0f}", f"{dswp:.1f}x", f"{tls:.1f}x"])
+    report = render_table(
+        ["inter-node latency (us)", "Spec-DSWP", "TLS"],
+        rows,
+        title=f"Ablation: latency sensitivity, 456.hmmer on {CORES} cores",
+    )
+    write_report("ablation_latency", report)
+    return results
+
+
+def bench_ablation_latency(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    base_dswp, base_tls = results[LATENCIES_US[0]]
+    worst_dswp, worst_tls = results[LATENCIES_US[-1]]
+    # Spec-DSWP holds up as latency grows 16x; TLS collapses.
+    assert worst_dswp > 0.80 * base_dswp
+    assert worst_tls < 0.45 * base_tls
+    # At every latency, Spec-DSWP leads — and the lead widens.
+    for latency_us in LATENCIES_US:
+        dswp, tls = results[latency_us]
+        assert dswp > tls
+    assert (worst_dswp / worst_tls) > 2.0 * (base_dswp / base_tls)

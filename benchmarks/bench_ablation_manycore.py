@@ -1,0 +1,60 @@
+"""Ablation: DSMTX on a non-coherent manycore (paper sections 2.3 / 7).
+
+The paper's conclusion argues DSMTX also adds value to emerging
+manycores that discard chip-wide cache coherence (Intel's 48-core
+message-passing processor): the same programming challenges as a
+cluster, "with the main difference being lower communication latency."
+
+This bench runs 130.li on both fabrics at 48 cores.  Expected shape:
+Spec-DSWP performs well on both (it never depended on latency); TLS —
+crippled on the cluster — becomes competitive on-chip, because its
+cyclic dependences now cost nanoseconds rather than microseconds.
+"""
+
+from _common import write_report
+from repro.analysis import render_table
+from repro.cluster import DEFAULT_CLUSTER
+from repro.cluster.spec import SCC_LIKE
+from repro.core import DSMTXSystem, SystemConfig
+from repro.workloads import Li
+
+CORES = 48
+
+
+def _speedup(cluster, scheme):
+    config = SystemConfig(cluster=cluster, total_cores=CORES)
+    sequential = Li().sequential_seconds(config)
+    workload = Li()
+    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    result = DSMTXSystem(plan, config).run()
+    return sequential / result.elapsed_seconds
+
+
+def _measure():
+    fabrics = {"InfiniBand cluster": DEFAULT_CLUSTER, "SCC-like manycore": SCC_LIKE}
+    results = {}
+    rows = []
+    for name, cluster in fabrics.items():
+        dswp = _speedup(cluster, "dsmtx")
+        tls = _speedup(cluster, "tls")
+        results[name] = (dswp, tls)
+        rows.append([name, f"{dswp:.1f}x", f"{tls:.1f}x", f"{tls / dswp:.2f}"])
+    report = render_table(
+        ["fabric", "Spec-DSWP", "TLS", "TLS/DSWP"],
+        rows,
+        title=f"Ablation: 130.li on {CORES} cores, cluster vs "
+              "non-coherent manycore",
+    )
+    write_report("ablation_manycore", report)
+    return results
+
+
+def bench_ablation_manycore(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    cluster_dswp, cluster_tls = results["InfiniBand cluster"]
+    chip_dswp, chip_tls = results["SCC-like manycore"]
+    # Spec-DSWP works well on both fabrics.
+    assert cluster_dswp > 15
+    assert chip_dswp > 15
+    # TLS's latency handicap shrinks dramatically on-chip.
+    assert (chip_tls / chip_dswp) > 1.5 * (cluster_tls / cluster_dswp)

@@ -1,0 +1,58 @@
+"""Figure 1(c,d): DSWP tolerates inter-core latency, DOACROSS does not.
+
+Reproduces the paper's motivating numbers on the Figure 1(a) loop with
+2 cores: at a 1-cycle latency both techniques sustain 2 cycles/iteration
+(speedup 2x); raising the latency to 2 cycles drops DOACROSS to 3
+cycles/iteration (1.33x) while DSWP holds 2x.
+"""
+
+import pytest
+
+from _common import write_report
+from repro.analysis import render_table
+from repro.paradigms import doacross_schedule, dswp_schedule, example_list_loop
+
+ITERATIONS = 400
+SEQUENTIAL_CYCLES = 4.0  # four 1-cycle statements
+
+
+def _sweep():
+    pdg = example_list_loop().speculate()
+    rows = []
+    results = {}
+    for latency in (1.0, 2.0, 4.0, 8.0):
+        doacross = doacross_schedule(pdg, cores=2, iterations=ITERATIONS,
+                                     latency=latency)
+        dswp, _stages = dswp_schedule(pdg, cores=2, iterations=ITERATIONS,
+                                      latency=latency)
+        results[latency] = (doacross, dswp)
+        rows.append([
+            f"{latency:.0f}",
+            f"{doacross.cycles_per_iteration:.2f}",
+            f"{doacross.speedup_over(SEQUENTIAL_CYCLES):.2f}x",
+            f"{dswp.cycles_per_iteration:.2f}",
+            f"{dswp.speedup_over(SEQUENTIAL_CYCLES):.2f}x",
+        ])
+    report = render_table(
+        ["latency (cyc)", "DOACROSS cyc/iter", "DOACROSS speedup",
+         "DSWP cyc/iter", "DSWP speedup"],
+        rows,
+        title="Figure 1(c,d): latency tolerance on the list-traversal loop "
+              "(2 cores)",
+    )
+    write_report("fig1_latency_tolerance", report)
+    return results
+
+
+def bench_fig1_latency_tolerance(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    doacross_1, dswp_1 = results[1.0]
+    doacross_2, dswp_2 = results[2.0]
+    # Paper's exact Figure 1 numbers.
+    assert doacross_1.cycles_per_iteration == pytest.approx(2.0)
+    assert doacross_2.cycles_per_iteration == pytest.approx(3.0)
+    assert dswp_1.cycles_per_iteration == pytest.approx(2.0)
+    assert dswp_2.cycles_per_iteration == pytest.approx(2.0)
+    # DSWP stays flat even at high latency.
+    _, dswp_8 = results[8.0]
+    assert dswp_8.cycles_per_iteration == pytest.approx(2.0)

@@ -1,0 +1,147 @@
+"""Figure 4(a-k): per-benchmark speedup vs core count, Spec-DSWP vs TLS.
+
+One bench per benchmark; each regenerates its panel's two curves on the
+simulated 128-core cluster and asserts the qualitative shape the paper
+reports for it in section 5.2 (plateaus, peaks, who wins).  Absolute
+numbers differ from the paper's hardware, but the bottleneck structure —
+bandwidth saturation, latency-bound TLS chains, work-unit limits — is
+reproduced.
+"""
+
+import pytest
+
+from _common import CORE_COUNTS, write_report
+from fig4_data import figure4_curve
+from repro.analysis import render_series
+from repro.workloads import BENCHMARKS
+
+PANELS = "abcdefghijk"
+
+
+def _panel(name):
+    workload = BENCHMARKS[name]()
+    dsmtx = figure4_curve(name, "dsmtx", CORE_COUNTS)
+    tls = figure4_curve(name, "tls", CORE_COUNTS)
+    label = workload.dsmtx_plan().label
+    index = list(BENCHMARKS).index(name)
+    report = render_series(
+        {label: dsmtx, "TLS": tls},
+        title=f"Figure 4({PANELS[index]}): {name}",
+    )
+    write_report(f"fig4{PANELS[index]}_{name.replace('.', '_')}", report)
+    return dsmtx, tls
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {}
+
+
+def _get(panels, name):
+    if name not in panels:
+        panels[name] = _panel(name)
+    return panels[name]
+
+
+def bench_fig4a_alvinn(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "052.alvinn"), rounds=1, iterations=1)
+    # Both parallelizations are identical Spec-DOALL (section 5.1).
+    assert dsmtx == tls
+    # Per-invocation initialization/reduction synchronization limits the
+    # speedup: a plateau well below linear.
+    assert dsmtx[128] > 30
+    assert dsmtx[128] < 1.25 * dsmtx[64]
+
+
+def bench_fig4b_li(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "130.li"), rounds=1, iterations=1)
+    # TLS is limited by print synchronization; Spec-DSWP is well ahead.
+    assert dsmtx[32] > 1.5 * tls[32]
+    assert dsmtx[128] > 2.5 * tls[128]
+    assert tls[128] < tls[32]  # TLS degrades as hops lengthen
+
+
+def bench_fig4c_gzip(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "164.gzip"), rounds=1, iterations=1)
+    # Very high bandwidth requirements cap the speedup early (sec 5.2).
+    assert 8 < dsmtx[128] < 25
+    assert dsmtx[128] < 1.15 * dsmtx[32]  # plateau from 32 cores on
+    assert tls[128] <= dsmtx[128] * 1.05
+
+
+def bench_fig4d_art(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "179.art"), rounds=1, iterations=1)
+    # Round-trip communication makes TLS grow slower than DSMTX.
+    assert dsmtx[128] > 1.5 * tls[128]
+    assert dsmtx[128] > 40
+
+
+def bench_fig4e_parser(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "197.parser"), rounds=1, iterations=1)
+    # Per-worker dictionary copies saturate bandwidth past ~32-64 cores.
+    peak_cores = max(dsmtx, key=dsmtx.get)
+    assert 32 <= peak_cores <= 96
+    assert dsmtx[128] < dsmtx[peak_cores]
+    assert dsmtx[128] > 15
+
+
+def bench_fig4f_bzip2(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "256.bzip2"), rounds=1, iterations=1)
+    # TLS sends only the file descriptor while Spec-DSWP replicates the
+    # file buffer per worker: TLS is slightly better at scale (sec 5.2).
+    assert tls[128] >= 0.9 * dsmtx[128]
+    assert dsmtx[64] > 20  # far less bandwidth-bound than gzip
+
+
+def bench_fig4g_hmmer(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "456.hmmer"), rounds=1, iterations=1)
+    # Spec-DSWP scales to high core counts; TLS's cyclic dependence puts
+    # latency on the critical path and peaks early.
+    assert dsmtx[128] > 60
+    tls_peak_cores = max(tls, key=tls.get)
+    assert tls_peak_cores <= 96
+    assert tls[128] < 0.5 * dsmtx[128]
+
+
+def bench_fig4h_h264ref(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "464.h264ref"), rounds=1, iterations=1)
+    # Speedup limited by the number of GoPs: flat once every GoP has a
+    # worker.  TLS is effectively serialized by its inner-loop sync.
+    assert dsmtx[128] == pytest.approx(dsmtx[96], rel=0.10)
+    assert dsmtx[128] > 20
+    assert tls[128] < 2.0
+
+
+def bench_fig4i_crc32(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "crc32"), rounds=1, iterations=1)
+    # Limited by the number of input files.
+    assert 10 < dsmtx[128] < 40
+    assert dsmtx[128] == pytest.approx(dsmtx[96], rel=0.10)
+
+
+def bench_fig4j_blackscholes(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "blackscholes"), rounds=1, iterations=1)
+    # TLS peaks mid-range (paper: ~52 cores) from communication latency.
+    assert dsmtx[128] > 60
+    tls_peak_cores = max(tls, key=tls.get)
+    assert 32 <= tls_peak_cores <= 96
+    assert tls[128] < tls[tls_peak_cores]
+
+
+def bench_fig4k_swaptions(benchmark, panels):
+    dsmtx, tls = benchmark.pedantic(
+        lambda: _get(panels, "swaptions"), rounds=1, iterations=1)
+    # Identical Spec-DOALL parallelizations; input size limits scaling.
+    assert dsmtx == tls
+    assert dsmtx[128] < 0.8 * 126  # visibly below linear
+    assert dsmtx[128] > 30

@@ -1,0 +1,57 @@
+"""Figure 5(a): per-application bandwidth requirements.
+
+The paper computes each application's bandwidth as total data moved
+through DSMTX divided by execution time, at three consecutive core
+counts starting from the parallelization's minimum.  The shape claims
+(section 5.3):
+
+* 164.gzip has by far the highest bandwidth requirement;
+* 256.bzip2 moves a similar amount of data but computes much more, so
+  its bandwidth is far lower — explaining their different speedups;
+* bandwidth grows as cores are added (more workers pulling data);
+* 052.alvinn and 197.parser grow steeply with thread count, which is
+  what eventually caps their speedup.
+"""
+
+from _common import write_report
+from repro.analysis import bandwidth_series, render_table
+from repro.workloads import BENCHMARKS
+
+
+def _measure():
+    table = {}
+    rows = []
+    for name, factory in BENCHMARKS.items():
+        series = bandwidth_series(factory, points=3)
+        table[name] = series
+        rows.append(
+            [name]
+            + [f"{point.cores}c: {point.bandwidth_kbps:,.0f}" for point in series]
+        )
+    report = render_table(
+        ["benchmark", "min cores", "+1 core", "+2 cores"],
+        rows,
+        title="Figure 5(a): bandwidth requirement (kBps) at three "
+              "consecutive core counts",
+    )
+    write_report("fig5a_bandwidth", report)
+    return table
+
+
+def bench_fig5a_bandwidth(benchmark):
+    table = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    def bandwidth(name, index=-1):
+        return table[name][index].bandwidth_bps
+
+    # gzip tops the chart.
+    others = [bandwidth(n) for n in table if n != "164.gzip"]
+    assert bandwidth("164.gzip") > max(others)
+    # bzip2 moves similar data but at much lower bandwidth than gzip.
+    assert bandwidth("256.bzip2") < 0.5 * bandwidth("164.gzip")
+    # Bandwidth demand grows with core count for the pipeline benchmarks.
+    for name in ("164.gzip", "197.parser", "256.bzip2"):
+        series = table[name]
+        assert series[-1].bandwidth_bps > series[0].bandwidth_bps
+    # art's bandwidth is tiny in comparison (the paper's 2,009 kBps bar).
+    assert bandwidth("179.art") < 0.1 * bandwidth("164.gzip")

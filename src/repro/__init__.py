@@ -1,0 +1,68 @@
+"""DSMTX reproduction: Scalable Speculative Parallelization on Commodity Clusters.
+
+A from-scratch Python implementation of the system described in
+Kim, Raman, Liu, Lee, August — MICRO-43, 2010: the **Distributed
+Software Multi-threaded Transactional memory** runtime (DSMTX), which
+enables thread-level speculation (TLS) and speculative decoupled
+software pipelining (Spec-DSWP) on message-passing clusters without
+shared memory.
+
+The package layers:
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.cluster` — the 32-node/128-core commodity cluster model
+  (cores, interconnect, MPI costs, batched DSMTX queues);
+* :mod:`repro.memory` — paged address spaces, access protection, the
+  Unified Virtual Address space, versioned buffers;
+* :mod:`repro.core` — DSMTX itself: MTXs/subTXs, workers, the
+  try-commit and commit units, Copy-On-Access, uncommitted value
+  forwarding, group commit, and misspeculation recovery;
+* :mod:`repro.paradigms` — PDGs, DSWP partitioning, plan notation, and
+  the DOALL/DOACROSS/DSWP schedulers;
+* :mod:`repro.workloads` — the 11 Table 2 benchmarks as workload models;
+* :mod:`repro.baselines` — TLS-only cluster support and sequential
+  execution;
+* :mod:`repro.analysis` — speedup/bandwidth measurement and reporting.
+
+Quickstart::
+
+    from repro import DSMTXSystem, SystemConfig
+    from repro.workloads import BlackScholes
+
+    workload = BlackScholes()
+    config = SystemConfig(total_cores=32)
+    result = DSMTXSystem(workload.dsmtx_plan(), config).run()
+    speedup = workload.sequential_seconds(config) / result.elapsed_seconds
+"""
+
+from repro.cluster import DEFAULT_CLUSTER, ClusterSpec, MPIVariant
+from repro.core import (
+    DSMTXSystem,
+    PipelineConfig,
+    RunResult,
+    RunStats,
+    StageKind,
+    StageSpec,
+    SystemConfig,
+)
+from repro.errors import ReproError
+from repro.workloads import ParallelPlan, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSMTXSystem",
+    "RunResult",
+    "RunStats",
+    "SystemConfig",
+    "PipelineConfig",
+    "StageSpec",
+    "StageKind",
+    "ClusterSpec",
+    "DEFAULT_CLUSTER",
+    "MPIVariant",
+    "Workload",
+    "ParallelPlan",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Measurement and reporting helpers for the evaluation benches:
+speedup curves and geometric means (Figure 4), bandwidth accounting
+(Figure 5), and text rendering of tables and series."""
+
+from repro.analysis.export import series_to_csv, table_to_csv, write_csv
+from repro.analysis.bandwidth import (
+    BandwidthPoint,
+    bandwidth_requirement,
+    bandwidth_series,
+)
+from repro.analysis.report import render_series, render_stacked_bars, render_table
+from repro.analysis.speedup import (
+    ScalabilityPoint,
+    geomean,
+    measure_speedup,
+    scalability_curve,
+)
+
+__all__ = [
+    "ScalabilityPoint",
+    "measure_speedup",
+    "scalability_curve",
+    "geomean",
+    "BandwidthPoint",
+    "bandwidth_requirement",
+    "bandwidth_series",
+    "render_table",
+    "render_series",
+    "render_stacked_bars",
+    "series_to_csv",
+    "table_to_csv",
+    "write_csv",
+]

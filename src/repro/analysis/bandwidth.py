@@ -1,0 +1,69 @@
+"""Bandwidth analysis (paper section 5.3, Figure 5(a)).
+
+The paper computes each application's bandwidth requirement by dividing
+the total data transferred via DSMTX by the application's execution
+time, at three consecutive core counts starting from the number of
+pipeline stages in the parallelization (plus the two speculation-
+management units here, since those are cores too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core import DSMTXSystem, SystemConfig
+
+__all__ = ["BandwidthPoint", "bandwidth_requirement", "bandwidth_series"]
+
+
+@dataclass
+class BandwidthPoint:
+    """Bandwidth measurement at one core count."""
+
+    cores: int
+    #: Total payload bytes through DSMTX (queues + COA).
+    bytes_transferred: int
+    elapsed_seconds: float
+
+    @property
+    def bandwidth_bps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.bytes_transferred / self.elapsed_seconds
+
+    @property
+    def bandwidth_kbps(self) -> float:
+        """kBps, the unit of Figure 5(a)."""
+        return self.bandwidth_bps / 1e3
+
+
+def bandwidth_requirement(
+    workload_factory: Callable[[], object],
+    cores: int,
+    config: Optional[SystemConfig] = None,
+) -> BandwidthPoint:
+    """One Spec-DSWP run's bandwidth requirement."""
+    base = config if config is not None else SystemConfig(total_cores=cores)
+    system = DSMTXSystem(workload_factory().dsmtx_plan(), base.with_cores(cores))
+    result = system.run()
+    return BandwidthPoint(
+        cores=cores,
+        bytes_transferred=system.stats.queue_bytes,
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
+def bandwidth_series(
+    workload_factory: Callable[[], object],
+    config: Optional[SystemConfig] = None,
+    points: int = 3,
+) -> list[BandwidthPoint]:
+    """Figure 5(a)'s series: ``points`` consecutive core counts starting
+    at the minimum the parallelization runs on."""
+    plan = workload_factory().dsmtx_plan()
+    start = plan.min_cores
+    return [
+        bandwidth_requirement(workload_factory, cores, config)
+        for cores in range(start, start + points)
+    ]

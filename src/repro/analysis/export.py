@@ -1,0 +1,48 @@
+"""CSV export of bench data, for external plotting.
+
+The benches render plain-text tables; these helpers write the same
+series/tables as CSV so the figures can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Mapping, Sequence, Union
+
+__all__ = ["series_to_csv", "table_to_csv", "write_csv"]
+
+
+def series_to_csv(series: Mapping[str, Mapping[int, float]],
+                  x_label: str = "cores") -> str:
+    """CSV text for one or more (x -> y) series (a Figure 4 panel)."""
+    xs = sorted({x for points in series.values() for x in points})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([x_label] + list(series))
+    for x in xs:
+        row: list = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("" if value is None else value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def table_to_csv(headers: Sequence[str], rows) -> str:
+    """CSV text for a generic table."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(path: Union[str, pathlib.Path], text: str) -> pathlib.Path:
+    """Write CSV text to ``path``, creating parent directories."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

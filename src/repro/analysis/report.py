@@ -1,0 +1,72 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The bench harness prints the same rows and series the paper reports;
+these helpers keep the formatting in one place: fixed-width tables and
+simple ASCII line charts for the scalability curves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_stacked_bars"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with a header rule."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[int, float]],
+    x_label: str = "cores",
+    y_label: str = "speedup",
+    title: str = "",
+) -> str:
+    """Tabular rendering of one or more (x -> y) series, the textual
+    equivalent of a Figure 4 panel."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(f"{value:.1f}" if value is not None else "-")
+        rows.append(row)
+    caption = f"{title}  ({y_label} vs {x_label})" if title else ""
+    return render_table(headers, rows, title=caption)
+
+
+def render_stacked_bars(
+    categories: Sequence[str],
+    components: Mapping[str, Sequence[float]],
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Stacked-component table (the Figure 6 recovery breakdown)."""
+    headers = ["category"] + list(components) + ["total"]
+    rows = []
+    for index, category in enumerate(categories):
+        values = [components[name][index] for name in components]
+        rows.append(
+            [category]
+            + [f"{value:.3f}" for value in values]
+            + [f"{sum(values):.3f}"]
+        )
+    caption = f"{title} [{unit}]" if unit else title
+    return render_table(headers, rows, title=caption)

@@ -1,0 +1,88 @@
+"""Speedup measurement harness.
+
+Thin helpers gluing workloads to the runtime for the evaluation
+benches: run a plan at a core count, compare against the sequential
+baseline, and aggregate geometric means (Figure 4's metric).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core import DSMTXSystem, SystemConfig
+from repro.core.stats import RunStats
+from repro.errors import ConfigurationError
+
+__all__ = ["ScalabilityPoint", "measure_speedup", "scalability_curve", "geomean"]
+
+
+@dataclass
+class ScalabilityPoint:
+    """One (cores, speedup) measurement."""
+
+    cores: int
+    speedup: float
+    elapsed_seconds: float
+    sequential_seconds: float
+    stats: RunStats
+
+
+def measure_speedup(
+    workload_factory: Callable[[], object],
+    scheme: str,
+    cores: int,
+    config: Optional[SystemConfig] = None,
+) -> ScalabilityPoint:
+    """Run one workload under one scheme at one core count.
+
+    ``workload_factory`` builds a fresh workload instance (runs mutate
+    workload state); ``scheme`` selects ``dsmtx_plan`` or ``tls_plan``.
+    """
+    if scheme not in ("dsmtx", "tls"):
+        raise ConfigurationError(f"scheme must be 'dsmtx' or 'tls', got {scheme!r}")
+    base_config = config if config is not None else SystemConfig(total_cores=cores)
+    run_config = base_config.with_cores(cores)
+
+    sequential_workload = workload_factory()
+    sequential_seconds = sequential_workload.sequential_seconds(run_config)
+
+    workload = workload_factory()
+    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    system = DSMTXSystem(plan, run_config)
+    result = system.run()
+    return ScalabilityPoint(
+        cores=cores,
+        speedup=sequential_seconds / result.elapsed_seconds,
+        elapsed_seconds=result.elapsed_seconds,
+        sequential_seconds=sequential_seconds,
+        stats=result.stats,
+    )
+
+
+def scalability_curve(
+    workload_factory: Callable[[], object],
+    scheme: str,
+    core_counts: Sequence[int],
+    config: Optional[SystemConfig] = None,
+) -> list[ScalabilityPoint]:
+    """Speedup at each core count (one Figure 4 line)."""
+    points = []
+    for cores in core_counts:
+        workload = workload_factory()
+        plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+        if cores < plan.min_cores:
+            continue
+        points.append(measure_speedup(workload_factory, scheme, cores, config))
+    return points
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (Figure 4(l)'s aggregate)."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: TLS-only cluster support and
+the single-core sequential execution the speedups are normalized to."""
+
+from repro.baselines.tls_only import compare_schemes, run_dsmtx, run_tls
+
+__all__ = ["run_tls", "run_dsmtx", "compare_schemes"]

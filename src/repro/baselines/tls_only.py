@@ -1,0 +1,64 @@
+"""TLS-only cluster support (the paper's comparison baseline).
+
+The paper compares DSMTX against "our implementation of TLS-only support
+for clusters" (section 1): thread-level speculation where every loop
+iteration is a *single-threaded* transaction, parallelized per the
+Steffan/Zhai algorithms — minmax reduction, accumulator expansion, and
+compiler-inserted synchronization (forwarding) for the loop-carried
+scalars that cannot be speculated away.
+
+Because an MTX with only one subTX degenerates to a single-threaded
+transaction (section 2.2), the TLS runtime is the DSMTX machinery run
+with a one-stage pipeline: workers execute whole iterations round-robin,
+the try-commit unit validates them in order, and the commit unit applies
+them in order.  What distinguishes TLS behaviourally is in the
+workloads' TLS plans: synchronized dependences chain values from each
+iteration's worker to the next (``ctx.sync_send``/``sync_recv``), the
+cyclic DOACROSS-like pattern that puts wire latency on the critical path
+and caps TLS scalability (sections 2.1, 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import DSMTXSystem, RunResult, SystemConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["run_tls", "run_dsmtx", "compare_schemes"]
+
+
+def run_tls(workload, config: SystemConfig,
+            iterations: Optional[int] = None) -> RunResult:
+    """Run a workload's TLS parallelization at the configured core count."""
+    plan = workload.tls_plan()
+    if plan.scheme != "tls":
+        raise ConfigurationError(f"{workload.name} returned a non-TLS plan")
+    system = DSMTXSystem(plan, config)
+    return system.run(iterations)
+
+
+def run_dsmtx(workload, config: SystemConfig,
+              iterations: Optional[int] = None) -> RunResult:
+    """Run a workload's best DSMTX parallelization (Spec-DSWP/Spec-DOALL)."""
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    return system.run(iterations)
+
+
+def compare_schemes(workload_factory, config: SystemConfig) -> dict:
+    """Run both schemes on fresh workload instances and report speedups.
+
+    Returns ``{"dsmtx": speedup, "tls": speedup, "best": ...}`` — the
+    per-benchmark comparison underlying Figure 4.
+    """
+    sequential_seconds = workload_factory().sequential_seconds(config)
+    dsmtx_result = run_dsmtx(workload_factory(), config)
+    tls_result = run_tls(workload_factory(), config)
+    dsmtx_speedup = sequential_seconds / dsmtx_result.elapsed_seconds
+    tls_speedup = sequential_seconds / tls_result.elapsed_seconds
+    return {
+        "dsmtx": dsmtx_speedup,
+        "tls": tls_speedup,
+        "best": max(dsmtx_speedup, tls_speedup),
+        "sequential_seconds": sequential_seconds,
+    }

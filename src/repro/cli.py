@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Run benchmarks and inspect the suite without writing code::
+
+    python -m repro list                         # Table 2
+    python -m repro run 456.hmmer --cores 64     # one run, both schemes
+    python -m repro sweep blackscholes           # Figure 4 panel
+    python -m repro bandwidth                    # Figure 5(a)
+
+All runs execute on the simulated cluster; times reported are simulated
+seconds, speedups are against the single-core sequential execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    bandwidth_series,
+    geomean,
+    measure_speedup,
+    render_series,
+    render_table,
+)
+from repro.core import DSMTXSystem, SystemConfig
+from repro.workloads import BENCHMARKS, SPECULATION_LEGEND, table2_rows
+
+DEFAULT_SWEEP = (8, 32, 64, 96, 128)
+
+
+def _factory(name: str):
+    if name not in BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; run 'python -m repro list' to see them"
+        )
+    return BENCHMARKS[name]
+
+
+def cmd_list(_args) -> int:
+    """Print Table 2."""
+    rows = [
+        [r["benchmark"], r["suite"], r["description"], r["paradigm"], r["speculation"]]
+        for r in table2_rows()
+    ]
+    print(render_table(
+        ["Benchmark", "Suite", "Description", "Paradigm", "Speculation"], rows,
+        title="Table 2: Benchmark Details",
+    ))
+    print()
+    print("; ".join(f"{k} = {v}" for k, v in SPECULATION_LEGEND.items()))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one benchmark at one core count under both schemes."""
+    factory = _factory(args.benchmark)
+    config = SystemConfig(total_cores=args.cores, coa_replicas=args.replicas)
+    sequential = factory().sequential_seconds(config)
+    print(f"{args.benchmark} on {args.cores} cores "
+          f"(sequential: {sequential * 1e3:.2f} ms simulated)")
+    for scheme in ("dsmtx", "tls"):
+        workload = factory()
+        plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+        system = DSMTXSystem(plan, config)
+        result = system.run()
+        stats = result.stats
+        print(f"  {plan.label:<24} {result.elapsed_seconds * 1e3:9.2f} ms  "
+              f"{sequential / result.elapsed_seconds:6.1f}x   "
+              f"[{stats.committed_mtxs} MTXs, "
+              f"{stats.queue_bytes / 1e6:.1f} MB moved, "
+              f"{stats.coa_pages_served} COA pages]")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Speedup curve for one benchmark (a Figure 4 panel)."""
+    factory = _factory(args.benchmark)
+    series: dict = {}
+    for scheme in ("dsmtx", "tls"):
+        label = (factory().dsmtx_plan().label if scheme == "dsmtx" else "TLS")
+        points = {}
+        for cores in args.cores:
+            plan = (factory().dsmtx_plan() if scheme == "dsmtx"
+                    else factory().tls_plan())
+            if cores < plan.min_cores:
+                continue
+            points[cores] = measure_speedup(factory, scheme, cores).speedup
+        series[label] = points
+    print(render_series(series, title=f"{args.benchmark} scalability"))
+    return 0
+
+
+def cmd_geomean(args) -> int:
+    """Geomean speedups across the whole suite (Figure 4(l))."""
+    rows = []
+    for cores in args.cores:
+        best, tls_points = [], []
+        for name, factory in BENCHMARKS.items():
+            dsmtx = measure_speedup(factory, "dsmtx", cores).speedup
+            tls = measure_speedup(factory, "tls", cores).speedup
+            best.append(max(dsmtx, tls))
+            tls_points.append(tls)
+        rows.append([cores, f"{geomean(best):.1f}x", f"{geomean(tls_points):.1f}x"])
+        print(f"  ... {cores} cores done", file=sys.stderr)
+    print(render_table(["cores", "DSMTX Best", "TLS"], rows,
+                       title="Geomean speedup (Figure 4(l))"))
+    return 0
+
+
+def cmd_bandwidth(_args) -> int:
+    """Per-benchmark bandwidth requirements (Figure 5(a))."""
+    rows = []
+    for name, factory in BENCHMARKS.items():
+        series = bandwidth_series(factory, points=3)
+        rows.append([name] + [f"{p.cores}c: {p.bandwidth_kbps:,.0f}" for p in series])
+    print(render_table(
+        ["benchmark", "min cores", "+1 core", "+2 cores"], rows,
+        title="Bandwidth requirement (kBps), Figure 5(a)",
+    ))
+    return 0
+
+
+def _core_list(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSMTX reproduction: speculative parallelization on a "
+                    "simulated commodity cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the benchmark suite (Table 2)")
+
+    run = sub.add_parser("run", help="run one benchmark under both schemes")
+    run.add_argument("benchmark")
+    run.add_argument("--cores", type=int, default=32)
+    run.add_argument("--replicas", type=int, default=0,
+                     help="COA read replicas (extension; cores come off "
+                          "the worker budget)")
+
+    sweep = sub.add_parser("sweep", help="speedup curve (a Figure 4 panel)")
+    sweep.add_argument("benchmark")
+    sweep.add_argument("--cores", type=_core_list, default=list(DEFAULT_SWEEP))
+
+    geo = sub.add_parser("geomean", help="suite geomean (Figure 4(l))")
+    geo.add_argument("--cores", type=_core_list, default=[128])
+
+    sub.add_parser("bandwidth", help="bandwidth requirements (Figure 5(a))")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "geomean": cmd_geomean,
+        "bandwidth": cmd_bandwidth,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Commodity-cluster substrate: nodes, cores, interconnect, MPI, queues.
+
+This package models the paper's evaluation platform — a 32-node,
+128-core cluster joined by InfiniBand and driven through OpenMPI — at
+the level of detail the DSMTX results depend on: per-core computation
+time, wire latency and bandwidth with NIC contention, per-MPI-call
+software overheads, and the batched DSMTX message queue built on top.
+"""
+
+from repro.cluster.channel import CLOSE_TOKEN, Channel
+from repro.cluster.interconnect import Interconnect, TransferStats
+from repro.cluster.mpi import MPI
+from repro.cluster.node import Core, Machine, Node
+from repro.cluster.placement import PLACEMENT_POLICIES, place_units
+from repro.cluster.spec import DEFAULT_CLUSTER, SCC_LIKE, ClusterSpec, MPIVariant
+
+__all__ = [
+    "ClusterSpec",
+    "DEFAULT_CLUSTER",
+    "SCC_LIKE",
+    "MPIVariant",
+    "Core",
+    "Node",
+    "Machine",
+    "Interconnect",
+    "TransferStats",
+    "MPI",
+    "Channel",
+    "CLOSE_TOKEN",
+    "place_units",
+    "PLACEMENT_POLICIES",
+]

@@ -1,0 +1,202 @@
+"""The DSMTX message queue (paper section 4.2).
+
+Pipelined execution is insensitive to communication *latency* but very
+sensitive to the per-datum *send overhead*: a single OpenMPI send or
+receive call costs 500–2,295 instructions, so paying it for every
+produced word would cap queue bandwidth at ~13 MBps.  DSMTX instead
+buffers produced values and issues one ``MPI_Send`` when the buffer
+reaches a predetermined size, amortizing the call overhead across the
+batch and sustaining ~480 MBps (paper section 5.3, Figure 5b).
+
+:class:`Channel` implements that queue.  Each ``produce``/``consume``
+costs a few ring-buffer instructions; MPI calls happen once per batch.
+Unlike ``MPI_Bsend``, the queue manages its own buffer space, so callers
+never allocate or recycle buffers (section 4.2).
+
+``mode="direct"`` disables batching and pays one MPI call per datum
+using a selectable variant — the unoptimized baseline of Figure 5b.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.cluster.mpi import MPI, MPIVariant
+from repro.errors import ChannelClosedError, CommunicationError
+from repro.sim import Event
+
+__all__ = ["Channel", "CLOSE_TOKEN"]
+
+#: Sentinel delivered to a consumer when the producer closes the channel.
+CLOSE_TOKEN = object()
+
+
+class Channel:
+    """A unidirectional, FIFO, batched message queue between two cores.
+
+    Parameters
+    ----------
+    mpi:
+        The simulated MPI layer carrying the batches.
+    src_core, dst_core:
+        Global core indices of producer and consumer.  Exactly one unit
+        produces and one consumes (DSMTX connects only threads that
+        participate in the same MTX, keeping channel count linear).
+    name:
+        Unique channel name; used as the MPI tag.
+    batch_bytes:
+        Threshold at which buffered data is pushed with one MPI_Send.
+    item_bytes:
+        Default wire size of one produced datum (an (address, value)
+        tuple is two 8-byte words).
+    mode:
+        ``"batched"`` (DSMTX queue) or ``"direct"`` (one MPI call per
+        datum; Figure 5b baseline).
+    variant:
+        MPI send flavour used for the underlying transfers.
+    """
+
+    def __init__(
+        self,
+        mpi: MPI,
+        src_core: int,
+        dst_core: int,
+        name: str,
+        batch_bytes: Optional[int] = None,
+        item_bytes: int = 16,
+        mode: str = "batched",
+        variant: MPIVariant = MPIVariant.SEND,
+    ) -> None:
+        if mode not in ("batched", "direct"):
+            raise CommunicationError(f"unknown channel mode: {mode!r}")
+        self.mpi = mpi
+        self.env = mpi.env
+        self.spec = mpi.spec
+        self.src_core = src_core
+        self.dst_core = dst_core
+        self.name = name
+        self.batch_bytes = batch_bytes if batch_bytes is not None else self.spec.queue_batch_bytes
+        self.item_bytes = item_bytes
+        self.mode = mode
+        self.variant = variant
+        self.closed = False
+
+        self._send_buffer: list[Any] = []
+        self._send_buffer_bytes = 0
+        self._recv_buffer: list[Any] = []
+        self._recv_index = 0
+
+        #: Statistics: payload bytes and datum/message counts.
+        self.bytes_produced = 0
+        self.items_produced = 0
+        self.batches_sent = 0
+
+    # -- producing -------------------------------------------------------------
+
+    def produce(self, value: Any, nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
+        """Enqueue ``value``; drive with ``yield from`` in the producer.
+
+        In batched mode the value lands in the local buffer for the cost
+        of a ring-buffer write; the batch is pushed when full.  In
+        direct mode every value pays a full MPI send.
+        """
+        if self.closed:
+            raise ChannelClosedError(f"produce on closed channel {self.name!r}")
+        size = self.item_bytes if nbytes is None else nbytes
+        self.bytes_produced += size
+        self.items_produced += 1
+        if self.mode == "direct":
+            yield from self.mpi.send(
+                self.src_core, self.dst_core, [value], size, tag=self.name, variant=self.variant
+            )
+            return
+        core = self.mpi.machine.core(self.src_core)
+        core.charge_instructions(self.spec.queue_op_instructions)
+        self._send_buffer.append(value)
+        self._send_buffer_bytes += size
+        if self._send_buffer_bytes >= self.batch_bytes:
+            yield from self._push_batch()
+
+    def flush_pending(self) -> Generator[Event, Any, None]:
+        """Push any partially filled batch to the consumer.
+
+        Called at subTX boundaries: uncommitted values are explicitly
+        forwarded at the end of a subTX (paper section 3.1), so a
+        partial batch cannot linger past that point.
+        """
+        if self._send_buffer:
+            yield from self._push_batch()
+
+    def close(self) -> Generator[Event, Any, None]:
+        """Flush, then deliver a close token to the consumer."""
+        yield from self.flush_pending()
+        self.closed = True
+        yield from self.mpi.send(
+            self.src_core, self.dst_core, [CLOSE_TOKEN], 8, tag=self.name, variant=self.variant
+        )
+
+    def _push_batch(self) -> Generator[Event, Any, None]:
+        batch, self._send_buffer = self._send_buffer, []
+        nbytes, self._send_buffer_bytes = self._send_buffer_bytes, 0
+        self.batches_sent += 1
+        yield from self.mpi.send(
+            self.src_core, self.dst_core, batch, nbytes, tag=self.name, variant=self.variant
+        )
+
+    # -- consuming -------------------------------------------------------------
+
+    def consume(self) -> Generator[Event, Any, Any]:
+        """Dequeue the next value; drive with ``yield from``.
+
+        Returns :data:`CLOSE_TOKEN` once the producer has closed the
+        channel and all data has been drained.  Raises
+        :class:`~repro.errors.ChannelFlushedError` if the channel is
+        flushed while blocked (misspeculation recovery).
+        """
+        core = self.mpi.machine.core(self.dst_core)
+        if self._recv_index >= len(self._recv_buffer):
+            self._recv_buffer = yield from self.mpi.recv(
+                self.dst_core, self.src_core, tag=self.name
+            )
+            self._recv_index = 0
+        core.charge_instructions(self.spec.queue_op_instructions)
+        value = self._recv_buffer[self._recv_index]
+        self._recv_index += 1
+        return value
+
+    def try_consume(self) -> tuple[bool, Any]:
+        """Non-blocking consume: ``(True, value)`` or ``(False, None)``."""
+        if self._recv_index >= len(self._recv_buffer):
+            ok, batch = self.mpi.try_recv(self.dst_core, self.src_core, tag=self.name)
+            if not ok:
+                return False, None
+            self._recv_buffer = batch
+            self._recv_index = 0
+        core = self.mpi.machine.core(self.dst_core)
+        core.charge_instructions(self.spec.queue_op_instructions)
+        value = self._recv_buffer[self._recv_index]
+        self._recv_index += 1
+        return True, value
+
+    @property
+    def pending_items(self) -> int:
+        """Items buffered locally on either side (not counting in-flight)."""
+        return len(self._send_buffer) + (len(self._recv_buffer) - self._recv_index)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def discard_all(self) -> int:
+        """Drop all buffered and queued data; abort blocked consumers.
+
+        Part of the FLQ (flush queues) phase of misspeculation recovery.
+        Returns the number of local items discarded.
+        """
+        discarded = len(self._send_buffer) + (len(self._recv_buffer) - self._recv_index)
+        self._send_buffer.clear()
+        self._send_buffer_bytes = 0
+        self._recv_buffer = []
+        self._recv_index = 0
+        self.closed = False
+        mailbox = self.mpi.mailbox(self.src_core, self.dst_core, tag=self.name)
+        discarded += mailbox.flush()
+        return discarded

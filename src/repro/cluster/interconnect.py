@@ -1,0 +1,157 @@
+"""Wire-level interconnect model.
+
+Transfers between cores pay three costs:
+
+1. **transmit serialization** — ``nbytes / bandwidth`` while holding the
+   sender node's NIC transmit resource (so concurrent senders on one
+   node contend, which is what makes bandwidth-hungry applications such
+   as 164.gzip plateau in Figures 4/5a);
+2. **propagation latency** — a one-way delay occupying neither NIC
+   (messages pipeline through the network);
+3. **receive serialization** — ``nbytes / bandwidth`` holding the
+   receiver node's NIC receive resource.
+
+Intra-node transfers use the shared-memory parameters of the
+:class:`~repro.cluster.spec.ClusterSpec` and skip NIC contention (the
+"serialization" there is the memcpy cost paid by the sender).
+
+A transfer is split into a synchronous **transmit phase**, executed in
+the sending process (eager-protocol semantics: the sender's call returns
+once the data has left its hands), and an asynchronous **delivery
+phase** that the interconnect runs as its own process.  Because the
+transmit phase of messages from one sender is serialized — by the NIC
+resource across nodes, by program order within a process — and the
+propagation latency per (src, dst) pair is constant, deliveries between
+a fixed pair of cores arrive in the order they were sent, which gives
+channels FIFO semantics for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.cluster.node import Machine
+from repro.sim import Environment, Event
+
+__all__ = ["Interconnect", "TransferStats"]
+
+
+class TransferStats:
+    """Aggregate transfer statistics for bandwidth analysis (Fig. 5a)."""
+
+    def __init__(self) -> None:
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.inter_node_bytes = 0
+        self.intra_node_bytes = 0
+
+    def record(self, nbytes: int, inter_node: bool) -> None:
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        if inter_node:
+            self.inter_node_bytes += nbytes
+        else:
+            self.intra_node_bytes += nbytes
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "inter_node_bytes": self.inter_node_bytes,
+            "intra_node_bytes": self.intra_node_bytes,
+        }
+
+
+class Interconnect:
+    """Point-to-point transfer engine over the cluster's NICs."""
+
+    def __init__(self, env: Environment, machine: Machine) -> None:
+        self.env = env
+        self.machine = machine
+        self.spec = machine.spec
+        self.stats = TransferStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def send(
+        self,
+        src_core: int,
+        dst_core: int,
+        nbytes: int,
+        deliver: Optional[Callable[[], Any]] = None,
+    ) -> Generator[Event, Any, None]:
+        """Eager send: transmit synchronously, deliver asynchronously.
+
+        Drive with ``yield from`` in the sending process; it returns when
+        the data has been handed to the network.  ``deliver`` runs in a
+        detached process once the message reaches the destination.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        inter_node = not self.spec.same_node(src_core, dst_core)
+        self.stats.record(nbytes, inter_node)
+        yield from self._transmit_phase(src_core, dst_core, nbytes, inter_node)
+        self.env.process(self._delivery_phase(src_core, dst_core, nbytes, inter_node, deliver))
+
+    def send_blocking(
+        self,
+        src_core: int,
+        dst_core: int,
+        nbytes: int,
+        deliver: Optional[Callable[[], Any]] = None,
+    ) -> Generator[Event, Any, None]:
+        """Rendezvous send: returns only after full delivery."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        inter_node = not self.spec.same_node(src_core, dst_core)
+        self.stats.record(nbytes, inter_node)
+        yield from self._transmit_phase(src_core, dst_core, nbytes, inter_node)
+        yield from self._delivery_phase(src_core, dst_core, nbytes, inter_node, deliver)
+
+    # -- phases ---------------------------------------------------------------
+
+    def _transmit_phase(
+        self, src_core: int, dst_core: int, nbytes: int, inter_node: bool
+    ) -> Generator[Event, Any, None]:
+        latency_, bandwidth = self.spec.wire_parameters(src_core, dst_core)
+        serialization = nbytes / bandwidth
+        if inter_node:
+            src_node = self.machine.nodes[self.spec.node_of_core(src_core)]
+            src_node.bytes_sent += nbytes
+            tx = src_node.nic_tx.request()
+            yield tx
+            try:
+                if serialization > 0:
+                    yield self.env.timeout(serialization)
+            finally:
+                src_node.nic_tx.release(tx)
+        else:
+            # Intra-node: the sender pays the memcpy into the shared buffer.
+            if serialization > 0:
+                yield self.env.timeout(serialization)
+
+    def _delivery_phase(
+        self,
+        src_core: int,
+        dst_core: int,
+        nbytes: int,
+        inter_node: bool,
+        deliver: Optional[Callable[[], Any]],
+    ) -> Generator[Event, Any, None]:
+        latency, bandwidth = self.spec.wire_parameters(src_core, dst_core)
+        if latency > 0:
+            yield self.env.timeout(latency)
+        if inter_node:
+            dst_node = self.machine.nodes[self.spec.node_of_core(dst_core)]
+            dst_node.bytes_received += nbytes
+            rx = dst_node.nic_rx.request()
+            yield rx
+            try:
+                serialization = nbytes / bandwidth
+                if serialization > 0:
+                    yield self.env.timeout(serialization)
+            finally:
+                dst_node.nic_rx.release(rx)
+        if deliver is not None:
+            deliver()

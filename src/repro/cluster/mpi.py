@@ -1,0 +1,126 @@
+"""Simulated MPI point-to-point layer.
+
+DSMTX is implemented on top of OpenMPI (paper section 4).  This module
+models the three send flavours the paper measures — ``MPI_Send``,
+``MPI_Bsend``, ``MPI_Isend`` — each paying a calibrated per-call
+software overhead on the sender, and ``MPI_Recv`` paying the paper's
+~2,295-instruction overhead on the receiver, on top of the wire costs
+charged by the :class:`~repro.cluster.interconnect.Interconnect`.
+
+Ranks are global core indices: every runtime unit is pinned to one core
+and communicates from it.  Messages between a fixed (source,
+destination, tag) triple are delivered in FIFO order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.node import Machine
+from repro.cluster.spec import MPIVariant
+from repro.errors import CommunicationError
+from repro.sim import Environment, Event, Store
+
+__all__ = ["MPI", "MPIVariant"]
+
+#: Fixed envelope (header) bytes added to every MPI message on the wire.
+ENVELOPE_BYTES = 32
+
+
+class MPI:
+    """Point-to-point messaging between cores with MPI-like costs."""
+
+    def __init__(self, env: Environment, machine: Machine, interconnect: Interconnect) -> None:
+        self.env = env
+        self.machine = machine
+        self.spec = machine.spec
+        self.interconnect = interconnect
+        self._mailboxes: dict[tuple[int, int, Any], Store] = {}
+        #: Messages sent, per variant, for diagnostics.
+        self.sent_count: dict[MPIVariant, int] = {v: 0 for v in MPIVariant}
+
+    def mailbox(self, src_rank: int, dst_rank: int, tag: Any = 0) -> Store:
+        """The FIFO mailbox for (src, dst, tag), created on first use."""
+        key = (src_rank, dst_rank, tag)
+        store = self._mailboxes.get(key)
+        if store is None:
+            store = Store(self.env)
+            self._mailboxes[key] = store
+        return store
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        payload: Any,
+        nbytes: int,
+        tag: Any = 0,
+        variant: MPIVariant = MPIVariant.SEND,
+        mailbox: Optional[Store] = None,
+    ) -> Generator[Event, Any, None]:
+        """Send ``payload`` (eager protocol): returns once the data has
+        been handed to the network; delivery completes asynchronously.
+
+        ``nbytes`` is the application-payload size; the envelope header
+        is added on the wire.  Drive with ``yield from`` in the sending
+        process.  ``mailbox`` overrides the per-(src, dst, tag) mailbox
+        with an explicit delivery store — used by the runtime, where a
+        unit multiplexes all senders over one inbox.
+        """
+        if src_rank == dst_rank:
+            raise CommunicationError(f"send to self (rank {src_rank}) is not supported")
+        core = self.machine.core(src_rank)
+        yield from core.drain()
+        sender_instructions = self.spec.mpi_variant_sender_instructions[variant]
+        yield core.execute_instructions(sender_instructions)
+        self.sent_count[variant] += 1
+        box = mailbox if mailbox is not None else self.mailbox(src_rank, dst_rank, tag)
+        yield from self.interconnect.send(
+            src_rank,
+            dst_rank,
+            nbytes + ENVELOPE_BYTES,
+            deliver=lambda: box.put(payload),
+        )
+
+    def recv(
+        self, dst_rank: int, src_rank: int, tag: Any = 0
+    ) -> Generator[Event, Any, Any]:
+        """Blocking receive; returns the payload.
+
+        Drive with ``payload = yield from mpi.recv(...)`` in the
+        receiving process.  Raises
+        :class:`~repro.errors.ChannelFlushedError` if the mailbox is
+        flushed (misspeculation recovery) while blocked.
+        """
+        core = self.machine.core(dst_rank)
+        yield from core.drain()
+        box = self.mailbox(src_rank, dst_rank, tag)
+        payload = yield box.get()
+        yield core.execute_instructions(self.spec.mpi_recv_instructions)
+        return payload
+
+    def try_recv(self, dst_rank: int, src_rank: int, tag: Any = 0) -> tuple[bool, Any]:
+        """Non-blocking probe+receive; charges the receive overhead as a
+        deferred cost only when a message was available."""
+        box = self.mailbox(src_rank, dst_rank, tag)
+        ok, payload = box.try_get()
+        if ok:
+            self.machine.core(dst_rank).charge_instructions(self.spec.mpi_recv_instructions)
+        return ok, payload
+
+    # -- recovery support ---------------------------------------------------------
+
+    def flush_all(self, predicate: Optional[Any] = None) -> int:
+        """Flush every mailbox (or those whose key satisfies ``predicate``),
+        discarding queued messages and aborting blocked receivers.
+
+        Returns the number of discarded messages.
+        """
+        discarded = 0
+        for key, store in self._mailboxes.items():
+            if predicate is None or predicate(key):
+                discarded += store.flush()
+        return discarded

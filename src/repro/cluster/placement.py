@@ -1,0 +1,45 @@
+"""Thread-to-core placement policies.
+
+DSMTX launches workers as POSIX processes, potentially on different
+nodes (paper section 3.1).  The placement policy decides which global
+core hosts each runtime unit.  Two policies are provided:
+
+* ``pack`` — fill nodes one after another (cores 0,1,2,3 on node 0,
+  then node 1, ...).  This is how MPI ranks are laid out by default and
+  keeps pipeline neighbours on the same node when possible.
+* ``spread`` — round-robin across nodes, maximizing per-unit NIC and
+  memory bandwidth at the cost of more inter-node traffic.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import ClusterSpec
+from repro.errors import PlacementError
+
+__all__ = ["place_units", "PLACEMENT_POLICIES"]
+
+PLACEMENT_POLICIES = ("pack", "spread")
+
+
+def place_units(spec: ClusterSpec, count: int, policy: str = "pack") -> list[int]:
+    """Assign ``count`` runtime units to distinct global core indices.
+
+    Returns the list of core indices, one per unit, in unit order.
+    """
+    if count < 1:
+        raise PlacementError(f"at least one unit required, got {count}")
+    if count > spec.total_cores:
+        raise PlacementError(
+            f"{count} units do not fit on {spec.total_cores} cores "
+            f"({spec.nodes} nodes x {spec.cores_per_node} cores)"
+        )
+    if policy == "pack":
+        return list(range(count))
+    if policy == "spread":
+        cores: list[int] = []
+        for unit in range(count):
+            node = unit % spec.nodes
+            slot = unit // spec.nodes
+            cores.append(node * spec.cores_per_node + slot)
+        return cores
+    raise PlacementError(f"unknown placement policy {policy!r}; choose from {PLACEMENT_POLICIES}")

@@ -1,0 +1,30 @@
+"""DSMTX: Distributed Software Multi-threaded Transactional memory.
+
+The paper's primary contribution — a software-only runtime enabling TLS
+and Spec-DSWP on clusters without shared memory.  The package contains
+the worker/try-commit/commit units, the MTX life cycle, Copy-On-Access,
+uncommitted value forwarding over batched queues, group transaction
+commit, and the four-phase misspeculation recovery protocol.
+"""
+
+from repro.core.config import PipelineConfig, StageKind, StageSpec, SystemConfig
+from repro.core.context import MasterContext, MTXContext, SequentialMeter
+from repro.core.runtime import DSMTXSystem, RunResult
+from repro.core.state import RunMode, SystemState
+from repro.core.stats import RecoveryRecord, RunStats
+
+__all__ = [
+    "DSMTXSystem",
+    "RunResult",
+    "SystemConfig",
+    "PipelineConfig",
+    "StageSpec",
+    "StageKind",
+    "MTXContext",
+    "MasterContext",
+    "SequentialMeter",
+    "SystemState",
+    "RunMode",
+    "RunStats",
+    "RecoveryRecord",
+]

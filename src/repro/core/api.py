@@ -1,0 +1,185 @@
+"""The DSMTX library interface (paper Table 1).
+
+This module exposes the paper's API surface by name, mapped onto the
+object-oriented runtime underneath.  Programs parallelized against the
+SMTX library run on DSMTX without modification (section 3.3); likewise,
+code written against this facade is agnostic to the machinery behind
+it.
+
+Mapping notes
+-------------
+* ``DSMTX_Init``/``DSMTX_Finalize`` bracket a session, mirroring the
+  required ``MPI_Init``/``MPI_Finalize`` calls of the MPI-based
+  implementation.
+* ``mtx_newDSMTXsystem(n, configuration)`` builds a system of ``n``
+  threads for a pipeline configuration.
+* ``mtx_spawn`` registers the function a worker tid executes — in this
+  runtime, the per-stage bodies carried by the workload plan.
+* The running operations (``mtx_begin``, ``mtx_end``, ``mtx_writeTo``,
+  ``mtx_writeAll``, ``mtx_read``, ``mtx_produce``, ``mtx_consume``,
+  ``mtx_misspec``) act on the executing worker's context, exactly as
+  the C API acts on the calling thread.
+* There are no custom ``malloc``/``free`` entries: DSMTX hooks the
+  system allocator to implement UVA (section 4.1) — here,
+  :meth:`dsmtx_malloc`/:meth:`dsmtx_free` stand in for those hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.context import MTXContext
+from repro.core.runtime import DSMTXSystem, RunResult
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DSMTX_Init",
+    "DSMTX_Finalize",
+    "mtx_newDSMTXsystem",
+    "mtx_deleteDSMTXsystem",
+    "mtx_spawn",
+    "mtx_run",
+    "mtx_begin",
+    "mtx_end",
+    "mtx_writeTo",
+    "mtx_writeAll",
+    "mtx_read",
+    "mtx_produce",
+    "mtx_consume",
+    "mtx_misspec",
+    "mtx_terminate",
+    "dsmtx_malloc",
+    "dsmtx_free",
+]
+
+_session_active = False
+
+
+def DSMTX_Init(args: Optional[list] = None) -> None:
+    """Initialize the DSMTX session (wraps ``MPI_Init`` + UVA setup)."""
+    global _session_active
+    if _session_active:
+        raise ConfigurationError("DSMTX_Init called twice without Finalize")
+    _session_active = True
+
+
+def DSMTX_Finalize() -> None:
+    """Tear down the DSMTX session (wraps ``MPI_Finalize``)."""
+    global _session_active
+    if not _session_active:
+        raise ConfigurationError("DSMTX_Finalize without a matching Init")
+    _session_active = False
+
+
+def mtx_newDSMTXsystem(n: int, configuration: Any, workload: Any = None) -> DSMTXSystem:
+    """Initialize a system of ``n`` threads with the given pipeline
+    configuration; creates units, queues, and address spaces.
+
+    ``configuration`` is a :class:`SystemConfig`, a
+    :class:`PipelineConfig`, or a list of stage kinds.  ``workload`` is
+    the parallel plan the system executes.
+    """
+    if not _session_active:
+        raise ConfigurationError("call DSMTX_Init before creating a system")
+    if workload is None:
+        raise ConfigurationError("a workload plan is required")
+    if isinstance(configuration, SystemConfig):
+        config = configuration.with_cores(n)
+    else:
+        config = SystemConfig(total_cores=n)
+    return DSMTXSystem(workload, config)
+
+
+def mtx_deleteDSMTXsystem(system: DSMTXSystem) -> None:
+    """Finalize a system; delete its data structures."""
+    system._queues.clear()
+
+
+def mtx_spawn(system: DSMTXSystem, function: Callable, tid: int, argument: Any = None) -> None:
+    """Execute ``function`` on the worker whose thread id matches ``tid``.
+
+    Unlike SMTX, DSMTX spawns all workers at program start (section
+    4.1); this call only binds the function to the matching worker's
+    stage slot.
+    """
+    for worker in system.workers:
+        if worker.tid == tid:
+            system._stage_bodies[worker.stage_index] = (
+                function if argument is None else (lambda ctx: function(ctx, argument))
+            )
+            return
+    raise ConfigurationError(f"no worker with tid {tid}")
+
+
+def mtx_run(system: DSMTXSystem, iterations: Optional[int] = None) -> RunResult:
+    """Run the parallel region to completion (spawns the worker,
+    try-commit, and commit processes and drives the simulation)."""
+    return system.run(iterations)
+
+
+# -- running operations (act on the executing worker's context) --------------------
+
+
+def mtx_begin(worker, iteration: int) -> Generator:
+    """Enter an MTX: refresh memory with earlier subTXs' stores and
+    notify the commit unit; returns the system state for polling."""
+    yield from worker.mtx_begin(iteration)
+    return worker.system.state
+
+
+def mtx_end(worker, iteration: int) -> Generator:
+    """Exit the current MTX, forwarding its stores to later stages and
+    the validation/commit units; returns the system state."""
+    yield from worker.mtx_end(iteration)
+    return worker.system.state
+
+
+def mtx_writeTo(context: MTXContext, stage: int, address: int, value: Any) -> Generator:
+    """Forward an (addr, value) store to one specific later stage."""
+    yield from context.store(address, value, forward=(stage,))
+
+
+def mtx_writeAll(context: MTXContext, address: int, value: Any) -> Generator:
+    """Forward an (addr, value) store to all later stages, the
+    try-commit unit, and the commit unit."""
+    yield from context.store(address, value, forward=True)
+
+
+def mtx_read(context: MTXContext, address: int) -> Generator:
+    """Speculative load: the (addr, value) observation is forwarded to
+    the try-commit unit for value-based conflict checking."""
+    value = yield from context.load(address, speculative=True)
+    return value
+
+
+def mtx_produce(context: MTXContext, queue: str, value: Any, nbytes: int = 16) -> Generator:
+    """Enqueue ``value`` in the specified pipeline queue."""
+    yield from context.produce(queue, value, nbytes=nbytes)
+
+
+def mtx_consume(context: MTXContext, queue: str) -> Any:
+    """Dequeue and return the next upstream value."""
+    return context.consume(queue)
+
+
+def mtx_misspec(context: MTXContext, reason: str = "") -> None:
+    """Notify the commit unit of misspeculation (aborts the MTX)."""
+    context.misspec(reason)
+
+
+def mtx_terminate(system: DSMTXSystem) -> None:
+    """Notify the commit unit of termination of the parallel section."""
+    system.state.terminate()
+    system.flush_all_inboxes()
+
+
+def dsmtx_malloc(system: DSMTXSystem, tid: int, nbytes: int) -> int:
+    """The hooked ``malloc``: allocate from the calling thread's UVA
+    region (section 3.3)."""
+    return system.uva.malloc(tid, nbytes)
+
+
+def dsmtx_free(system: DSMTXSystem, address: int) -> None:
+    """The hooked ``free``: owner recovered from the address bits."""
+    system.uva.free(address)

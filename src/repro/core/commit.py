@@ -1,0 +1,278 @@
+"""The commit unit.
+
+The commit unit owns the program's non-speculative memory state.  It:
+
+* serves Copy-On-Access page requests from workers and the try-commit
+  unit (section 4.2);
+* performs **group transaction commit**: once the try-commit unit has
+  validated an MTX, all of its subTXs' stores are applied to master
+  memory in subTX (program) order, so the last update to a location
+  wins (section 3.1);
+* orchestrates misspeculation recovery (section 4.3), including the
+  SEQ phase: re-executing the uncommitted iterations up to and
+  including the aborted one in single-threaded fashion.
+
+The unit is event-driven over its inbox, so it can interleave COA
+service with commit traffic — workers are never blocked on the commit
+unit being "busy committing", only queued behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.context import MasterContext
+from repro.core.messages import (
+    CTL_COA_REQUEST,
+    CTL_COA_RESPONSE,
+    CTL_MISSPEC,
+    CTL_VALIDATED,
+    CTL_WORKER_DONE,
+    END_SUBTX,
+    VALIDATED,
+    WRITE,
+)
+from repro.core.stats import RecoveryRecord
+from repro.errors import RecoveryError
+from repro.memory import AddressSpace
+from repro.sim import Event
+
+__all__ = ["CommitUnit"]
+
+#: Instructions to service one COA request (page lookup + copy).
+COA_SERVICE_INSTRUCTIONS = 300
+
+
+class CommitUnit:
+    """Commit unit: master memory, group commit, recovery orchestration."""
+
+    def __init__(self, system: "DSMTXSystem", tid: int) -> None:  # noqa: F821
+        self.system = system
+        self.tid = tid
+        self.core = system.core_of(tid)
+        self.endpoint = system.endpoint_of_unit(tid)
+        #: The program's committed memory.
+        self.master = AddressSpace(f"commit{tid}", faulting=False)
+        #: Next iteration to commit (everything below is committed).
+        self.next_commit = 0
+        self._reset_buffers()
+
+    def _reset_buffers(self) -> None:
+        #: Per-iteration, per-stage committed-to-be write lists.
+        self.writes_by_iteration: dict[int, dict[int, list]] = {}
+        #: Stages whose END marker arrived, per iteration.
+        self.ends_by_iteration: dict[int, set[int]] = {}
+        #: Iterations validated by the try-commit unit.
+        self.validated: set[int] = set()
+        #: In-progress entry groups per log queue (between END markers).
+        self._open_groups: dict[str, list] = {}
+
+    # -- main process --------------------------------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, None]:
+        system = self.system
+        while self.next_commit < system.total_iterations:
+            state = system.state
+            if state.draining and self.next_commit >= state.pause_target:
+                # Drained: every MTX before the misspeculation has
+                # committed; now roll back and re-execute just the
+                # aborted iteration (section 4.3).
+                yield from self._orchestrate_recovery(state.pause_target)
+                continue
+            kind, item = yield from self.endpoint.next_message()
+            if kind == "ctl":
+                yield from self._dispatch_ctl(item)
+            else:  # "batch": drain the queue's newly delivered entries
+                self._drain_queue(item)
+                yield from self._advance_commits()
+        system.state.terminate()
+        system.flush_all_inboxes()
+
+    # -- message handling -------------------------------------------------------------------------
+
+    def _dispatch_ctl(self, envelope) -> Generator[Event, Any, None]:
+        kind = envelope.kind
+        if kind == CTL_COA_REQUEST:
+            yield from self._serve_coa(envelope.payload)
+        elif kind == CTL_VALIDATED:
+            self.validated.add(envelope.payload)
+            yield from self._advance_commits()
+        elif kind == CTL_MISSPEC:
+            self._begin_or_extend_draining(envelope.payload)
+        elif kind == CTL_WORKER_DONE:
+            pass
+        else:  # pragma: no cover - defensive
+            raise RecoveryError(f"commit unit got unexpected control {kind!r}")
+
+    def _serve_coa(self, payload) -> Generator[Event, Any, None]:
+        """Answer a Copy-On-Access request with committed data: a whole
+        page copy (page granularity — the prefetching design the paper
+        adopts) or a single word (the ablation's word granularity)."""
+        page_no, requester_tid, word_index = payload
+        self.core.charge_instructions(COA_SERVICE_INSTRUCTIONS)
+        if word_index is None:
+            page = self.master.get_page(page_no).snapshot()
+            self.system.stats.coa_pages_served += 1
+            self.system.stats.record_queue_bytes("coa", self.system.cluster.page_bytes)
+            yield from self.endpoint.send_ctl(
+                requester_tid,
+                CTL_COA_RESPONSE,
+                (page_no, None, page),
+                nbytes=self.system.cluster.page_bytes,
+            )
+        else:
+            value = self.master.get_page(page_no).read(word_index)
+            self.system.stats.coa_words_served += 1
+            self.system.stats.record_queue_bytes("coa", 16)
+            yield from self.endpoint.send_ctl(
+                requester_tid,
+                CTL_COA_RESPONSE,
+                (page_no, word_index, value),
+                nbytes=16,
+            )
+
+    def _drain_queue(self, queue) -> None:
+        """Group a clog queue's entries into per-iteration write sets."""
+        group = self._open_groups.setdefault(queue.name, [])
+        while True:
+            ok, entry = queue.pop_local()
+            if not ok:
+                break
+            kind = entry[0]
+            if kind == WRITE:
+                group.append((entry[1], entry[2]))
+            elif kind == VALIDATED:
+                self.validated.add(entry[1])
+            elif kind == END_SUBTX:
+                iteration, stage = entry[1], entry[2]
+                if iteration >= self.next_commit:
+                    self.writes_by_iteration.setdefault(iteration, {})[stage] = group
+                    self.ends_by_iteration.setdefault(iteration, set()).add(stage)
+                group = []
+        self._open_groups[queue.name] = group
+
+    def _mtx_complete(self, iteration: int) -> bool:
+        ends = self.ends_by_iteration.get(iteration, ())
+        return len(ends) == self.system.num_stages
+
+    def _advance_commits(self) -> Generator[Event, Any, None]:
+        """Group-commit every in-order MTX that is validated and whose
+        subTX logs have fully arrived."""
+        system = self.system
+        while (
+            self.next_commit < system.total_iterations
+            and self.next_commit in self.validated
+            and self._mtx_complete(self.next_commit)
+        ):
+            iteration = self.next_commit
+            per_stage = self.writes_by_iteration.pop(iteration)
+            self.ends_by_iteration.pop(iteration, None)
+            self.validated.discard(iteration)
+            words = 0
+            for stage in sorted(per_stage):
+                writes = per_stage[stage]
+                words += len(writes)
+                if system.config.coa_replicas:
+                    self._check_read_only(writes)
+                self.master.apply_writes(writes)
+            self.core.charge_instructions(words * system.config.commit_instructions)
+            system.stats.words_committed += words
+            system.stats.committed_mtxs += 1
+            self.next_commit += 1
+        yield from self.core.drain()
+
+    def _check_read_only(self, writes) -> None:
+        """COA replicas rely on read-only pages never being committed
+        to; a violation is a workload bug, not a recoverable event."""
+        from repro.memory import page_number
+
+        for address, _value in writes:
+            if self.system.uva.page_is_read_only(page_number(address)):
+                raise RecoveryError(
+                    f"commit to read-only page {page_number(address)} "
+                    f"(address {address:#x}); read-only declarations must "
+                    "cover only immutable input data"
+                )
+
+    # -- recovery orchestration -----------------------------------------------------------------------
+
+    def _begin_or_extend_draining(self, misspec_iteration: int) -> None:
+        """A misspeculation notice arrived: start (or tighten) the drain.
+
+        Committed-side progress continues until every MTX before the
+        misspeculated one has committed; releasing the flow-control
+        credits lets producers blocked on full queues reach their next
+        boundary check instead of stalling the drain.
+        """
+        state = self.system.state
+        if state.draining:
+            state.lower_pause_target(misspec_iteration)
+            return
+        state.begin_draining(misspec_iteration)
+        self._drain_started_at = self.system.env.now
+        for queue in self.system.all_queues():
+            queue.release_all_credits()
+
+    def _orchestrate_recovery(self, misspec_iteration: int) -> Generator[Event, Any, None]:
+        """The orchestrator side of the section 4.3 protocol (runs once
+        the drain has committed everything before the aborted MTX)."""
+        system = self.system
+        env = system.env
+        detected_at = getattr(self, "_drain_started_at", env.now)
+        drain_seconds = env.now - detected_at
+        recovery_started = env.now
+        system.state.begin_recovery(misspec_iteration)
+        system.stats.misspeculations += 1
+        squashed = sum(
+            1 for i in self.ends_by_iteration if i >= self.next_commit
+        )
+        # Wake everyone: release flow-control credits and flush inboxes.
+        for queue in system.all_queues():
+            queue.release_all_credits()
+        system.flush_all_inboxes()
+        self.endpoint.clear()
+        # ERM barrier.
+        yield from system.recovery._barrier_cost(self)
+        yield system.recovery.erm_barrier.wait()
+        erm_done = env.now
+        # FLQ: flush every queue; our own buffers too.
+        discarded = 0
+        for queue in system.all_queues():
+            discarded += queue.discard()
+        self._reset_buffers()
+        self.core.charge_instructions(
+            discarded * system.cluster.queue_op_instructions
+        )
+        yield from system.recovery._barrier_cost(self)
+        yield system.recovery.flq_barrier.wait()
+        flq_done = env.now
+        # SEQ: single-threaded re-execution of [next_commit .. misspec].
+        reexecuted = 0
+        context = MasterContext(system, self.master, self.core)
+        for iteration in range(self.next_commit, misspec_iteration + 1):
+            context.begin_iteration(iteration)
+            yield from system.workload_sequential_body()(context)
+            reexecuted += 1
+        yield from self.core.drain()
+        seq_done = env.now
+        system.stats.committed_mtxs += reexecuted
+        self.next_commit = misspec_iteration + 1
+        # Resume: bump the epoch, set the new restart base, release all.
+        system.state.resume(restart_base=self.next_commit)
+        yield from system.recovery._barrier_cost(self)
+        yield system.recovery.resume_barrier.wait()
+        system.stats.recoveries.append(
+            RecoveryRecord(
+                misspec_iteration=misspec_iteration,
+                detected_at=detected_at,
+                drain_seconds=drain_seconds,
+                erm_seconds=erm_done - recovery_started,
+                flq_seconds=flq_done - erm_done,
+                seq_seconds=seq_done - flq_done,
+                squashed_iterations=squashed,
+                reexecuted_iterations=reexecuted,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CommitUnit tid={self.tid} next_commit={self.next_commit}>"

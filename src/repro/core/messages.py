@@ -1,0 +1,103 @@
+"""Message formats used inside the DSMTX runtime.
+
+Two layers of framing exist:
+
+* **Envelopes** travel through MPI into a unit's inbox: either a queue
+  batch (many log/data entries amortizing one MPI call) or a control
+  message (COA request/response, misspeculation, validation notice).
+  Every envelope carries the sender's recovery *epoch*; stale envelopes
+  that were in flight across a rollback are discarded on receipt.
+
+* **Entries** are the individual records inside a batch: speculative
+  writes ``(W, addr, value)``, speculative reads ``(R, addr, value)``
+  for value-based validation, subTX end markers, and raw dataflow items
+  produced through ``mtx_produce``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+__all__ = [
+    "WRITE",
+    "READ",
+    "END_SUBTX",
+    "DATA",
+    "VALIDATED",
+    "CTL_COA_REQUEST",
+    "CTL_COA_RESPONSE",
+    "CTL_MISSPEC",
+    "CTL_VALIDATED",
+    "CTL_WORKER_DONE",
+    "BatchEnvelope",
+    "ControlEnvelope",
+    "entry_bytes",
+]
+
+# -- batch entry kinds ---------------------------------------------------------
+
+#: Speculative store: ("W", address, value).
+WRITE = "W"
+#: Speculative load observation: ("R", address, value_read).
+READ = "R"
+#: End-of-subTX marker: ("END", iteration, stage_index).
+END_SUBTX = "END"
+#: Dataflow item from mtx_produce: ("DATA", value).
+DATA = "DATA"
+#: Validation notice from the try-commit unit: ("VAL", iteration).
+#: Batched on a queue rather than sent per MTX, so the commit unit's
+#: receive overhead amortizes across many validations.
+VALIDATED = "VAL"
+
+# -- control message kinds ------------------------------------------------------
+
+#: Worker -> commit: fetch a committed page.  Payload: (page_no, tid).
+CTL_COA_REQUEST = "coa_request"
+#: Commit -> worker: page copy.  Payload: (page_no, Page snapshot).
+CTL_COA_RESPONSE = "coa_response"
+#: Any unit -> commit: misspeculation.  Payload: iteration.
+CTL_MISSPEC = "misspec"
+#: Try-commit -> commit: MTX validated.  Payload: iteration.
+CTL_VALIDATED = "validated"
+#: Worker -> commit: finished all assigned iterations.  Payload: tid.
+CTL_WORKER_DONE = "worker_done"
+
+
+class BatchEnvelope(NamedTuple):
+    """A queue batch delivered into a unit inbox."""
+
+    queue_name: str
+    epoch: int
+    credit_id: int
+    entries: tuple
+    nbytes: int
+
+
+class ControlEnvelope(NamedTuple):
+    """A control message delivered into a unit inbox."""
+
+    kind: str
+    epoch: int
+    sender_tid: int
+    payload: Any
+
+
+#: Wire size of one log entry: an (address, value) pair of words.
+ENTRY_BYTES = 16
+#: Wire size of a subTX end marker.
+MARKER_BYTES = 8
+
+
+def entry_bytes(entry: tuple) -> int:
+    """Wire size of one batch entry.
+
+    Write entries may carry an explicit size as a fourth element: a
+    store standing for a bulk write-set (e.g. a compressed block in a
+    TLS transaction) is shipped at its real volume.
+    """
+    kind = entry[0]
+    if kind == END_SUBTX:
+        return MARKER_BYTES
+    if kind == WRITE and len(entry) > 3 and isinstance(entry[3], int):
+        return entry[3]
+    return ENTRY_BYTES

@@ -1,0 +1,182 @@
+"""Runtime message queues between DSMTX units.
+
+These are the communication channels of Figure 3: they carry uncommitted
+value forwarding between workers, access logs to the try-commit and
+commit units, and application dataflow (``mtx_produce``/``mtx_consume``).
+
+Like the stand-alone :class:`repro.cluster.channel.Channel`, a
+:class:`RuntimeQueue` batches produced entries and issues one MPI send
+per batch (section 4.2).  It differs in three runtime-specific ways:
+
+* batches are delivered into the *consumer unit's inbox* (a unit
+  multiplexes many queues plus control traffic over one mailbox);
+* a bounded number of unacknowledged batches may be in flight
+  (*credits*), bounding worker run-ahead — the decoupling buffer whose
+  size trades throughput against wasted work on misspeculation
+  (section 5.4);
+* every batch is tagged with the recovery epoch so stale in-flight data
+  is discarded after a rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.messages import BatchEnvelope, entry_bytes
+from repro.sim import Event, Resource
+
+__all__ = ["RuntimeQueue"]
+
+
+class RuntimeQueue:
+    """A unidirectional batched queue from one unit to another."""
+
+    def __init__(
+        self,
+        system: "DSMTXSystem",  # noqa: F821 - circular type reference
+        name: str,
+        purpose: str,
+        src_tid: int,
+        dst_tid: int,
+        flush_each_subtx: bool,
+    ) -> None:
+        self.system = system
+        self.name = name
+        self.purpose = purpose
+        self.src_tid = src_tid
+        self.dst_tid = dst_tid
+        #: Whether the producer must flush at every subTX boundary
+        #: (worker-to-worker forwarding and dataflow: yes; logs to the
+        #: validation/commit units: no, they may lag by whole batches,
+        #: which is exactly the delayed-detection effect of section 5.4).
+        self.flush_each_subtx = flush_each_subtx
+
+        config = system.config
+        self._batch_bytes = config.effective_batch_bytes
+        self._credits = Resource(system.env, capacity=config.max_inflight_batches)
+        self._outstanding_credits: dict[int, Event] = {}
+        self._next_credit_id = 0
+        self._buffer: list[tuple] = []
+        self._buffer_bytes = 0
+
+        #: Consumer-side entries routed here by the endpoint.
+        self.delivered: list[tuple] = []
+        self.delivered_index = 0
+
+        self.bytes_produced = 0
+        self.entries_produced = 0
+        self.batches_sent = 0
+
+    # -- producer side -------------------------------------------------------------
+
+    def produce(self, entry: tuple, nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
+        """Append one entry; pushes a batch when the buffer fills.
+
+        In ``direct`` channel mode (the Figure 5(b) unoptimized
+        baseline) every entry pays one full MPI send instead of a
+        ring-buffer write.
+        """
+        size = entry_bytes(entry) if nbytes is None else nbytes
+        self._buffer.append(entry)
+        self._buffer_bytes += size
+        self.bytes_produced += size
+        self.entries_produced += 1
+        self.system.stats.record_queue_bytes(self.purpose, size)
+        if self.system.config.channel_mode == "direct":
+            yield from self._push_batch()
+            return
+        src_core = self.system.core_of(self.src_tid)
+        src_core.charge_instructions(self.system.cluster.queue_op_instructions)
+        if self._buffer_bytes >= self._batch_bytes:
+            yield from self._push_batch()
+
+    def flush_pending(self) -> Generator[Event, Any, None]:
+        """Push a partial batch (subTX boundary / termination)."""
+        if self._buffer:
+            yield from self._push_batch()
+
+    def _push_batch(self) -> Generator[Event, Any, None]:
+        credit = self._credits.request()
+        yield credit
+        credit_id = self._next_credit_id
+        self._next_credit_id += 1
+        self._outstanding_credits[credit_id] = credit
+        entries, self._buffer = tuple(self._buffer), []
+        nbytes, self._buffer_bytes = self._buffer_bytes, 0
+        self.batches_sent += 1
+        self.system.stats.queue_batches += 1
+        envelope = BatchEnvelope(
+            queue_name=self.name,
+            epoch=self.system.state.epoch,
+            credit_id=credit_id,
+            entries=entries,
+            nbytes=nbytes,
+        )
+        yield from self.system.mpi.send(
+            self.src_tid_core_index(),
+            self.dst_tid_core_index(),
+            envelope,
+            nbytes,
+            tag=("inbox", self.dst_tid),
+            variant=self.system.config.mpi_variant,
+            mailbox=self.system.inbox_of(self.dst_tid),
+        )
+
+    def src_tid_core_index(self) -> int:
+        return self.system.core_of(self.src_tid).index
+
+    def dst_tid_core_index(self) -> int:
+        return self.system.core_of(self.dst_tid).index
+
+    # -- consumer side ---------------------------------------------------------------
+
+    def accept_batch(self, envelope: BatchEnvelope) -> bool:
+        """Endpoint router callback: release the credit; keep the
+        entries unless they are from a stale epoch.
+
+        Returns True if the batch was accepted (current epoch).
+        """
+        credit = self._outstanding_credits.pop(envelope.credit_id, None)
+        if credit is not None:
+            self._credits.release(credit)
+        if envelope.epoch != self.system.state.epoch:
+            return False
+        self.delivered.extend(envelope.entries)
+        return True
+
+    def pop_local(self) -> tuple[bool, Any]:
+        """Take the next delivered entry without blocking."""
+        if self.delivered_index >= len(self.delivered):
+            return False, None
+        entry = self.delivered[self.delivered_index]
+        self.delivered_index += 1
+        if self.delivered_index > 4096:
+            del self.delivered[: self.delivered_index]
+            self.delivered_index = 0
+        return True, entry
+
+    @property
+    def has_local(self) -> bool:
+        return self.delivered_index < len(self.delivered)
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def release_all_credits(self) -> None:
+        """Release every outstanding credit so a producer blocked on
+        flow control can make progress into the recovery protocol."""
+        for credit in self._outstanding_credits.values():
+            self._credits.release(credit)
+        self._outstanding_credits.clear()
+
+    def discard(self) -> int:
+        """Drop producer and consumer buffers; release all credits.
+
+        Returns the number of entries discarded locally (FLQ cost).
+        """
+        discarded = len(self._buffer) + (len(self.delivered) - self.delivered_index)
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        self.delivered = []
+        self.delivered_index = 0
+        self.release_all_credits()
+        return discarded

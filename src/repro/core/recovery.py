@@ -1,0 +1,81 @@
+"""Misspeculation recovery (paper section 4.3).
+
+When an MTX conflicts with an earlier one, the system rolls back:
+
+1. **ERM** — all threads synchronize into recovery mode.  The commit
+   unit (the orchestrator) releases queue credits and flushes every
+   inbox so blocked units wake; everyone meets at the first barrier.
+2. **FLQ** — message queues holding speculative state are flushed, and
+   all threads but the commit unit reinstate the access protections on
+   their heaps, discarding the remaining speculative state.  A second
+   barrier ends the phase.
+3. **SEQ** — the commit unit re-executes the uncommitted iterations up
+   to and including the misspeculated one in single-threaded fashion
+   against committed memory.
+4. A final barrier releases everyone; the epoch advances, workers
+   recompute their round-robin assignments from the new restart base,
+   and Copy-On-Access guarantees they see fresh committed data.  The
+   **RFP** (refill pipeline) cost — the squashed run-ahead work —
+   follows implicitly, which is why it dominates Figure 6.
+
+This module provides the shared barriers and the participant-side
+protocol; the orchestrator side lives in
+:class:`~repro.core.commit.CommitUnit`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ChannelFlushedError, RecoveryAbort
+from repro.sim import Barrier, Event
+
+__all__ = ["RecoveryCoordinator"]
+
+
+class RecoveryCoordinator:
+    """Shared barriers plus the participant protocol."""
+
+    def __init__(self, system: "DSMTXSystem", parties: int) -> None:  # noqa: F821
+        self.system = system
+        self.parties = parties
+        env = system.env
+        self.erm_barrier = Barrier(env, parties)
+        self.flq_barrier = Barrier(env, parties)
+        self.resume_barrier = Barrier(env, parties)
+
+    def _barrier_cost(self, unit) -> Generator[Event, Any, None]:
+        """Software + wire cost of one barrier round for one unit."""
+        unit.core.charge_instructions(self.system.config.barrier_instructions)
+        yield from unit.core.drain()
+
+    def participate(self, unit) -> Generator[Event, Any, None]:
+        """Run the participant side of recovery for a worker or the
+        try-commit unit.  Returns after the resume barrier (or at once
+        if the run terminated instead)."""
+        system = self.system
+        # Wait for the commit unit to actually enter recovery mode; the
+        # inbox flush it performs will wake us if we block meanwhile.
+        while not system.state.in_recovery:
+            if system.state.done:
+                return
+            try:
+                envelope = yield from unit.endpoint._recv_one()
+                unit.endpoint._route(envelope, arrival_order=False)
+            except (ChannelFlushedError, RecoveryAbort):
+                continue
+        # ERM: synchronize into recovery mode.
+        yield from self._barrier_cost(unit)
+        yield self.erm_barrier.wait()
+        # FLQ: reinstate protections, discard local speculative state.
+        dropped_pages = unit.discard_speculative_state()
+        unit.core.charge_instructions(
+            dropped_pages * system.config.reprotect_instructions_per_page
+        )
+        yield from self._barrier_cost(unit)
+        yield self.flq_barrier.wait()
+        # SEQ runs at the commit unit; we wait for the resume barrier.
+        yield from self._barrier_cost(unit)
+        yield self.resume_barrier.wait()
+        # Propagation of the resume notification.
+        yield system.env.timeout(2 * system.cluster.inter_node_latency_s)

@@ -1,0 +1,118 @@
+"""COA read replicas (extension of the paper's section 3.2 note).
+
+The paper observes that the try-commit and commit units' algorithms are
+parallelizable; in this runtime the measured hot spot is the commit
+unit's Copy-On-Access service — every worker's first touch of shared
+input data (parser's dictionary, bzip2's file buffer, alvinn's weights)
+funnels through one NIC.
+
+A :class:`CoaReplica` is an extra unit that serves COA requests for
+pages in *declared read-only* allocations (``uva.malloc(read_only=True)``)
+from a local cache, fetching each page from the commit unit once.
+Because no committed write may ever touch a read-only page (the commit
+unit enforces this), replica caches can never go stale, no invalidation
+protocol is needed, and correctness is unconditional.  Requests for
+mutable pages keep going to the commit unit.
+
+Replicas hold no speculative state, so they do not participate in the
+recovery barriers: they sleep through rollbacks and their caches stay
+valid across them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.messages import CTL_COA_REQUEST, CTL_COA_RESPONSE
+from repro.errors import ChannelFlushedError, RecoveryAbort
+from repro.memory import Page
+from repro.sim import Event
+
+__all__ = ["CoaReplica"]
+
+#: Instructions to serve one request from the replica cache.
+REPLICA_SERVICE_INSTRUCTIONS = 300
+
+
+class CoaReplica:
+    """A read-only COA cache unit."""
+
+    def __init__(self, system: "DSMTXSystem", tid: int) -> None:  # noqa: F821
+        self.system = system
+        self.tid = tid
+        self.core = system.core_of(tid)
+        self.endpoint = system.endpoint_of_unit(tid)
+        #: Cached read-only pages.
+        self.cache: dict[int, Page] = {}
+        #: Requests served from the cache (stats).
+        self.hits = 0
+        #: Pages fetched from the commit unit (stats).
+        self.misses = 0
+
+    def run(self) -> Generator[Event, Any, None]:
+        system = self.system
+        while not system.state.done:
+            try:
+                request = yield from self.endpoint.wait_ctl(
+                    CTL_COA_REQUEST, check_state=False
+                )
+                yield from self._serve(request.payload)
+            except (ChannelFlushedError, RecoveryAbort):
+                # A rollback interrupted us; any in-flight requester has
+                # aborted its wait and will re-fault after the resume.
+                continue
+
+    def _serve(self, payload) -> Generator[Event, Any, None]:
+        page_no, requester_tid, _word_index = payload
+        system = self.system
+        self.core.charge_instructions(REPLICA_SERVICE_INSTRUCTIONS)
+        page = self.cache.get(page_no)
+        if page is None:
+            page = yield from self._fetch_from_commit(page_no)
+            self.cache[page_no] = page
+            self.misses += 1
+        else:
+            self.hits += 1
+        system.stats.coa_pages_served += 1
+        system.stats.record_queue_bytes("coa", system.cluster.page_bytes)
+        yield from self.endpoint.send_ctl(
+            requester_tid,
+            CTL_COA_RESPONSE,
+            (page_no, None, page.snapshot()),
+            nbytes=system.cluster.page_bytes,
+        )
+
+    def _fetch_from_commit(self, page_no: int) -> Generator[Event, Any, Page]:
+        """Populate the cache: one page fetch from the commit unit.
+
+        Requests arriving meanwhile buffer in this unit's inbox.  A
+        rollback may destroy the request or the reply in flight (queue
+        flushes, epoch fencing); the fetch then backs off until the
+        system resumes and re-sends — read-only pages make the retry
+        unconditionally safe.
+        """
+        system = self.system
+        while True:
+            while system.state.in_recovery:
+                yield system.env.timeout(5e-6)  # back off through the rollback
+            sent_epoch = system.state.epoch
+            yield from self.endpoint.send_ctl(
+                system.commit_tid, CTL_COA_REQUEST, (page_no, self.tid, None)
+            )
+            resend = False
+            while not resend:
+                try:
+                    envelope = yield from self.endpoint.wait_ctl(
+                        CTL_COA_RESPONSE, check_state=False
+                    )
+                except (ChannelFlushedError, RecoveryAbort):
+                    resend = True
+                    continue
+                got_page_no, _index, page = envelope.payload
+                if got_page_no == page_no:
+                    return page
+                if system.state.epoch != sent_epoch:
+                    resend = True  # reply may have been fenced; try again
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CoaReplica tid={self.tid} cached={len(self.cache)}>"

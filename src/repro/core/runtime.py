@@ -1,0 +1,285 @@
+"""DSMTX system assembly and execution.
+
+:class:`DSMTXSystem` wires one parallel run together: the simulated
+cluster, the unit layout (stage workers, try-commit unit, commit unit),
+their inboxes and queues, the shared recovery coordinator, and the
+Unified Virtual Address space.  :meth:`DSMTXSystem.run` executes the
+workload's parallel region to completion and returns a
+:class:`RunResult` with the simulated duration and full statistics.
+
+Unit thread ids (tids) are assigned stage-major: workers of stage 0
+first, then stage 1, ..., then the try-commit unit, then the commit
+unit.  Tids map to global core indices through the placement policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.cluster import MPI, Interconnect, Machine, place_units
+from repro.core.commit import CommitUnit
+from repro.core.replica import CoaReplica
+from repro.core.config import PipelineConfig, SystemConfig
+from repro.core.endpoint import Endpoint
+from repro.core.queues import RuntimeQueue
+from repro.core.recovery import RecoveryCoordinator
+from repro.core.state import SystemState
+from repro.core.stats import RunStats
+from repro.core.try_commit import TryCommitUnit
+from repro.core.worker import Worker
+from repro.errors import ConfigurationError
+from repro.memory import UnifiedVirtualAddressSpace
+from repro.sim import Environment
+
+__all__ = ["DSMTXSystem", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one parallel run."""
+
+    #: Simulated wall-clock duration of the parallel region (seconds).
+    elapsed_seconds: float
+    #: Full runtime statistics.
+    stats: RunStats
+    #: Iterations executed (committed MTXs, including SEQ re-executions).
+    iterations: int
+    #: Total cores the run used (workers + try-commit + commit).
+    total_cores: int
+
+    def speedup_over(self, sequential_seconds: float) -> float:
+        """Speedup against a sequential execution time."""
+        if self.elapsed_seconds <= 0:
+            raise ConfigurationError("run has no elapsed time")
+        return sequential_seconds / self.elapsed_seconds
+
+
+class DSMTXSystem:
+    """One configured DSMTX runtime instance."""
+
+    def __init__(self, workload: Any, config: SystemConfig) -> None:
+        self.workload = workload
+        self.config = config
+        self.cluster = config.cluster
+        self.env = Environment()
+        self.machine = Machine(self.env, self.cluster)
+        self.interconnect = Interconnect(self.env, self.machine)
+        self.mpi = MPI(self.env, self.machine, self.interconnect)
+        self.state = SystemState()
+        self.stats = RunStats()
+
+        pipeline: PipelineConfig = workload.pipeline()
+        self.pipeline = pipeline
+        self.replicas = pipeline.allocate(
+            config.total_cores, reserved_units=2 + config.coa_replicas
+        )
+        self.num_workers = sum(self.replicas)
+        self.trycommit_tid = self.num_workers
+        self.commit_tid = self.num_workers + 1
+        #: Tids of the COA read replicas (empty unless configured).
+        self.replica_tids = [
+            self.num_workers + 2 + index for index in range(config.coa_replicas)
+        ]
+        self.num_units = self.num_workers + 2 + config.coa_replicas
+        #: First worker tid of each stage.
+        self.stage_base_tid: list[int] = []
+        base = 0
+        for count in self.replicas:
+            self.stage_base_tid.append(base)
+            base += count
+
+        self._core_indices = place_units(self.cluster, self.num_units, config.placement)
+        self._endpoints = [Endpoint(self, tid) for tid in range(self.num_units)]
+        self.uva = UnifiedVirtualAddressSpace(owners=self.num_units)
+
+        self.workers: list[Worker] = []
+        for stage_index, count in enumerate(self.replicas):
+            for replica in range(count):
+                tid = self.stage_base_tid[stage_index] + replica
+                self.workers.append(Worker(self, tid, stage_index, replica))
+        self.try_commit = TryCommitUnit(self, self.trycommit_tid)
+        self.commit = CommitUnit(self, self.commit_tid)
+        self.coa_replicas = [CoaReplica(self, tid) for tid in self.replica_tids]
+        # Replicas hold no speculative state: they are not barrier parties.
+        self.recovery = RecoveryCoordinator(self, parties=self.num_workers + 2)
+
+        self._queues: dict[str, RuntimeQueue] = {}
+        self.total_iterations = 0
+        self._stage_bodies: dict[int, Callable] = {}
+
+    # -- layout queries ---------------------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        return self.pipeline.num_stages
+
+    def replicas_of_stage(self, stage_index: int) -> int:
+        return self.replicas[stage_index]
+
+    def worker_tid_for(self, stage_index: int, iteration: int) -> int:
+        """Tid of the worker executing ``iteration``'s subTX of a stage.
+
+        Round-robin relative to the current epoch's restart base, so the
+        mapping stays consistent across rollbacks.
+        """
+        replicas = self.replicas[stage_index]
+        offset = (iteration - self.state.restart_base) % replicas
+        return self.stage_base_tid[stage_index] + offset
+
+    def core_of(self, tid: int):
+        return self.machine.core(self._core_indices[tid])
+
+    def endpoint_of_unit(self, tid: int) -> Endpoint:
+        return self._endpoints[tid]
+
+    def coa_target_tid(self, page_no: int, requester_tid: int) -> int:
+        """Unit that serves a COA request for ``page_no``.
+
+        Read-only pages may be served by a replica (sharded by the
+        requester so each worker sticks to one cache); everything else
+        goes to the commit unit, the owner of mutable committed state.
+        """
+        if self.replica_tids and self.uva.page_is_read_only(page_no):
+            return self.replica_tids[requester_tid % len(self.replica_tids)]
+        return self.commit_tid
+
+    def inbox_of(self, tid: int):
+        return self._endpoints[tid].inbox
+
+    # -- queues -----------------------------------------------------------------------------
+
+    def _queue(self, name: str, purpose: str, src_tid: int, dst_tid: int,
+               flush_each_subtx: bool) -> RuntimeQueue:
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = RuntimeQueue(self, name, purpose, src_tid, dst_tid, flush_each_subtx)
+            self._queues[name] = queue
+        return queue
+
+    def forward_queue(self, src_tid: int, dst_tid: int) -> RuntimeQueue:
+        """Uncommitted-value-forwarding queue between two workers."""
+        return self._queue(
+            f"fw:{src_tid}>{dst_tid}", "forward", src_tid, dst_tid, flush_each_subtx=True
+        )
+
+    def tclog_queue(self, worker_tid: int) -> RuntimeQueue:
+        """Access-log stream from a worker to the try-commit unit."""
+        return self._queue(
+            f"tclog:{worker_tid}", "log", worker_tid, self.trycommit_tid,
+            flush_each_subtx=False,
+        )
+
+    def clog_queue(self, worker_tid: int) -> RuntimeQueue:
+        """Write-log stream from a worker to the commit unit."""
+        return self._queue(
+            f"clog:{worker_tid}", "log", worker_tid, self.commit_tid,
+            flush_each_subtx=False,
+        )
+
+    def validated_queue(self) -> RuntimeQueue:
+        """Validation-notice stream from try-commit to commit."""
+        return self._queue(
+            "validated", "log", self.trycommit_tid, self.commit_tid,
+            flush_each_subtx=False,
+        )
+
+    def sync_queue(self, label: str, src_tid: int, dst_tid: int) -> RuntimeQueue:
+        """TLS synchronized-dependence queue (flushed per value)."""
+        return self._queue(
+            f"sync:{label}:{src_tid}>{dst_tid}", "sync", src_tid, dst_tid,
+            flush_each_subtx=True,
+        )
+
+    def queue_by_name(self, name: str) -> RuntimeQueue:
+        return self._queues[name]
+
+    def all_queues(self):
+        return self._queues.values()
+
+    def flush_all_inboxes(self) -> None:
+        """Flush every unit inbox, waking blocked receivers (recovery
+        kick-off and termination)."""
+        for endpoint in self._endpoints:
+            endpoint.inbox.flush()
+
+    # -- workload access ---------------------------------------------------------------------
+
+    def workload_stage_body(self, stage_index: int) -> Callable:
+        body = self._stage_bodies.get(stage_index)
+        if body is None:
+            body = self.workload.stage_body(stage_index)
+            self._stage_bodies[stage_index] = body
+        return body
+
+    def workload_sequential_body(self) -> Callable:
+        return self.workload.sequential_body
+
+    # -- execution --------------------------------------------------------------------------------
+
+    def utilization(self) -> dict:
+        """Busy fraction of every unit's core over the run so far.
+
+        Keys are human-readable unit labels; values are busy-cycles
+        divided by elapsed cycles.  Useful for spotting the bottleneck
+        unit (e.g. a saturated sequential stage or the commit unit's
+        COA service).
+        """
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return {}
+        clock = self.cluster.clock_hz
+
+        def fraction(tid: int) -> float:
+            return self.core_of(tid).busy_cycles / (elapsed * clock)
+
+        report = {}
+        for worker in self.workers:
+            label = f"worker[{worker.stage_index}.{worker.replica}]"
+            report[label] = fraction(worker.tid)
+        report["try-commit"] = fraction(self.trycommit_tid)
+        report["commit"] = fraction(self.commit_tid)
+        for index, tid in enumerate(self.replica_tids):
+            report[f"coa-replica[{index}]"] = fraction(tid)
+        return report
+
+    def stage_utilization(self) -> dict:
+        """Mean busy fraction per pipeline stage plus the units."""
+        per_unit = self.utilization()
+        if not per_unit:
+            return {}
+        summary: dict = {}
+        for stage_index in range(self.num_stages):
+            fractions = [
+                per_unit[f"worker[{stage_index}.{replica}]"]
+                for replica in range(self.replicas[stage_index])
+            ]
+            summary[f"stage{stage_index}"] = sum(fractions) / len(fractions)
+        summary["try-commit"] = per_unit["try-commit"]
+        summary["commit"] = per_unit["commit"]
+        return summary
+
+    def run(self, iterations: Optional[int] = None) -> RunResult:
+        """Execute the workload's parallel region to completion."""
+        self.total_iterations = (
+            iterations if iterations is not None else self.workload.iterations
+        )
+        if self.total_iterations < 1:
+            raise ConfigurationError("need at least one iteration")
+        self.workload.setup(self)
+        start = self.env.now
+        processes = [self.env.process(worker.run()) for worker in self.workers]
+        processes.append(self.env.process(self.try_commit.run()))
+        processes.append(self.env.process(self.commit.run()))
+        processes.extend(
+            self.env.process(replica.run()) for replica in self.coa_replicas
+        )
+        self.env.run(until=self.env.all_of(processes))
+        elapsed = self.env.now - start
+        self.stats.elapsed_seconds = elapsed
+        return RunResult(
+            elapsed_seconds=elapsed,
+            stats=self.stats,
+            iterations=self.stats.committed_mtxs,
+            total_cores=self.config.total_cores,
+        )

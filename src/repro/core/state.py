@@ -1,0 +1,96 @@
+"""Global system state shared by all DSMTX units.
+
+The paper's API returns a system *state* from ``mtx_begin``/``mtx_end``
+so workers can detect misspeculation or termination without blocking
+(Table 1).  Physically this is a small control word broadcast by the
+commit unit; modelling it as a shared object is safe because only the
+commit unit writes it, all other units poll it at MTX boundaries, and
+the propagation delay is charged explicitly by the recovery barriers.
+
+The *epoch* increments on every recovery.  Every queue batch is tagged
+with the epoch at send time, so data that was in flight across a
+rollback is recognized as stale and discarded at the receiver.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError
+
+__all__ = ["RunMode", "SystemState"]
+
+
+class RunMode:
+    """Execution modes of the parallel region."""
+
+    RUN = "run"
+    RECOVERY = "recovery"
+    DONE = "done"
+
+
+class SystemState:
+    """Control state: mode, recovery epoch, and iteration restart base."""
+
+    def __init__(self) -> None:
+        self.mode = RunMode.RUN
+        self.epoch = 0
+        #: First iteration of the current epoch (workers schedule
+        #: round-robin relative to this base).
+        self.restart_base = 0
+        #: Iteration at which the current/last misspeculation occurred.
+        self.misspec_iteration: int | None = None
+        #: True while the system drains committed-side work up to the
+        #: misspeculated iteration before rolling back.  Workers pause
+        #: at their next MTX boundary at or past ``pause_target``;
+        #: everything earlier validates and commits normally, so the
+        #: SEQ phase re-executes only the aborted iteration itself.
+        self.draining = False
+        #: First doomed iteration (the earliest reported misspeculation).
+        self.pause_target: int | None = None
+
+    @property
+    def in_recovery(self) -> bool:
+        return self.mode == RunMode.RECOVERY
+
+    @property
+    def done(self) -> bool:
+        return self.mode == RunMode.DONE
+
+    def begin_draining(self, misspec_iteration: int) -> None:
+        """Start the pre-recovery drain (commit unit only)."""
+        if self.mode == RunMode.DONE:
+            raise RecoveryError("cannot start draining after termination")
+        self.draining = True
+        self.pause_target = misspec_iteration
+
+    def lower_pause_target(self, misspec_iteration: int) -> None:
+        """An earlier misspeculation arrived while draining."""
+        if not self.draining:
+            raise RecoveryError("lower_pause_target outside draining")
+        self.pause_target = min(self.pause_target, misspec_iteration)
+
+    def begin_recovery(self, misspec_iteration: int) -> None:
+        """Enter recovery mode proper (commit unit only)."""
+        if self.mode == RunMode.DONE:
+            raise RecoveryError("cannot start recovery after termination")
+        self.mode = RunMode.RECOVERY
+        self.misspec_iteration = misspec_iteration
+
+    def resume(self, restart_base: int) -> None:
+        """Leave recovery: bump the epoch and set the new restart base."""
+        if self.mode != RunMode.RECOVERY:
+            raise RecoveryError("resume called outside recovery")
+        self.mode = RunMode.RUN
+        self.epoch += 1
+        self.restart_base = restart_base
+        self.draining = False
+        self.pause_target = None
+
+    def terminate(self) -> None:
+        """Mark the parallel region finished."""
+        self.mode = RunMode.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SystemState {self.mode} epoch={self.epoch} "
+            f"base={self.restart_base}>"
+        )

@@ -1,0 +1,99 @@
+"""Runtime statistics.
+
+Collects everything the paper's evaluation reports:
+
+* execution time (speedup once divided into the sequential time);
+* bytes transferred through DSMTX, for the bandwidth analysis of
+  Figure 5(a);
+* misspeculation counts and the per-phase recovery time breakdown of
+  Figure 6 — ERM (enter recovery mode), FLQ (flush queues / reinstall
+  protections), SEQ (sequential re-execution), with RFP (refill
+  pipeline) recovered as the residual against a misspeculation-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RecoveryRecord", "RunStats"]
+
+
+@dataclass
+class RecoveryRecord:
+    """Timing of one misspeculation recovery episode."""
+
+    misspec_iteration: int
+    #: Simulated time at which the commit unit saw the misspeculation.
+    detected_at: float
+    #: Time spent draining: committing every MTX before the aborted one
+    #: while speculative run-ahead past it goes to waste.  Squash-related
+    #: waiting, i.e. part of what the paper buckets as RFP.
+    drain_seconds: float = 0.0
+    #: Duration of the ERM phase (signal to all-units-in-recovery barrier).
+    erm_seconds: float = 0.0
+    #: Duration of the FLQ phase (queue flush + protection reinstatement).
+    flq_seconds: float = 0.0
+    #: Duration of the SEQ phase (sequential re-execution).
+    seq_seconds: float = 0.0
+    #: Iterations squashed (validated or in flight but not committed).
+    squashed_iterations: int = 0
+    #: Iterations re-executed sequentially by the commit unit.
+    reexecuted_iterations: int = 0
+
+    @property
+    def accounted_seconds(self) -> float:
+        """Directly measured overhead (everything except pipeline refill)."""
+        return self.erm_seconds + self.flq_seconds + self.seq_seconds
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics for one parallel run."""
+
+    #: MTXs (loop iterations) committed.
+    committed_mtxs: int = 0
+    #: Misspeculations that triggered recovery.
+    misspeculations: int = 0
+    #: Copy-On-Access page transfers served by the commit unit.
+    coa_pages_served: int = 0
+    #: Copy-On-Access single-word transfers (word-granularity ablation).
+    coa_words_served: int = 0
+    #: Payload bytes moved through runtime queues (all purposes).
+    queue_bytes: int = 0
+    #: Payload bytes, by queue purpose ("forward", "log", "data", ...).
+    queue_bytes_by_purpose: dict = field(default_factory=dict)
+    #: Queue batches sent.
+    queue_batches: int = 0
+    #: Read-log entries validated by the try-commit unit.
+    reads_checked: int = 0
+    #: Words group-committed by the commit unit.
+    words_committed: int = 0
+    #: Per-episode recovery records, in detection order.
+    recoveries: list = field(default_factory=list)
+    #: Wall-clock (simulated) duration of the parallel region.
+    elapsed_seconds: float = 0.0
+
+    def record_queue_bytes(self, purpose: str, nbytes: int) -> None:
+        self.queue_bytes += nbytes
+        self.queue_bytes_by_purpose[purpose] = (
+            self.queue_bytes_by_purpose.get(purpose, 0) + nbytes
+        )
+
+    @property
+    def erm_seconds(self) -> float:
+        return sum(r.erm_seconds for r in self.recoveries)
+
+    @property
+    def flq_seconds(self) -> float:
+        return sum(r.flq_seconds for r in self.recoveries)
+
+    @property
+    def seq_seconds(self) -> float:
+        return sum(r.seq_seconds for r in self.recoveries)
+
+    def bandwidth_bps(self) -> float:
+        """Application bandwidth: bytes through DSMTX over run time
+        (the Figure 5(a) metric)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.queue_bytes / self.elapsed_seconds

@@ -1,0 +1,172 @@
+"""Exception hierarchy for the DSMTX reproduction.
+
+All library exceptions derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single ``except`` clause.  The
+sub-hierarchies mirror the package layout: simulation-kernel errors,
+cluster/communication errors, memory-system errors, and runtime
+(speculation) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class StopSimulation(SimulationError):
+    """Internal control-flow signal used to stop :meth:`Environment.run`."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """An event was succeeded or failed more than once."""
+
+
+class ProcessInterrupt(SimulationError):
+    """Raised *inside* a process generator when another process interrupts it.
+
+    The interrupting party may attach an arbitrary ``cause`` explaining the
+    interruption (e.g. a misspeculation notice).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+# --------------------------------------------------------------------------
+# Cluster / communication substrate
+# --------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for cluster-substrate errors."""
+
+
+class PlacementError(ClusterError):
+    """A thread could not be placed on a core (e.g. too few cores)."""
+
+
+class CommunicationError(ClusterError):
+    """Base class for message-passing errors."""
+
+
+class ChannelClosedError(CommunicationError):
+    """A produce or consume was attempted on a closed channel."""
+
+
+class ChannelFlushedError(CommunicationError):
+    """A blocked consume was aborted because the channel was flushed.
+
+    Raised inside consumers during misspeculation recovery, when all
+    queues holding speculative state are discarded (paper section 4.3).
+    """
+
+
+# --------------------------------------------------------------------------
+# Memory system
+# --------------------------------------------------------------------------
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-system errors (named to avoid shadowing the
+    built-in :class:`MemoryError`)."""
+
+
+class ProtectionFault(MemoryError_):
+    """An access hit a protected (uninitialized) page.
+
+    Under DSMTX this is not an error condition: the Copy-On-Access
+    machinery catches it and fetches the page from the commit unit.
+    """
+
+    def __init__(self, address: int, page_number: int) -> None:
+        super().__init__(f"protection fault at address {address:#x} (page {page_number})")
+        self.address = address
+        self.page_number = page_number
+
+
+class UnmappedAddressError(MemoryError_):
+    """An access referenced an address outside every allocated region."""
+
+
+class AllocationError(MemoryError_):
+    """The allocator could not satisfy a request."""
+
+
+class OwnershipError(MemoryError_):
+    """A UVA operation violated the region-ownership discipline."""
+
+
+# --------------------------------------------------------------------------
+# Speculation runtime
+# --------------------------------------------------------------------------
+
+
+class RuntimeError_(ReproError):
+    """Base class for DSMTX runtime errors (named to avoid shadowing the
+    built-in :class:`RuntimeError`)."""
+
+
+class ConfigurationError(RuntimeError_):
+    """An invalid system or pipeline configuration was supplied."""
+
+
+class TransactionError(RuntimeError_):
+    """An MTX life-cycle rule was violated (e.g. commit before end)."""
+
+
+class MisspeculationDetected(RuntimeError_):
+    """Raised inside a worker body to signal explicit misspeculation.
+
+    Workload bodies raise this (or call ``mtx_misspec``) when a
+    speculated condition — a control-flow assumption or a predicted
+    value — turns out to be wrong at run time.
+    """
+
+    def __init__(self, iteration: int, reason: str = "") -> None:
+        super().__init__(f"misspeculation at iteration {iteration}: {reason or 'unspecified'}")
+        self.iteration = iteration
+        self.reason = reason
+
+
+class RecoveryError(RuntimeError_):
+    """The rollback protocol itself failed (indicates a runtime bug)."""
+
+
+class RecoveryAbort(RuntimeError_):
+    """Internal signal: the unit must abandon speculative work and join
+    the recovery barriers.  Raised out of MTX API calls when the system
+    entered recovery mode, and caught by each unit's main loop."""
+
+
+# --------------------------------------------------------------------------
+# Parallelization paradigms
+# --------------------------------------------------------------------------
+
+
+class ParadigmError(ReproError):
+    """Base class for parallelization-paradigm errors."""
+
+
+class PartitionError(ParadigmError):
+    """A loop could not be partitioned as requested (e.g. a dependence
+    recurrence spans the requested stage boundary)."""
+
+
+class PlanSyntaxError(ParadigmError):
+    """A parallelization-plan string such as ``Spec-DSWP+[S,DOALL,S]``
+    could not be parsed."""

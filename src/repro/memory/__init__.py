@@ -1,0 +1,43 @@
+"""Memory substrate: pages, address spaces, UVA, and versioned buffers.
+
+Models the memory system DSMTX builds on: per-process paged virtual
+memories with access protection (the mechanism behind Copy-On-Access)
+and the Unified Virtual Address space that makes pointers portable
+across nodes without translation.
+"""
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import (
+    MAX_OWNERS,
+    PAGE_BYTES,
+    REGION_BYTES,
+    WORD_BYTES,
+    WORDS_PER_PAGE,
+    check_word_aligned,
+    owner_of,
+    page_base,
+    page_number,
+    region_base,
+    word_index,
+)
+from repro.memory.page import Page
+from repro.memory.uva import UnifiedVirtualAddressSpace
+from repro.memory.versioned import VersionedBuffer
+
+__all__ = [
+    "AddressSpace",
+    "Page",
+    "UnifiedVirtualAddressSpace",
+    "VersionedBuffer",
+    "WORD_BYTES",
+    "PAGE_BYTES",
+    "WORDS_PER_PAGE",
+    "REGION_BYTES",
+    "MAX_OWNERS",
+    "check_word_aligned",
+    "page_number",
+    "page_base",
+    "word_index",
+    "owner_of",
+    "region_base",
+]

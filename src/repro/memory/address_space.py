@@ -1,0 +1,145 @@
+"""Per-process virtual address spaces.
+
+Every DSMTX unit — worker, try-commit, commit — executes in its own
+physical memory (paper section 3.1).  An :class:`AddressSpace` models
+one such memory as a page table of sparse :class:`~repro.memory.page.Page`
+objects.
+
+Two protection modes exist:
+
+* ``faulting=False`` — the *master* space of the commit unit: pages
+  materialize on demand, reads of untouched words return zero.
+* ``faulting=True`` — a worker or try-commit space: every page starts
+  access-protected; the first touch raises
+  :class:`~repro.errors.ProtectionFault`, which the Copy-On-Access layer
+  catches to fetch the committed page from the commit unit.  During
+  misspeculation recovery, :meth:`reprotect_all` discards all local
+  pages, reinstating the protections (paper section 4.3, step four).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.errors import ProtectionFault
+from repro.memory.layout import check_word_aligned, page_number, word_index
+from repro.memory.page import Page
+
+__all__ = ["AddressSpace"]
+
+
+class AddressSpace:
+    """A page-table-backed, word-granular virtual memory."""
+
+    def __init__(self, name: str, faulting: bool = False) -> None:
+        self.name = name
+        self.faulting = faulting
+        self.pages: Dict[int, Page] = {}
+        #: Pages installed via COA since the last reprotect (stats).
+        self.pages_installed = 0
+        #: Protection faults taken (stats; each one is a COA round trip).
+        self.faults_taken = 0
+
+    # -- word access ------------------------------------------------------------
+
+    def read(self, address: int) -> object:
+        """Read the word at ``address``.
+
+        In a faulting space, touching an uninstalled page raises
+        :class:`ProtectionFault`.
+        """
+        check_word_aligned(address)
+        page_no = page_number(address)
+        page = self.pages.get(page_no)
+        if page is None:
+            page = self._page_miss(address, page_no)
+        return page.read(word_index(address))
+
+    def write(self, address: int, value: object) -> None:
+        """Write ``value`` to the word at ``address``.
+
+        Stores also fault on protected pages: the OS access protections
+        DSMTX installs trip on any first touch (section 4.2).
+        """
+        check_word_aligned(address)
+        page_no = page_number(address)
+        page = self.pages.get(page_no)
+        if page is None:
+            page = self._page_miss(address, page_no)
+        page.write(word_index(address), value)
+
+    def _page_miss(self, address: int, page_no: int) -> Page:
+        if self.faulting:
+            self.faults_taken += 1
+            raise ProtectionFault(address, page_no)
+        page = Page(page_no)
+        self.pages[page_no] = page
+        return page
+
+    # -- page management ---------------------------------------------------------
+
+    def has_page(self, page_no: int) -> bool:
+        """True if the page is installed (unprotected)."""
+        return page_no in self.pages
+
+    def get_page(self, page_no: int) -> Page:
+        """Fetch (materializing in a non-faulting space) page ``page_no``."""
+        page = self.pages.get(page_no)
+        if page is None:
+            if self.faulting:
+                raise ProtectionFault(page_no * 4096, page_no)
+            page = Page(page_no)
+            self.pages[page_no] = page
+        return page
+
+    def install_page(self, page: Page) -> None:
+        """Install a COA-transferred page copy, clearing its protection."""
+        self.pages[page.number] = page
+        self.pages_installed += 1
+
+    def drop_page(self, page_no: int) -> None:
+        """Discard one page, reinstating its protection."""
+        self.pages.pop(page_no, None)
+
+    def reprotect_all(self) -> int:
+        """Discard every page (recovery step four).
+
+        Returns the number of pages dropped, which recovery uses to cost
+        the protection-reinstatement work.
+        """
+        dropped = len(self.pages)
+        self.pages.clear()
+        return dropped
+
+    @property
+    def dirty_page_count(self) -> int:
+        """Pages modified since installation (speculative state volume)."""
+        return sum(1 for page in self.pages.values() if page.dirty)
+
+    # -- bulk operations -----------------------------------------------------------
+
+    def apply_writes(self, writes: Iterable[Tuple[int, object]]) -> None:
+        """Apply an ordered sequence of ``(address, value)`` writes.
+
+        Used by the commit unit's group transaction commit: updates are
+        applied in subTX (program) order, so the last update to a
+        location wins (paper section 3.1).  Bumps the version of every
+        touched page so later COA snapshots are distinguishable.
+        """
+        touched: set[int] = set()
+        for address, value in writes:
+            check_word_aligned(address)
+            page = self.get_page(page_number(address))
+            page.write(word_index(address), value)
+            touched.add(page.number)
+        for page_no in touched:
+            self.pages[page_no].bump_version()
+
+    def iter_pages(self) -> Iterator[Page]:
+        """All installed pages, in page-number order."""
+        for page_no in sorted(self.pages):
+            yield self.pages[page_no]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "faulting" if self.faulting else "master"
+        return f"<AddressSpace {self.name!r} ({kind}) {len(self.pages)} pages>"

@@ -1,0 +1,82 @@
+"""Address-space layout constants and address arithmetic.
+
+DSMTX operates at two granularities (paper section 4.2): memory *pages*
+(4096 bytes on the evaluation platform) for Copy-On-Access, and *words*
+(8 bytes) for forwarded speculative stores.  All addresses are byte
+addresses; word operations require 8-byte alignment.
+
+The Unified Virtual Address space (section 3.3) encodes region ownership
+in the upper bits of the virtual address: each thread owns a
+``REGION_BYTES``-sized slice, and ``owner_of`` recovers the owning
+thread from any address.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnmappedAddressError
+
+__all__ = [
+    "WORD_BYTES",
+    "PAGE_BYTES",
+    "WORDS_PER_PAGE",
+    "REGION_BITS",
+    "REGION_BYTES",
+    "MAX_OWNERS",
+    "page_number",
+    "page_base",
+    "word_index",
+    "check_word_aligned",
+    "owner_of",
+    "region_base",
+]
+
+#: Bytes per machine word (64-bit platform).
+WORD_BYTES = 8
+#: Bytes per memory page (4096 on the paper's platform).
+PAGE_BYTES = 4096
+#: Words per page.
+WORDS_PER_PAGE = PAGE_BYTES // WORD_BYTES
+
+#: Bits of address space owned by each thread (16 GiB regions).
+REGION_BITS = 34
+#: Bytes in one ownership region.
+REGION_BYTES = 1 << REGION_BITS
+#: Number of distinct region owners supported (upper bits of a 48-bit VA).
+MAX_OWNERS = 1 << (48 - REGION_BITS)
+
+
+def check_word_aligned(address: int) -> None:
+    """Raise if ``address`` is not word-aligned or is negative."""
+    if address < 0:
+        raise UnmappedAddressError(f"negative address {address:#x}")
+    if address % WORD_BYTES:
+        raise UnmappedAddressError(f"address {address:#x} is not {WORD_BYTES}-byte aligned")
+
+
+def page_number(address: int) -> int:
+    """Page number containing ``address``."""
+    return address // PAGE_BYTES
+
+
+def page_base(page_no: int) -> int:
+    """First byte address of page ``page_no``."""
+    return page_no * PAGE_BYTES
+
+
+def word_index(address: int) -> int:
+    """Index of the word within its page (0 .. WORDS_PER_PAGE-1)."""
+    return (address % PAGE_BYTES) // WORD_BYTES
+
+
+def owner_of(address: int) -> int:
+    """Region owner encoded in the upper bits of ``address``."""
+    if address < 0:
+        raise UnmappedAddressError(f"negative address {address:#x}")
+    return address >> REGION_BITS
+
+
+def region_base(owner: int) -> int:
+    """First byte address of the region owned by thread ``owner``."""
+    if not 0 <= owner < MAX_OWNERS:
+        raise UnmappedAddressError(f"owner {owner} outside [0, {MAX_OWNERS})")
+    return owner << REGION_BITS

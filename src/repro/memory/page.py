@@ -1,0 +1,61 @@
+"""Memory pages.
+
+A :class:`Page` stores word values sparsely (index -> value) with a
+default of zero for never-written words, mirroring demand-zeroed pages.
+Pages carry a monotonically increasing ``version`` so Copy-On-Access
+snapshots can be identified (Figure 3(b) shows workers holding different
+versions of the same page), and a ``dirty`` flag so recovery can count
+the pages whose protection must be reinstated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.memory.layout import WORDS_PER_PAGE
+
+__all__ = ["Page"]
+
+
+class Page:
+    """One 4 KiB page of word-granular values."""
+
+    __slots__ = ("number", "words", "version", "dirty")
+
+    def __init__(self, number: int, words: Dict[int, object] | None = None, version: int = 0) -> None:
+        self.number = number
+        self.words: Dict[int, object] = dict(words) if words else {}
+        self.version = version
+        self.dirty = False
+
+    def read(self, index: int) -> object:
+        """Value of word ``index`` (zero if never written)."""
+        self._check_index(index)
+        return self.words.get(index, 0)
+
+    def write(self, index: int, value: object) -> None:
+        """Set word ``index`` to ``value``; marks the page dirty."""
+        self._check_index(index)
+        self.words[index] = value
+        self.dirty = True
+
+    def snapshot(self) -> "Page":
+        """An independent copy at the same version (a COA transfer)."""
+        copy = Page(self.number, self.words, self.version)
+        return copy
+
+    def bump_version(self) -> None:
+        """Advance the version (called when committed state changes)."""
+        self.version += 1
+
+    def items(self) -> Iterator[Tuple[int, object]]:
+        """Iterate over (word index, value) pairs actually present."""
+        return iter(self.words.items())
+
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not 0 <= index < WORDS_PER_PAGE:
+            raise IndexError(f"word index {index} outside [0, {WORDS_PER_PAGE})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Page {self.number} v{self.version} {len(self.words)} words>"

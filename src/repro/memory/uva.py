@@ -1,0 +1,150 @@
+"""Unified Virtual Address space (paper section 3.3).
+
+UVA gives every thread the same view of virtual addresses: a pointer
+allocated by thread 1 is valid on thread 2 with no translation.  It
+works by statically assigning ownership of non-overlapping virtual
+regions to threads and encoding the owner in the upper address bits.
+Allocation requests are satisfied from the requester's own region, so no
+synchronization is needed until a thread outgrows its region.
+
+DSMTX hooks the system ``malloc``/``free`` rather than introducing new
+allocation functions (unlike Cluster-STM), which is why the Table 1 API
+has no custom allocator entries.  :class:`UnifiedVirtualAddressSpace`
+plays that role here: workloads and runtime units allocate through it
+and receive globally meaningful addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AllocationError, OwnershipError
+from repro.memory.layout import (
+    MAX_OWNERS,
+    PAGE_BYTES,
+    REGION_BYTES,
+    WORD_BYTES,
+    owner_of,
+    region_base,
+)
+
+__all__ = ["UnifiedVirtualAddressSpace"]
+
+
+class _RegionAllocator:
+    """Bump allocator for one thread's region, with free accounting."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self.base = region_base(owner)
+        self.cursor = self.base
+        self.limit = self.base + REGION_BYTES
+        self.live_allocations: Dict[int, int] = {}
+
+    def allocate(self, nbytes: int, align: int) -> int:
+        cursor = self.cursor
+        if cursor % align:
+            cursor += align - cursor % align
+        if cursor + nbytes > self.limit:
+            raise AllocationError(
+                f"region of owner {self.owner} exhausted "
+                f"({cursor + nbytes - self.base} > {REGION_BYTES} bytes)"
+            )
+        self.cursor = cursor + nbytes
+        self.live_allocations[cursor] = nbytes
+        return cursor
+
+    def free(self, address: int) -> int:
+        try:
+            return self.live_allocations.pop(address)
+        except KeyError:
+            raise AllocationError(
+                f"free of address {address:#x} that is not a live allocation"
+            ) from None
+
+
+class UnifiedVirtualAddressSpace:
+    """The cluster-wide virtual address map: ownership + allocation.
+
+    This object holds no memory *contents* — values live in each unit's
+    :class:`~repro.memory.address_space.AddressSpace`.  It is the shared
+    naming convention (static region ownership), so modelling it as one
+    Python object does not smuggle shared state between simulated nodes:
+    the dynamic part (each region's bump pointer) is touched only by its
+    owning thread.
+    """
+
+    def __init__(self, owners: int) -> None:
+        if not 1 <= owners <= MAX_OWNERS:
+            raise OwnershipError(f"owners must be in [1, {MAX_OWNERS}], got {owners}")
+        self.owners = owners
+        self._regions = [_RegionAllocator(owner) for owner in range(owners)]
+        self.bytes_allocated = 0
+        #: Page ranges declared read-only for the parallel region:
+        #: (first_page, last_page) inclusive.  Input data marked this
+        #: way may be served by COA read replicas, since no committed
+        #: write can ever touch it.
+        self._read_only_page_ranges: list[tuple[int, int]] = []
+
+    # -- allocation (the malloc/free hooks) ------------------------------------
+
+    def malloc(self, owner: int, nbytes: int, align: int = WORD_BYTES,
+               read_only: bool = False) -> int:
+        """Allocate ``nbytes`` from ``owner``'s region; returns the address.
+
+        ``read_only=True`` declares the allocation immutable for the
+        parallel region (input files, dictionaries, model tables).
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        if align <= 0 or align % WORD_BYTES:
+            raise AllocationError(f"alignment must be a positive multiple of {WORD_BYTES}")
+        region = self._region(owner)
+        address = region.allocate(nbytes, align)
+        self.bytes_allocated += nbytes
+        if read_only:
+            first_page = address // PAGE_BYTES
+            last_page = (address + nbytes - 1) // PAGE_BYTES
+            self._read_only_page_ranges.append((first_page, last_page))
+        return address
+
+    def malloc_page_aligned(self, owner: int, nbytes: int,
+                            read_only: bool = False) -> int:
+        """Allocate page-aligned storage (arrays crossing page bounds)."""
+        return self.malloc(owner, nbytes, align=PAGE_BYTES, read_only=read_only)
+
+    def page_is_read_only(self, page_no: int) -> bool:
+        """True if the page lies in a declared read-only allocation."""
+        for first, last in self._read_only_page_ranges:
+            if first <= page_no <= last:
+                return True
+        return False
+
+    def free(self, address: int) -> None:
+        """Release an allocation.  The owner is recovered from the
+        address itself — the point of the UVA encoding."""
+        region = self._region(owner_of(address))
+        nbytes = region.free(address)
+        self.bytes_allocated -= nbytes
+
+    # -- ownership queries --------------------------------------------------------
+
+    def owner_of(self, address: int) -> int:
+        """Thread owning the region that contains ``address``."""
+        owner = owner_of(address)
+        if owner >= self.owners:
+            raise OwnershipError(
+                f"address {address:#x} belongs to owner {owner}, "
+                f"but only {self.owners} owners exist"
+            )
+        return owner
+
+    def region_bounds(self, owner: int) -> tuple[int, int]:
+        """``(base, limit)`` byte addresses of ``owner``'s region."""
+        region = self._region(owner)
+        return region.base, region.limit
+
+    def _region(self, owner: int) -> _RegionAllocator:
+        if not 0 <= owner < self.owners:
+            raise OwnershipError(f"owner {owner} outside [0, {self.owners})")
+        return self._regions[owner]

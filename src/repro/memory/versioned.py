@@ -1,0 +1,61 @@
+"""Dynamic memory versioning support.
+
+Several benchmarks (164.gzip, 256.bzip2, 464.h264ref) reuse a block
+array across iterations; the resulting false (output/anti) memory
+dependences would serialize the loop.  DSMTX breaks them automatically
+by *memory versioning* (Table 2, "MV"): every concurrently outstanding
+MTX sees its own version of the buffer.
+
+In the runtime this falls out of workers having private memories, but
+the versions still occupy distinct virtual addresses so that forwarded
+stores and committed data do not collide.  :class:`VersionedBuffer`
+manages a bounded pool of version slots, handing iteration *i* the slot
+``i mod depth`` — the same bounded multi-buffering a real implementation
+uses so version storage does not grow with the iteration count.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.memory.uva import UnifiedVirtualAddressSpace
+
+__all__ = ["VersionedBuffer"]
+
+
+class VersionedBuffer:
+    """A logical buffer with ``depth`` concurrently live versions."""
+
+    def __init__(
+        self,
+        uva: UnifiedVirtualAddressSpace,
+        owner: int,
+        nbytes: int,
+        depth: int,
+        name: str = "buffer",
+    ) -> None:
+        if depth < 1:
+            raise AllocationError(f"version depth must be >= 1, got {depth}")
+        self.name = name
+        self.nbytes = nbytes
+        self.depth = depth
+        self._slots = [uva.malloc_page_aligned(owner, nbytes) for _ in range(depth)]
+
+    def base_for_iteration(self, iteration: int) -> int:
+        """Base address of the version slot assigned to ``iteration``."""
+        if iteration < 0:
+            raise AllocationError(f"iteration must be >= 0, got {iteration}")
+        return self._slots[iteration % self.depth]
+
+    def element(self, iteration: int, index: int, element_bytes: int = 8) -> int:
+        """Address of ``index``-th element in the iteration's version."""
+        offset = index * element_bytes
+        if offset + element_bytes > self.nbytes:
+            raise AllocationError(
+                f"element {index} (at byte {offset}) outside buffer of {self.nbytes} bytes"
+            )
+        return self.base_for_iteration(iteration) + offset
+
+    @property
+    def slots(self) -> list[int]:
+        """Base addresses of all version slots."""
+        return list(self._slots)

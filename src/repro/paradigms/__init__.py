@@ -1,0 +1,49 @@
+"""Loop parallelization paradigms (paper section 2).
+
+Program Dependence Graphs, SCC-based DSWP partitioning, the
+``Spec-DSWP+[...]`` plan notation, and earliest-start schedulers for
+DOALL, DOACROSS, and DSWP — the machinery behind Figure 1's
+latency-tolerance comparison.  The speculative paradigms (TLS and
+Spec-DSWP) execute on the DSMTX runtime in :mod:`repro.core`; the
+adapters live with the workloads (:class:`repro.workloads.ParallelPlan`).
+"""
+
+from repro.paradigms.partition import (
+    Stage,
+    dswp_partition,
+    mark_parallel_stages,
+    validate_partition,
+)
+from repro.paradigms.pdg import (
+    Dependence,
+    DependenceKind,
+    ProgramDependenceGraph,
+    example_list_loop,
+)
+from repro.paradigms.plan import PlanNotation, format_plan, parse_plan
+from repro.paradigms.schedule import (
+    ScheduleResult,
+    doacross_schedule,
+    doall_schedule,
+    dswp_schedule,
+    schedule_loop,
+)
+
+__all__ = [
+    "ProgramDependenceGraph",
+    "Dependence",
+    "DependenceKind",
+    "example_list_loop",
+    "Stage",
+    "dswp_partition",
+    "validate_partition",
+    "mark_parallel_stages",
+    "PlanNotation",
+    "parse_plan",
+    "format_plan",
+    "ScheduleResult",
+    "schedule_loop",
+    "doall_schedule",
+    "doacross_schedule",
+    "dswp_schedule",
+]

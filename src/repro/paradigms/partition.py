@@ -1,0 +1,131 @@
+"""DSWP partitioning (paper section 2.1).
+
+DSWP splits a loop body into pipeline stages such that every dependence
+recurrence stays inside one stage and all cross-stage dependences flow
+forward — the acyclic communication structure that makes the pipeline
+insensitive to inter-core latency.
+
+The algorithm is the classic one: compute the PDG's strongly connected
+components, topologically order the condensed DAG, then greedily pack
+consecutive SCCs into at most ``max_stages`` stages while balancing the
+per-stage cycle cost.  DSWP+ (Huang et al.) deliberately *unbalances*
+stages to expose a DOALL-able stage; :func:`mark_parallel_stages`
+identifies stages eligible for replication: no recurrence and no
+loop-carried dependence internal to the stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.paradigms.pdg import ProgramDependenceGraph
+
+__all__ = ["Stage", "dswp_partition", "validate_partition", "mark_parallel_stages"]
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a set of statements plus derived facts."""
+
+    statements: frozenset
+    cycles: float
+    #: True if the stage may be replicated (a DOALL stage in DSWP+).
+    parallelizable: bool = False
+
+    def describe(self) -> str:
+        kind = "DOALL" if self.parallelizable else "S"
+        return f"{kind}{{{','.join(sorted(self.statements))}}}"
+
+
+def dswp_partition(pdg: ProgramDependenceGraph, max_stages: int) -> list[Stage]:
+    """Partition ``pdg`` into at most ``max_stages`` pipeline stages."""
+    if max_stages < 1:
+        raise PartitionError(f"need at least one stage, got {max_stages}")
+    components = pdg.sccs()  # already in topological order
+    total_cycles = sum(pdg.cycles_of(s) for s in pdg.statements)
+
+    groups: list[list[frozenset]] = []
+    current: list[frozenset] = []
+    current_cycles = 0.0
+    remaining_cycles = total_cycles
+    for component in components:
+        component_cycles = sum(pdg.cycles_of(s) for s in component)
+        stages_left = max_stages - len(groups)
+        # Close the open group once it reaches its fair share of the
+        # not-yet-assigned cycles (re-targeted as groups close, so light
+        # tail components still get their own stages).
+        target = remaining_cycles / stages_left
+        if current and stages_left > 1 and current_cycles >= target - 1e-9:
+            groups.append(current)
+            remaining_cycles -= current_cycles
+            current = []
+            current_cycles = 0.0
+        current.append(component)
+        current_cycles += component_cycles
+    if current:
+        groups.append(current)
+
+    stages = []
+    for group in groups:
+        statements = frozenset().union(*group)
+        cycles = sum(pdg.cycles_of(s) for s in statements)
+        stages.append(Stage(statements=statements, cycles=cycles))
+    mark_parallel_stages(pdg, stages)
+    validate_partition(pdg, stages)
+    return stages
+
+
+def mark_parallel_stages(pdg: ProgramDependenceGraph, stages: list[Stage]) -> None:
+    """Flag stages with no internal recurrence or loop-carried
+    dependence: those may be replicated (the DOALL stages of DSWP+)."""
+    recurrences = pdg.recurrences()
+    for stage in stages:
+        has_recurrence = any(r <= stage.statements for r in recurrences)
+        has_carried = any(
+            d.loop_carried
+            and d.src in stage.statements
+            and d.dst in stage.statements
+            for d in pdg.dependences
+        )
+        stage.parallelizable = not has_recurrence and not has_carried
+
+
+def validate_partition(pdg: ProgramDependenceGraph, stages: list[Stage]) -> None:
+    """Check the DSWP invariants:
+
+    * every statement appears in exactly one stage;
+    * no recurrence spans stages;
+    * every intra-iteration dependence flows forward (or stays within
+      a stage) — cross-stage communication is acyclic.
+    """
+    seen: set = set()
+    for stage in stages:
+        overlap = seen & stage.statements
+        if overlap:
+            raise PartitionError(f"statements in multiple stages: {sorted(overlap)}")
+        seen |= stage.statements
+    missing = set(pdg.statements) - seen
+    if missing:
+        raise PartitionError(f"statements not assigned to any stage: {sorted(missing)}")
+
+    stage_of = {}
+    for index, stage in enumerate(stages):
+        for statement in stage.statements:
+            stage_of[statement] = index
+
+    for recurrence in pdg.recurrences():
+        indices = {stage_of[s] for s in recurrence}
+        if len(indices) > 1:
+            raise PartitionError(
+                f"recurrence {sorted(recurrence)} spans stages {sorted(indices)}"
+            )
+    for dependence in pdg.dependences:
+        src_stage = stage_of[dependence.src]
+        dst_stage = stage_of[dependence.dst]
+        if dst_stage < src_stage:
+            raise PartitionError(
+                f"backward dependence {dependence.src}->{dependence.dst} "
+                f"(stage {src_stage} -> {dst_stage}): inter-stage "
+                "communication must be acyclic"
+            )

@@ -1,0 +1,118 @@
+"""Parallelization-plan notation (paper section 2.1 / Table 2).
+
+The paper describes hybrid parallelizations as ``DSWP+[...]``, where the
+bracket lists the technique applied to each stage (``S`` for a
+sequentially executed stage, ``DOALL`` for a replicated one), and a
+``Spec-`` prefix marks speculation: on the whole pipeline
+(``Spec-DSWP+[...]``, requiring MTXs) or on an individual technique
+(``DSWP+[Spec-DOALL,S]``).  Plain ``Spec-DOALL``, ``DOALL``, ``TLS``,
+and ``DOACROSS`` also appear.
+
+:func:`parse_plan` turns such a string into a structured
+:class:`PlanNotation`; :func:`format_plan` does the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig, StageKind
+from repro.errors import PlanSyntaxError
+
+__all__ = ["PlanNotation", "parse_plan", "format_plan"]
+
+_SIMPLE_TECHNIQUES = ("DOALL", "DOACROSS", "DSWP", "TLS")
+
+
+@dataclass(frozen=True)
+class PlanNotation:
+    """Structured form of a parallelization-plan string."""
+
+    #: Base technique: "DOALL", "DOACROSS", "DSWP", or "TLS".
+    technique: str
+    #: True if the *whole* plan is speculative (leading ``Spec-``).
+    speculative: bool = False
+    #: Per-stage kinds for DSWP+ plans; each entry is "S" or "DOALL",
+    #: optionally per-stage-speculative.
+    stage_kinds: tuple = ()
+    #: Which stages carry their own ``Spec-`` prefix.
+    stage_speculative: tuple = ()
+
+    @property
+    def is_pipeline(self) -> bool:
+        return self.technique == "DSWP" and bool(self.stage_kinds)
+
+    @property
+    def needs_mtx(self) -> bool:
+        """Multi-threaded transactions are required exactly when
+        speculation spans a multi-stage pipeline (section 2.2)."""
+        return self.is_pipeline and self.speculative
+
+    def pipeline_config(self) -> PipelineConfig:
+        """The PipelineConfig this plan describes."""
+        if self.is_pipeline:
+            return PipelineConfig.from_kinds(list(self.stage_kinds))
+        if self.technique in ("DOALL", "TLS"):
+            return PipelineConfig.from_kinds([StageKind.PARALLEL])
+        raise PlanSyntaxError(f"{self.technique} has no pipeline form")
+
+
+def parse_plan(text: str) -> PlanNotation:
+    """Parse a plan string such as ``Spec-DSWP+[S,DOALL,S]``."""
+    original = text
+    text = text.strip()
+    if not text:
+        raise PlanSyntaxError("empty plan string")
+    speculative = False
+    if text.startswith("Spec-"):
+        speculative = True
+        text = text[len("Spec-"):]
+
+    if "+" in text:
+        head, _, bracket = text.partition("+")
+        if head != "DSWP":
+            raise PlanSyntaxError(f"only DSWP takes stage brackets, got {original!r}")
+        if not (bracket.startswith("[") and bracket.endswith("]")):
+            raise PlanSyntaxError(f"malformed stage bracket in {original!r}")
+        entries = [e.strip() for e in bracket[1:-1].split(",") if e.strip()]
+        if not entries:
+            raise PlanSyntaxError(f"empty stage list in {original!r}")
+        kinds = []
+        stage_spec = []
+        for entry in entries:
+            entry_spec = entry.startswith("Spec-")
+            if entry_spec:
+                entry = entry[len("Spec-"):]
+            if entry == "S":
+                kinds.append(StageKind.SEQUENTIAL)
+            elif entry == "DOALL":
+                kinds.append(StageKind.PARALLEL)
+            else:
+                raise PlanSyntaxError(f"unknown stage kind {entry!r} in {original!r}")
+            stage_spec.append(entry_spec)
+        return PlanNotation(
+            technique="DSWP",
+            speculative=speculative,
+            stage_kinds=tuple(kinds),
+            stage_speculative=tuple(stage_spec),
+        )
+
+    if text == "DSWP":
+        return PlanNotation(technique="DSWP", speculative=speculative)
+    if text in _SIMPLE_TECHNIQUES:
+        return PlanNotation(technique=text, speculative=speculative)
+    raise PlanSyntaxError(f"unrecognized plan {original!r}")
+
+
+def format_plan(plan: PlanNotation) -> str:
+    """Render a PlanNotation back to the paper's string form."""
+    prefix = "Spec-" if plan.speculative else ""
+    if not plan.stage_kinds:
+        return f"{prefix}{plan.technique}"
+    entries = []
+    for kind, spec in zip(plan.stage_kinds, plan.stage_speculative):
+        entry = kind if kind != StageKind.SEQUENTIAL else "S"
+        if spec:
+            entry = f"Spec-{entry}"
+        entries.append(entry)
+    return f"{prefix}DSWP+[{','.join(entries)}]"

@@ -1,0 +1,195 @@
+"""Execution-plan scheduling for DOALL, DOACROSS, and DSWP.
+
+This is the machinery behind Figure 1(c,d): given a PDG, a statement-to-
+core assignment, and an inter-core communication latency, compute the
+earliest-start schedule of (iteration, statement) instances and the
+steady-state cycles per iteration.
+
+The model matches the paper's figure: each statement instance occupies
+its core for its cycle cost; loop-carried dependences link iteration
+*i* to *i+1*.  Latency follows Figure 1's convention: a value produced
+during cycle *t* is usable on another core from cycle ``t + latency``,
+so the cross-core penalty beyond the producer's own cycle is
+``latency - 1`` — with a 1-cycle latency DOACROSS still manages 2
+cycles/iteration, and at 2 cycles it degrades to 3 while DSWP holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParadigmError
+from repro.paradigms.partition import Stage, dswp_partition
+from repro.paradigms.pdg import ProgramDependenceGraph
+
+__all__ = ["ScheduleResult", "schedule_loop", "doacross_schedule", "dswp_schedule"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling N iterations."""
+
+    iterations: int
+    cores: int
+    latency: float
+    #: Completion time of the whole schedule (cycles).
+    makespan: float
+    #: Steady-state cycles per iteration (measured over the back half,
+    #: excluding pipeline fill).
+    cycles_per_iteration: float
+    #: Finish time of every (iteration, statement) instance.
+    finish_times: dict
+
+    def speedup_over(self, sequential_cycles_per_iteration: float) -> float:
+        if self.cycles_per_iteration <= 0:
+            raise ParadigmError("degenerate schedule")
+        return sequential_cycles_per_iteration / self.cycles_per_iteration
+
+
+def schedule_loop(
+    pdg: ProgramDependenceGraph,
+    core_of: dict,
+    iterations: int,
+    latency: float,
+) -> ScheduleResult:
+    """Earliest-start schedule of ``iterations`` iterations.
+
+    ``core_of`` maps statement name -> core index.  Statements assigned
+    to one core execute in (iteration, program) order; a dependence
+    crossing cores adds ``latency`` to the consumer's earliest start.
+    """
+    if iterations < 2:
+        raise ParadigmError("need at least two iterations to schedule")
+    statements = pdg.statements
+    missing = [s for s in statements if s not in core_of]
+    if missing:
+        raise ParadigmError(f"statements without a core: {missing}")
+
+    deps_to = {s: [] for s in statements}
+    for dependence in pdg.dependences:
+        deps_to[dependence.dst].append(dependence)
+
+    core_free = {core: 0.0 for core in set(core_of.values())}
+    finish: dict = {}
+    for iteration in range(iterations):
+        for statement in statements:
+            earliest = core_free[core_of[statement]]
+            for dependence in deps_to[statement]:
+                src_iter = iteration - 1 if dependence.loop_carried else iteration
+                if src_iter < 0:
+                    continue
+                src_finish = finish.get((src_iter, dependence.src))
+                if src_finish is None:
+                    continue
+                if core_of[dependence.src] != core_of[statement]:
+                    earliest = max(earliest, src_finish + max(0.0, latency - 1.0))
+                else:
+                    earliest = max(earliest, src_finish)
+            done = earliest + pdg.cycles_of(statement)
+            finish[(iteration, statement)] = done
+            core_free[core_of[statement]] = done
+
+    per_iteration_finish = [
+        max(finish[(i, s)] for s in statements) for i in range(iterations)
+    ]
+    half = iterations // 2
+    steady = (per_iteration_finish[-1] - per_iteration_finish[half - 1]) / (
+        iterations - half
+    )
+    return ScheduleResult(
+        iterations=iterations,
+        cores=len(core_free),
+        latency=latency,
+        makespan=per_iteration_finish[-1],
+        cycles_per_iteration=steady,
+        finish_times=finish,
+    )
+
+
+def doall_schedule(
+    pdg: ProgramDependenceGraph, cores: int, iterations: int, latency: float
+) -> ScheduleResult:
+    """DOALL: independent iterations split across cores, zero
+    inter-thread communication (paper section 2.1).
+
+    Only legal when the loop has no loop-carried dependence.
+    """
+    if not pdg.is_doall():
+        carried = [(d.src, d.dst) for d in pdg.loop_carried()]
+        raise ParadigmError(f"DOALL illegal: loop-carried dependences {carried}")
+    return doacross_schedule(pdg, cores, iterations, latency)
+
+
+def doacross_schedule(
+    pdg: ProgramDependenceGraph, cores: int, iterations: int, latency: float
+) -> ScheduleResult:
+    """DOACROSS: whole iterations round-robin across cores.
+
+    The loop-carried dependences now cross cores every iteration — the
+    cyclic communication pattern that makes DOACROSS latency-sensitive
+    (Figure 1(d)).
+    """
+    if cores < 1:
+        raise ParadigmError("need at least one core")
+    # Iteration i runs entirely on core i % cores; model by scheduling
+    # with per-iteration core assignment.
+    statements = pdg.statements
+    deps_to = {s: [] for s in statements}
+    for dependence in pdg.dependences:
+        deps_to[dependence.dst].append(dependence)
+
+    core_free = {core: 0.0 for core in range(cores)}
+    finish: dict = {}
+    for iteration in range(iterations):
+        core = iteration % cores
+        for statement in statements:
+            earliest = core_free[core]
+            for dependence in deps_to[statement]:
+                src_iter = iteration - 1 if dependence.loop_carried else iteration
+                if src_iter < 0:
+                    continue
+                src_finish = finish.get((src_iter, dependence.src))
+                if src_finish is None:
+                    continue
+                src_core = src_iter % cores
+                if src_core != core:
+                    earliest = max(earliest, src_finish + max(0.0, latency - 1.0))
+                else:
+                    earliest = max(earliest, src_finish)
+            done = earliest + pdg.cycles_of(statement)
+            finish[(iteration, statement)] = done
+            core_free[core] = done
+
+    per_iteration_finish = [
+        max(finish[(i, s)] for s in statements) for i in range(iterations)
+    ]
+    half = iterations // 2
+    steady = (per_iteration_finish[-1] - per_iteration_finish[half - 1]) / (
+        iterations - half
+    )
+    return ScheduleResult(
+        iterations=iterations,
+        cores=cores,
+        latency=latency,
+        makespan=per_iteration_finish[-1],
+        cycles_per_iteration=steady,
+        finish_times=finish,
+    )
+
+
+def dswp_schedule(
+    pdg: ProgramDependenceGraph, cores: int, iterations: int, latency: float
+) -> tuple[ScheduleResult, list[Stage]]:
+    """DSWP: partition into ``cores`` pipeline stages, one core each.
+
+    Dependence recurrences stay core-local, so only forward (acyclic)
+    dependences cross cores — throughput is latency-insensitive
+    (Figure 1(c,d)).
+    """
+    stages = dswp_partition(pdg, max_stages=cores)
+    core_of = {}
+    for index, stage in enumerate(stages):
+        for statement in stage.statements:
+            core_of[statement] = index
+    result = schedule_loop(pdg, core_of, iterations, latency)
+    return result, stages

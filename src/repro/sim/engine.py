@@ -1,0 +1,381 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete process-based discrete-event engine in the style of
+SimPy, built from scratch so the reproduction has no dependency beyond the
+standard library.  Processes are Python generators that ``yield`` events;
+the :class:`Environment` advances a virtual clock and resumes processes as
+the events they wait on trigger.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  Computation expressed in CPU cycles
+  is converted by the cluster layer (``cycles / clock_hz``).
+* Events scheduled for the same instant fire in scheduling (FIFO) order,
+  which makes runs fully deterministic.
+* A process may be interrupted: :meth:`Process.interrupt` throws a
+  :class:`~repro.errors.ProcessInterrupt` into the generator at the point
+  of its current ``yield``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import (
+    DeadlockError,
+    EventAlreadyTriggered,
+    ProcessInterrupt,
+    SimulationError,
+)
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "PENDING"]
+
+#: Sentinel for an event value that has not been set yet.
+PENDING = object()
+
+
+class Event:
+    """An occurrence in simulated time that processes may wait for.
+
+    An event starts *pending*, is *triggered* exactly once (either
+    :meth:`succeed` with a value or :meth:`fail` with an exception), and is
+    *processed* when the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (ok or failed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has executed the callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure; waiters will see it raised."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._defused = False
+        self.env._enqueue(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed.
+
+        If the event was already processed, the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` seconds."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._enqueue(self)
+
+
+class Process(Event):
+    """A running process: wraps a generator and is itself an event that
+    triggers when the generator returns (value = return value) or raises
+    (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process at its current
+        ``yield``.  Interrupting a finished process is an error.
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = ProcessInterrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env._enqueue(interrupt_event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or failure) of ``event``."""
+        env = self.env
+        env._active = self
+        # Detach from whatever we were waiting on so a late trigger of the
+        # old target (after an interrupt) does not resume us twice.
+        if self._target is not None and self._target is not event:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            env._active = None
+            self._ok = True
+            self._value = stop.value
+            env._enqueue(self)
+            return
+        except BaseException as exc:
+            env._active = None
+            self._ok = False
+            self._value = exc
+            self._defused = False
+            env._enqueue(self)
+            return
+        env._active = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r} "
+                "(processes must yield Event instances)"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            bridge = Event(env)
+            bridge._ok = next_event._ok
+            bridge._value = next_event._value
+            if not next_event._ok:
+                bridge._defused = True
+            bridge.callbacks.append(self._resume)
+            env._enqueue(bridge)
+            self._target = bridge
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active: Optional[Process] = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that succeeds when every event in ``events`` has succeeded.
+
+        Its value is the list of the constituent events' values, in order.
+        A failure of any constituent fails the combined event immediately.
+        """
+        events = list(events)
+        combined = self.event()
+        remaining = [len(events)]
+        if not events:
+            combined.succeed([])
+            return combined
+
+        def on_done(event: Event) -> None:
+            if combined.triggered:
+                return
+            if not event._ok:
+                event._defused = True
+                combined.fail(event._value)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                combined.succeed([e._value for e in events])
+
+        for e in events:
+            e.add_callback(on_done)
+        return combined
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that succeeds as soon as any constituent succeeds.
+
+        Its value is ``(index, value)`` of the first event to trigger.
+        """
+        events = list(events)
+        combined = self.event()
+        if not events:
+            combined.succeed((None, None))
+            return combined
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_done(event: Event) -> None:
+                if combined.triggered:
+                    if not event._ok:
+                        event._defused = True
+                    return
+                if event._ok:
+                    combined.succeed((index, event._value))
+                else:
+                    event._defused = True
+                    combined.fail(event._value)
+
+            return on_done
+
+        for i, e in enumerate(events):
+            e.add_callback(make_callback(i))
+        return combined
+
+    # -- scheduling / execution --------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock."""
+        if not self._queue:
+            raise DeadlockError("event queue is empty")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", True):
+            # A failed event that nobody handled: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a time
+        (run until the clock would pass it), or an :class:`Event` (run
+        until that event is processed; its value is returned).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(f"until={stop_time} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise DeadlockError(
+                    "simulation ended but the awaited event never triggered"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if until is not None and not isinstance(until, Event):
+            self._now = stop_time
+        return None

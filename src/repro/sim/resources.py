@@ -1,0 +1,198 @@
+"""Shared resources for the simulation kernel.
+
+Three primitives cover everything the cluster and runtime layers need:
+
+* :class:`Resource` — a counted resource (e.g. a CPU core) granting
+  exclusive slots in FIFO order.
+* :class:`Store` — an unbounded-or-bounded FIFO of items with blocking
+  ``put``/``get``; the basis of message queues.
+* :class:`Barrier` — an N-party synchronization barrier, used by the
+  misspeculation recovery protocol (paper section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import ChannelFlushedError, SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Store", "Barrier"]
+
+
+class Resource:
+    """A counted resource granting up to ``capacity`` concurrent users.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Event] = set()
+        self._waiting: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        request = self.env.event()
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+        return request
+
+    def release(self, request: Event) -> None:
+        """Release the slot held by ``request``."""
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            # Releasing a never-granted (still waiting) request cancels it.
+            try:
+                self._waiting.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release of a request that holds no slot") from None
+        if self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """A FIFO store of items with blocking ``put`` and ``get``.
+
+    ``capacity`` bounds the number of items held; ``put`` on a full store
+    blocks until space frees up.  :meth:`flush` discards all items and
+    fails every pending ``get`` and ``put`` with
+    :class:`~repro.errors.ChannelFlushedError` — the mechanism behind
+    queue flushing during misspeculation recovery.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that succeeds once ``item`` is in the store."""
+        event = self.env.event()
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        event = self.env.event()
+        if self.items:
+            event.succeed(self.items.popleft())
+            if self._putters:
+                put_event, item = self._putters.popleft()
+                self.items.append(item)
+                put_event.succeed()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        if self._putters:
+            put_event, queued = self._putters.popleft()
+            self.items.append(queued)
+            put_event.succeed()
+        return True, item
+
+    def flush(self) -> int:
+        """Discard all items; abort blocked getters and putters.
+
+        Returns the number of items discarded.
+        """
+        discarded = len(self.items)
+        self.items.clear()
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.fail(ChannelFlushedError("store flushed"))
+        while self._putters:
+            put_event, _item = self._putters.popleft()
+            discarded += 1
+            if not put_event.triggered:
+                put_event.fail(ChannelFlushedError("store flushed"))
+        return discarded
+
+
+class Barrier:
+    """An N-party reusable barrier.
+
+    Each party calls :meth:`wait` and yields the returned event; once all
+    ``parties`` have arrived the barrier releases every waiter (value =
+    generation number) and resets for the next generation.
+    """
+
+    def __init__(self, env: Environment, parties: int) -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self.generation = 0
+        self._waiting: list[Event] = []
+
+    @property
+    def arrived(self) -> int:
+        """Number of parties currently waiting at the barrier."""
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; returns an event for the release."""
+        event = self.env.event()
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            generation = self.generation
+            self.generation += 1
+            waiting, self._waiting = self._waiting, []
+            for waiter in waiting:
+                waiter.succeed(generation)
+        return event

@@ -1,0 +1,99 @@
+"""Simulation event tracing.
+
+A :class:`Tracer` records every processed event of an
+:class:`~repro.sim.engine.Environment` — time, event type, outcome —
+bounded by a ring buffer so long simulations stay cheap to trace.  It is
+a debugging aid for runtime development: attach one, run, and dump the
+tail when something deadlocks or misbehaves.
+
+Usage::
+
+    env = Environment()
+    tracer = Tracer(env, capacity=10_000)
+    ... run ...
+    print(tracer.render_tail(50))
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from repro.sim.engine import Environment
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event."""
+
+    time: float
+    kind: str
+    ok: bool
+    value_repr: str
+
+
+class Tracer:
+    """Ring-buffer tracer attached to an environment's step loop."""
+
+    def __init__(self, env: Environment, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.counts: Counter = Counter()
+        self.total_events = 0
+        self._original_step = env.step
+        env.step = self._traced_step  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Restore the environment's untraced step loop."""
+        self.env.step = self._original_step  # type: ignore[method-assign]
+
+    def _traced_step(self) -> None:
+        queue = self.env._queue
+        head = queue[0][3] if queue else None
+        self._original_step()
+        if head is None:
+            return
+        kind = type(head).__name__
+        self.total_events += 1
+        self.counts[kind] += 1
+        value = head._value
+        self.records.append(
+            TraceRecord(
+                time=self.env.now,
+                kind=kind,
+                ok=bool(head._ok),
+                value_repr=_short_repr(value),
+            )
+        )
+
+    # -- reporting --------------------------------------------------------------
+
+    def tail(self, count: int = 50) -> list[TraceRecord]:
+        """The most recent ``count`` records."""
+        records = list(self.records)
+        return records[-count:]
+
+    def render_tail(self, count: int = 50) -> str:
+        """Human-readable dump of the trace tail."""
+        lines = [f"{'time (us)':>12}  {'event':<12} {'ok':<3} value"]
+        for record in self.tail(count):
+            lines.append(
+                f"{record.time * 1e6:>12.3f}  {record.kind:<12} "
+                f"{'ok' if record.ok else 'ERR':<3} {record.value_repr}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> dict:
+        """Event counts by kind plus the grand total."""
+        return {"total": self.total_events, **dict(self.counts)}
+
+
+def _short_repr(value: object, limit: int = 60) -> str:
+    text = repr(value)
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text

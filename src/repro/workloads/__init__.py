@@ -1,0 +1,53 @@
+"""The paper's evaluation benchmarks as synthetic workload kernels.
+
+Each module models one of the 11 SPEC/PARSEC benchmarks of Table 2:
+its loop structure, parallelization plans (the DSMTX plan and the
+TLS-only comparison plan), speculation types, per-iteration compute, and
+communication profile.  The computation is real (small) Python work on
+simulated memory, scaled by calibrated cycle costs, so speculation,
+validation, and rollback operate on genuine values while the timing
+model reproduces the paper's bottlenecks.
+"""
+
+from repro.workloads.alvinn import Alvinn
+from repro.workloads.art import Art
+from repro.workloads.base import ParallelPlan, Workload, WriteThroughStore, run_body
+from repro.workloads.blackscholes import BlackScholes
+from repro.workloads.bzip2 import Bzip2
+from repro.workloads.crc32 import Crc32
+from repro.workloads.gzip import Gzip
+from repro.workloads.h264ref import H264Ref
+from repro.workloads.hmmer import Hmmer
+from repro.workloads.li import Li
+from repro.workloads.parser import Parser
+from repro.workloads.registry import (
+    BENCHMARKS,
+    SPECULATION_LEGEND,
+    all_benchmarks,
+    table2_rows,
+    workload_class,
+)
+from repro.workloads.swaptions import Swaptions
+
+__all__ = [
+    "Workload",
+    "ParallelPlan",
+    "WriteThroughStore",
+    "run_body",
+    "Alvinn",
+    "Li",
+    "Gzip",
+    "Art",
+    "Parser",
+    "Bzip2",
+    "Hmmer",
+    "H264Ref",
+    "Crc32",
+    "BlackScholes",
+    "Swaptions",
+    "BENCHMARKS",
+    "SPECULATION_LEGEND",
+    "all_benchmarks",
+    "table2_rows",
+    "workload_class",
+]

@@ -1,0 +1,111 @@
+"""052.alvinn — neural network training (SPEC CFP 92).
+
+Paper parallelization: **Spec-DOALL** with memory versioning; the DSMTX
+and TLS parallelizations are identical ("both are Spec-DOALL with no
+communication among the threads except in the event of misspeculation").
+
+The parallelized loop sits at the second level of a loop nest: at every
+invocation of the loop all threads must be initialized with data from
+the commit unit (the weight arrays, fetched by Copy-On-Access — traffic
+that grows with the number of workers), and reduction data flows back at
+the end of each invocation.  Those synchronizations limit the speedup
+(section 5.2), and the per-worker weight copies are why alvinn's
+bandwidth requirement climbs steeply with thread count (Figure 5(a)).
+
+Model: each iteration trains on one input pattern — it reads a rotating
+subset of the weight pages (so every worker eventually copies the whole
+weight array), computes the forward/backward pass, and stores its weight
+-delta partials (accumulator expansion: private addresses, group-merged
+at commit).  Every ``invocation_length`` iterations the body also emits
+the invocation-boundary reduction traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import touch_pages
+
+__all__ = ["Alvinn"]
+
+
+class Alvinn(Workload):
+    name = "052.alvinn"
+    suite = "SPEC CFP 92"
+    description = "neural network"
+    paradigm = "Spec-DOALL"
+    speculation = ("MV",)
+
+    #: Pages of weight state every worker ends up copying.
+    weight_pages = 8
+    #: Weight pages touched per iteration.
+    pages_per_iteration = 2
+    #: Forward+backward pass cost per pattern (cycles).
+    train_cycles = 600_000
+    #: Weight-delta partial words stored per iteration.
+    partials_per_iteration = 12
+    #: Iterations per invocation of the outer loop.
+    invocation_length = 256
+    #: Words of reduction data exchanged at an invocation boundary.
+    reduction_words = 96
+
+    def __init__(self, iterations=2048, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.weights_base = uva.malloc_page_aligned(
+            owner, self.weight_pages * PAGE_BYTES, read_only=True
+        )
+        self.partials_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        self.reduction_base = uva.malloc_page_aligned(
+            owner, (self.iterations // self.invocation_length + 1) * self.reduction_words * 8
+        )
+        for page in range(self.weight_pages):
+            store.write(self.weights_base + page * PAGE_BYTES, page + 1)
+
+    # -- the iteration body (same speculative and sequential shape) ------------------
+
+    def _train(self, ctx, speculative: bool):
+        i = ctx.iteration
+        first = (i * 3) % self.weight_pages
+        pages = [(first + k) % self.weight_pages for k in range(self.pages_per_iteration)]
+        acc = yield from touch_pages(ctx, self.weights_base, pages)
+        if speculative:
+            ctx.speculate(not self.injected_misspec(i), "pattern error")
+        ctx.compute(self.train_cycles)
+        delta = (acc + i) % 97
+        yield from ctx.store(self.partials_base + 8 * i, delta, forward=False)
+        if (i + 1) % self.invocation_length == 0:
+            # Invocation boundary: reduction over many arrays.  The
+            # array data is explicitly produced in chunks (section 5.3),
+            # so it moves as one bulk write-set, not word by word.
+            invocation = i // self.invocation_length
+            base = self.reduction_base + invocation * self.reduction_words * 8
+            yield from ctx.store(base, (delta * 31 + invocation) % 251,
+                                 forward=False, nbytes=self.reduction_words * 8)
+
+    def sequential_body(self, ctx):
+        yield from self._train(ctx, speculative=False)
+
+    def _parallel_body(self, ctx):
+        yield from self._train(ctx, speculative=True)
+
+    # -- plans -------------------------------------------------------------------------
+
+    def _doall_plan(self, scheme, label):
+        return ParallelPlan(
+            self,
+            scheme=scheme,
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._parallel_body],
+            label=label,
+        )
+
+    def dsmtx_plan(self):
+        return self._doall_plan("dsmtx", "Spec-DOALL")
+
+    def tls_plan(self):
+        # Identical parallelization (section 5.1): Spec-DOALL with no
+        # inter-thread communication outside misspeculation.
+        return self._doall_plan("tls", "TLS")

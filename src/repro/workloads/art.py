@@ -1,0 +1,128 @@
+"""179.art — image recognition / neural network (SPEC CFP 2000).
+
+Paper parallelization: **Spec-DSWP+[S,DOALL,S]** with memory versioning.
+The execution times of iterations in the parallelized loop are highly
+unbalanced because the trip counts of the inner loops vary.  The paper's
+first stage distributes work based on queue occupancy as a proxy for
+per-worker load; with the static round-robin distribution this model
+uses, the imbalance costs a little throughput instead (noted in
+DESIGN.md as a substitution).  TLS suffers more: round-trip
+communication on its cyclic dependences grows with the thread count,
+so its speedup falls behind DSMTX's (section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import mix_range, touch_pages
+
+__all__ = ["Art"]
+
+
+class Art(Workload):
+    name = "179.art"
+    suite = "SPEC CFP 2000"
+    description = "image recognition"
+    paradigm = "Spec-DSWP+[S,DOALL,S]"
+    speculation = ("MV",)
+
+    #: Work-item description moved into the parallel stage (bytes).
+    item_bytes = 512
+    #: Dispatch cost in stage 0 (cycles).
+    dispatch_cycles = 5_000
+    #: F1-layer match cost bounds (cycles): highly unbalanced inner loops.
+    match_cycles_min = 100_000
+    match_cycles_max = 800_000
+    #: Collection cost in stage 2 (cycles).
+    collect_cycles = 3_000
+    #: Serialized weight-update work on TLS's cyclic chain (cycles).
+    weight_update_cycles = 9_000
+    #: Pages of the neural-network weight state workers consult.
+    weight_pages = 4
+
+    def __init__(self, iterations=2048, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.weights_base = uva.malloc_page_aligned(
+            owner, self.weight_pages * PAGE_BYTES, read_only=True
+        )
+        self.matches_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for page in range(self.weight_pages):
+            store.write(self.weights_base + page * PAGE_BYTES, 3 * page + 2)
+
+    def _match_cycles(self, iteration):
+        return mix_range(iteration, self.match_cycles_min, self.match_cycles_max, salt=2)
+
+    def _match(self, ctx, speculative: bool):
+        i = ctx.iteration
+        bias = yield from touch_pages(ctx, self.weights_base, [i % self.weight_pages])
+        if speculative:
+            ctx.speculate(not self.injected_misspec(i), "scan window error")
+        ctx.compute(self._match_cycles(i))
+        return int(mix_range(i, 0, 255, salt=3)) + bias
+
+    # -- sequential semantics -------------------------------------------------------------
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.dispatch_cycles)
+        match = yield from self._match(ctx, speculative=False)
+        ctx.compute(self.collect_cycles)
+        yield from ctx.store(self.matches_base + 8 * i, match)
+
+    # -- Spec-DSWP plan -----------------------------------------------------------------------
+
+    def _stage0(self, ctx):
+        ctx.compute(self.dispatch_cycles)
+        yield from ctx.produce("window", ctx.iteration, nbytes=self.item_bytes)
+
+    def _stage1(self, ctx):
+        ctx.consume("window")
+        match = yield from self._match(ctx, speculative=True)
+        yield from ctx.produce("match", match)
+
+    def _stage2(self, ctx):
+        match = ctx.consume("match")
+        ctx.compute(self.collect_cycles)
+        yield from ctx.store(self.matches_base + 8 * ctx.iteration, match, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["S", "DOALL", "S"]),
+            stage_bodies=[self._stage0, self._stage1, self._stage2],
+            label="Spec-DSWP+[S,DOALL,S]",
+        )
+
+    # -- TLS plan -------------------------------------------------------------------------------
+
+    def _tls_body(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.dispatch_cycles)
+        match = yield from self._match(ctx, speculative=True)
+        ctx.compute(self.collect_cycles)
+        yield from ctx.store(self.matches_base + 8 * i, match, forward=False)
+        # Cyclic dependence: the learned weights chain from iteration to
+        # iteration, and each iteration must apply its update *between*
+        # receiving its predecessor's weights and forwarding its own —
+        # serialized work sitting directly on the round-trip path.
+        yield from ctx.sync_recv("weights")
+        position = yield from ctx.sync_recv("matchpos")
+        if position is None:
+            position = 0
+        ctx.compute(self.weight_update_cycles)
+        yield from ctx.sync_send("weights", 1)
+        yield from ctx.sync_send("matchpos", position + 1)
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._tls_body],
+            label="TLS",
+        )

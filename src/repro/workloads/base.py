@@ -1,0 +1,185 @@
+"""Workload protocol.
+
+A workload models one of the paper's benchmarks: the loop structure, the
+communication profile, the per-iteration computation, and the
+parallelization plans (Table 2).  Each benchmark provides:
+
+* ``build(uva, owner, store)`` — allocate and initialize the program
+  state the loop operates on (the sequential, non-transactional part of
+  the program, executed by the commit unit);
+* ``sequential_body(ctx)`` — one loop iteration under sequential
+  semantics (the reference both for the speedup baseline and for the
+  SEQ phase of misspeculation recovery);
+* one or more :class:`ParallelPlan` objects — the Spec-DSWP/Spec-DOALL
+  plan DSMTX executes, and the TLS plan used for the paper's
+  comparison.
+
+Loop bodies are generator functions over the context protocol of
+:mod:`repro.core.context`, so one body definition serves speculative,
+sequential-master, and metering execution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+
+from repro.core.config import PipelineConfig, SystemConfig
+from repro.core.context import SequentialMeter
+from repro.errors import ConfigurationError
+from repro.memory import UnifiedVirtualAddressSpace
+
+__all__ = ["Workload", "ParallelPlan", "run_body", "WriteThroughStore"]
+
+
+def run_body(generator: Generator) -> None:
+    """Exhaust a body generator outside the simulator.
+
+    Bodies driven by a :class:`SequentialMeter` or
+    :class:`~repro.core.context.MasterContext` never actually yield; a
+    stray yield means the body bypassed the context protocol.
+    """
+    for item in generator:
+        raise ConfigurationError(
+            f"body yielded {item!r} outside the simulator; all effects must "
+            "go through the context"
+        )
+
+
+class WriteThroughStore:
+    """Tiny adapter giving workload ``build`` code direct word access to
+    an address space (or a metering space) during initialization."""
+
+    def __init__(self, space) -> None:
+        self._space = space
+
+    def write(self, address: int, value: Any) -> None:
+        self._space.write(address, value)
+
+    def read(self, address: int) -> Any:
+        return self._space.read(address)
+
+    def write_array(self, base: int, values: Iterable[Any], stride: int = 8) -> None:
+        for offset, value in enumerate(values):
+            self._space.write(base + offset * stride, value)
+
+
+class ParallelPlan:
+    """One parallelization of a workload, in runtime-protocol form.
+
+    This is the object :class:`~repro.core.runtime.DSMTXSystem` consumes:
+    it exposes the pipeline shape, the per-stage bodies, and the
+    sequential reference semantics.
+    """
+
+    def __init__(
+        self,
+        workload: "Workload",
+        scheme: str,
+        pipeline: PipelineConfig,
+        stage_bodies: Sequence[Callable],
+        label: str,
+    ) -> None:
+        if len(stage_bodies) != pipeline.num_stages:
+            raise ConfigurationError(
+                f"{len(stage_bodies)} bodies for {pipeline.num_stages} stages"
+            )
+        self.workload = workload
+        self.scheme = scheme
+        self._pipeline = pipeline
+        self._stage_bodies = list(stage_bodies)
+        #: The paper's notation, e.g. ``Spec-DSWP+[S,DOALL,S]``.
+        self.label = label
+
+    def pipeline(self) -> PipelineConfig:
+        return self._pipeline
+
+    def stage_body(self, stage_index: int) -> Callable:
+        return self._stage_bodies[stage_index]
+
+    def sequential_body(self, context) -> Generator:
+        return self.workload.sequential_body(context)
+
+    def setup(self, system) -> None:
+        self.workload.setup(system)
+
+    @property
+    def iterations(self) -> int:
+        return self.workload.iterations
+
+    @property
+    def min_cores(self) -> int:
+        return self._pipeline.min_cores
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ParallelPlan {self.workload.name} {self.label}>"
+
+
+class Workload(ABC):
+    """Base class for benchmark workloads."""
+
+    #: Benchmark identifier, e.g. ``"164.gzip"``.
+    name: str = "workload"
+    #: Source suite, e.g. ``"SPEC CINT 2000"``.
+    suite: str = ""
+    #: One-line description (Table 2).
+    description: str = ""
+    #: DSMTX parallelization paradigm string (Table 2).
+    paradigm: str = ""
+    #: Speculation types, e.g. ``("CFS", "MV")`` (Table 2).
+    speculation: tuple = ()
+
+    def __init__(self, iterations: int, misspec_iterations: Optional[set] = None) -> None:
+        if iterations < 1:
+            raise ConfigurationError("a workload needs at least one iteration")
+        self.iterations = iterations
+        #: Iterations whose speculative execution misspeculates
+        #: (deterministic injection; sequential re-execution succeeds).
+        self.misspec_iterations = misspec_iterations or set()
+
+    # -- state construction --------------------------------------------------------------
+
+    @abstractmethod
+    def build(self, uva: UnifiedVirtualAddressSpace, owner: int, store: WriteThroughStore) -> None:
+        """Allocate and initialize program state (sequential prologue)."""
+
+    def setup(self, system) -> None:
+        """Runtime hook: build state in the commit unit's master memory."""
+        self.build(system.uva, system.commit_tid, WriteThroughStore(system.commit.master))
+
+    # -- semantics -------------------------------------------------------------------------
+
+    @abstractmethod
+    def sequential_body(self, context) -> Generator:
+        """One whole loop iteration under sequential semantics."""
+
+    # -- plans ----------------------------------------------------------------------------------
+
+    @abstractmethod
+    def dsmtx_plan(self) -> ParallelPlan:
+        """The best DSMTX parallelization (Spec-DSWP / Spec-DOALL)."""
+
+    @abstractmethod
+    def tls_plan(self) -> ParallelPlan:
+        """The TLS-only parallelization used for comparison."""
+
+    # -- misspeculation injection ------------------------------------------------------------------
+
+    def injected_misspec(self, iteration: int) -> bool:
+        """True if speculative execution of ``iteration`` must abort."""
+        return iteration in self.misspec_iterations
+
+    # -- sequential baseline --------------------------------------------------------------------------
+
+    def sequential_seconds(self, config: SystemConfig) -> float:
+        """Single-core execution time of the whole loop (speedup base)."""
+        meter = SequentialMeter(config)
+        uva = UnifiedVirtualAddressSpace(owners=1)
+        self.build(uva, 0, WriteThroughStore(meter._space))
+        for iteration in range(self.iterations):
+            meter.begin_iteration(iteration)
+            run_body(self.sequential_body(meter))
+        return meter.seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Workload {self.name} n={self.iterations}>"

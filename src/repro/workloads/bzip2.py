@@ -1,0 +1,161 @@
+"""256.bzip2 — file compressor (SPEC CINT 2000).
+
+Paper parallelization: **Spec-DSWP+[S,DOALL,S]** with control-flow
+speculation (error paths not taken) and memory versioning.  Unlike
+164.gzip, the block size is known in the first stage, so no Y-branch is
+needed; DSMTX creates multiple versions of the block array.
+
+The amount of data transferred is similar to gzip, but bzip2's
+computation per block is much larger, so its bandwidth requirement — and
+therefore its sensitivity to the interconnect — is far lower
+(section 5.3, Figure 5(a)).  One asymmetry matters: Spec-DSWP sends the
+whole input file to each DOALL thread (each worker's Copy-On-Access
+gradually replicates the shared file buffer), while TLS sends only the
+file descriptor and each worker reads just its own blocks.  With
+communication bandwidth the limiting factor, TLS ends up slightly
+*better* than Spec-DSWP here (section 5.2) — the one benchmark where
+that happens.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES, VersionedBuffer
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import mix, touch_pages
+
+__all__ = ["Bzip2"]
+
+
+class Bzip2(Workload):
+    name = "256.bzip2"
+    suite = "SPEC CINT 2000"
+    description = "file compressor"
+    paradigm = "Spec-DSWP+[S,DOALL,S]"
+    speculation = ("CFS", "MV")
+
+    #: Uncompressed block size (bytes).
+    block_bytes = 28_672
+    #: Pages per block.
+    block_pages = block_bytes // PAGE_BYTES
+    #: Compressed output per block (bytes).
+    output_bytes = 9_216
+    #: Pages of the shared file buffer each DOALL worker ends up copying
+    #: under Spec-DSWP (the "whole input file to each thread" effect).
+    shared_buffer_pages = 64
+    #: Block-read cost (cycles).
+    read_cycles = 10_000
+    #: Burrows-Wheeler + Huffman cost per block (cycles).
+    compress_cycles = 2_600_000
+    #: Output-append cost (cycles).
+    write_cycles = 8_000
+    #: Live versions of the block arrays.
+    version_depth = 8
+
+    def __init__(self, iterations=1100, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.file_base = uva.malloc_page_aligned(
+            owner, self.iterations * self.block_pages * PAGE_BYTES, read_only=True
+        )
+        self.shared_base = uva.malloc_page_aligned(
+            owner, self.shared_buffer_pages * PAGE_BYTES, read_only=True
+        )
+        self.block_versions = VersionedBuffer(
+            uva, owner, nbytes=PAGE_BYTES, depth=self.version_depth, name="block"
+        )
+        self.output_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for i in range(self.iterations):
+            store.write(self.file_base + i * self.block_pages * PAGE_BYTES, i * 11 + 3)
+        for page in range(self.shared_buffer_pages):
+            store.write(self.shared_base + page * PAGE_BYTES, page)
+
+    def _compress(self, ctx, seed):
+        ctx.compute(self.compress_cycles)
+        return (seed * 40503 + 12345) & 0xFFFFFFFF
+
+    def _shared_pages_of(self, iteration):
+        first = int(mix(iteration, 5) * self.shared_buffer_pages)
+        return [first, (first + 1) % self.shared_buffer_pages]
+
+    # -- sequential semantics -----------------------------------------------------------
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.read_cycles)
+        seed = yield from touch_pages(ctx, self.file_base, [i * self.block_pages])
+        extra = yield from touch_pages(ctx, self.shared_base, self._shared_pages_of(i))
+        digest = self._compress(ctx, seed + extra)
+        ctx.compute(self.write_cycles)
+        yield from ctx.store(self.output_base + 8 * i, digest)
+
+    # -- Spec-DSWP plan --------------------------------------------------------------------
+
+    def _stage0(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.read_cycles)
+        # Error-handling control-flow paths are speculated not taken.
+        ctx.speculate(not self.injected_misspec(i), "read error path")
+        seed = i * 11 + 3
+        yield from ctx.produce("block", seed, nbytes=self.block_bytes)
+
+    def _stage1(self, ctx):
+        i = ctx.iteration
+        seed = ctx.consume("block")
+        if ctx.first_on_worker:
+            # "Spec-DSWP sends the whole input file to each DOALL
+            # thread" (section 5.2): the worker's first access pulls the
+            # whole shared file buffer over via Copy-On-Access.
+            yield from touch_pages(ctx, self.shared_base, range(self.shared_buffer_pages))
+        extra = yield from touch_pages(ctx, self.shared_base, self._shared_pages_of(i))
+        digest = self._compress(ctx, seed + extra)
+        yield from ctx.store(self.block_versions.element(i, 0), digest, forward=False)
+        yield from ctx.produce("compressed", digest, nbytes=self.output_bytes)
+
+    def _stage2(self, ctx):
+        i = ctx.iteration
+        digest = ctx.consume("compressed")
+        ctx.compute(self.write_cycles)
+        yield from ctx.store(self.output_base + 8 * i, digest, forward=False,
+                             nbytes=self.output_bytes)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["S", "DOALL", "S"]),
+            stage_bodies=[self._stage0, self._stage1, self._stage2],
+            label="Spec-DSWP+[S,DOALL,S]",
+        )
+
+    # -- TLS plan --------------------------------------------------------------------------------
+
+    def _tls_body(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.read_cycles)
+        ctx.speculate(not self.injected_misspec(i), "read error path")
+        # TLS receives only the file descriptor: each worker reads just
+        # its own block (and the shared-buffer pages it actually needs).
+        seed = yield from touch_pages(
+            ctx, self.file_base,
+            range(i * self.block_pages, (i + 1) * self.block_pages),
+        )
+        extra = yield from touch_pages(ctx, self.shared_base, self._shared_pages_of(i))
+        digest = self._compress(ctx, seed + extra)
+        ctx.compute(self.write_cycles)
+        yield from ctx.store(self.output_base + 8 * i, digest, forward=False,
+                             nbytes=self.output_bytes)
+        position = yield from ctx.sync_recv("outpos")
+        if position is None:
+            position = 0
+        yield from ctx.sync_send("outpos", position + self.output_bytes)
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._tls_body],
+            label="TLS",
+        )

@@ -1,0 +1,130 @@
+"""464.h264ref — video encoder (SPEC CINT 2006).
+
+Paper parallelization: **Spec-DSWP+[DOALL,S]** with memory versioning.
+Groups of Pictures (GoPs) are encoded in parallel; dynamic memory
+versioning breaks the false memory dependences in the parallel stage.
+Speedup is limited primarily by the number of GoPs available
+(section 5.2) — the curve saturates once every GoP has its own worker.
+
+Under TLS, the source and destination of the synchronized dependences
+sit inside an inner loop, effectively serializing execution: an
+iteration can begin only a sliver ahead of its predecessor's completion.
+Spec-DSWP instead moves the dependence cycle into its own stage, letting
+the other stages run ahead.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES, VersionedBuffer
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import touch_pages
+
+__all__ = ["H264Ref"]
+
+
+class H264Ref(Workload):
+    name = "464.h264ref"
+    suite = "SPEC CINT 2006"
+    description = "video encoder"
+    paradigm = "Spec-DSWP+[DOALL,S]"
+    speculation = ("MV",)
+
+    #: Raw frame data per GoP (pages) — each worker reads only its GoPs.
+    gop_pages = 16
+    #: Encode cost per GoP (cycles).
+    encode_cycles = 60_000_000
+    #: Encoded output per GoP (bytes).
+    encoded_bytes = 98_304
+    #: Bitstream-write cost per GoP (cycles).
+    write_cycles = 100_000
+    #: Fraction of the encode that can overlap across TLS iterations
+    #: before the inner-loop synchronized dependence serializes the rest.
+    tls_overlap_fraction = 0.05
+    #: Live versions of the encoder state arrays.
+    version_depth = 8
+
+    def __init__(self, iterations=40, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.frames_base = uva.malloc_page_aligned(
+            owner, self.iterations * self.gop_pages * PAGE_BYTES, read_only=True
+        )
+        self.state_versions = VersionedBuffer(
+            uva, owner, nbytes=PAGE_BYTES, depth=self.version_depth, name="encoder-state"
+        )
+        self.bitstream_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for i in range(self.iterations):
+            store.write(self.frames_base + i * self.gop_pages * PAGE_BYTES, i + 100)
+
+    def _gop_pages_of(self, iteration):
+        first = iteration * self.gop_pages
+        return range(first, first + self.gop_pages)
+
+    def _encode(self, ctx, speculative: bool):
+        i = ctx.iteration
+        seed = yield from touch_pages(ctx, self.frames_base, self._gop_pages_of(i))
+        if speculative:
+            ctx.speculate(not self.injected_misspec(i), "encoder error path")
+        ctx.compute(self.encode_cycles)
+        return (seed * 6364136223846793005 + 1) & 0xFFFFFFFF
+
+    # -- sequential semantics -------------------------------------------------------------
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        payload = yield from self._encode(ctx, speculative=False)
+        ctx.compute(self.write_cycles)
+        yield from ctx.store(self.bitstream_base + 8 * i, payload)
+
+    # -- Spec-DSWP plan ----------------------------------------------------------------------
+
+    def _stage0(self, ctx):
+        i = ctx.iteration
+        payload = yield from self._encode(ctx, speculative=True)
+        # Encoder scratch state goes to this MTX's buffer version.
+        yield from ctx.store(self.state_versions.element(i, 0), payload, forward=False)
+        yield from ctx.produce("encoded", payload, nbytes=self.encoded_bytes)
+
+    def _stage1(self, ctx):
+        payload = ctx.consume("encoded")
+        ctx.compute(self.write_cycles)
+        yield from ctx.store(self.bitstream_base + 8 * ctx.iteration, payload,
+                             forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["DOALL", "S"]),
+            stage_bodies=[self._stage0, self._stage1],
+            label="Spec-DSWP+[DOALL,S]",
+        )
+
+    # -- TLS plan --------------------------------------------------------------------------------
+
+    def _tls_body(self, ctx):
+        i = ctx.iteration
+        seed = yield from touch_pages(ctx, self.frames_base, self._gop_pages_of(i))
+        ctx.speculate(not self.injected_misspec(i), "encoder error path")
+        # A small prefix of the encode overlaps; then the synchronized
+        # dependence inside the inner loop forces this iteration to wait
+        # for its predecessor before the bulk of the work.
+        ctx.compute(self.encode_cycles * self.tls_overlap_fraction)
+        yield from ctx.sync_recv("ratecontrol")
+        ctx.compute(self.encode_cycles * (1.0 - self.tls_overlap_fraction))
+        payload = (seed * 6364136223846793005 + 1) & 0xFFFFFFFF
+        ctx.compute(self.write_cycles)
+        yield from ctx.store(self.bitstream_base + 8 * i, payload, forward=False,
+                             nbytes=self.encoded_bytes)
+        yield from ctx.sync_send("ratecontrol", 1)
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._tls_body],
+            label="TLS",
+        )

@@ -1,0 +1,124 @@
+"""130.li — lisp interpreter (SPEC CINT 95).
+
+Paper parallelization: **DSWP+[Spec-DOALL,S]** with control-flow
+speculation, memory value speculation, and memory versioning.  The
+parallelization speculates that each script is independent of the
+others: that it neither changes the interpreter's environment nor makes
+the interpreter exit.  Accesses to the interpreter environment execute
+transactionally (speculative loads, value-checked by the try-commit
+unit), and control-flow speculation breaks the program-exit dependence.
+
+In TLS, speedups are limited by synchronization arising from the print
+instruction (section 5.2): printed output must appear in script order,
+chaining a round trip between consecutive iterations' workers on top of
+the environment hand-off.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import mix_range
+
+__all__ = ["Li"]
+
+#: Words of interpreter-environment state read speculatively per script.
+ENV_WORDS = 4
+
+
+class Li(Workload):
+    name = "130.li"
+    suite = "SPEC CINT 95"
+    description = "lisp interpreter"
+    paradigm = "DSWP+[Spec-DOALL,S]"
+    speculation = ("CFS", "MVS", "MV")
+
+    #: Script evaluation cost (cycles).
+    eval_cycles = 150_000
+    #: Print cost in the sequential stage (cycles).
+    print_cycles = 4_500
+    #: Bytes of printed output per script.
+    output_bytes = 64
+
+    def __init__(self, iterations=2048, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.env_base = uva.malloc_page_aligned(owner, PAGE_BYTES, read_only=True)
+        self.results_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for word in range(ENV_WORDS):
+            store.write(self.env_base + 8 * word, 1000 + word)
+
+    def _evaluate(self, ctx, speculative: bool):
+        i = ctx.iteration
+        env_sum = 0
+        for word in range(ENV_WORDS):
+            if speculative:
+                # Memory value speculation: the environment is predicted
+                # unchanged by other scripts; the try-commit unit checks
+                # each loaded value against what commits.
+                value = yield from ctx.load(self.env_base + 8 * word, speculative=True)
+            else:
+                value = yield from ctx.load(self.env_base + 8 * word)
+            env_sum += value
+        if speculative:
+            # Control-flow speculation: the script neither corrupts the
+            # environment nor exits the interpreter.
+            ctx.speculate(not self.injected_misspec(i), "script exited interpreter")
+        ctx.compute(self.eval_cycles)
+        return (env_sum + int(mix_range(i, 0, 1 << 20))) & 0xFFFFFFFF
+
+    # -- sequential semantics ----------------------------------------------------------
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        value = yield from self._evaluate(ctx, speculative=False)
+        ctx.compute(self.print_cycles)
+        yield from ctx.store(self.results_base + 8 * i, value)
+
+    # -- Spec-DSWP plan ------------------------------------------------------------------
+
+    def _stage0(self, ctx):
+        value = yield from self._evaluate(ctx, speculative=True)
+        yield from ctx.produce("output", value, nbytes=self.output_bytes)
+
+    def _stage1(self, ctx):
+        value = ctx.consume("output")
+        ctx.compute(self.print_cycles)
+        yield from ctx.store(self.results_base + 8 * ctx.iteration, value, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["DOALL", "S"]),
+            stage_bodies=[self._stage0, self._stage1],
+            label="DSWP+[Spec-DOALL,S]",
+        )
+
+    # -- TLS plan -------------------------------------------------------------------------------
+
+    def _tls_body(self, ctx):
+        i = ctx.iteration
+        value = yield from self._evaluate(ctx, speculative=True)
+        # Print synchronization: output must appear in script order, so
+        # the print position chains worker-to-worker; the environment
+        # hand-off rides a second synchronized value.
+        yield from ctx.sync_recv("env")
+        position = yield from ctx.sync_recv("printpos")
+        if position is None:
+            position = 0
+        ctx.compute(self.print_cycles)
+        yield from ctx.store(self.results_base + 8 * i, value, forward=False)
+        yield from ctx.sync_send("env", 1)
+        yield from ctx.sync_send("printpos", position + self.output_bytes)
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._tls_body],
+            label="TLS",
+        )

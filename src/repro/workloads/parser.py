@@ -1,0 +1,150 @@
+"""197.parser — English link-grammar parser (SPEC CINT 2000).
+
+Paper parallelization: **Spec-DSWP+[S,DOALL,S]** with control-flow
+speculation (error cases), memory value speculation (global data
+structures speculated to be reset at the end of each iteration), and
+memory versioning.
+
+Two data movements dominate: an entire dictionary must be copied from
+the commit unit on (first) access by each worker thread, and sentences
+are transferred from the first stage to later stages.  The per-worker
+dictionary replication makes communication bandwidth the bottleneck as
+the number of threads grows beyond 32 — parser's speedup plateaus there
+(section 5.2, Figure 5(a)).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import mix, touch_pages
+
+__all__ = ["Parser"]
+
+#: Speculatively read global words per sentence (reset each iteration).
+GLOBAL_WORDS = 4
+
+
+class Parser(Workload):
+    name = "197.parser"
+    suite = "SPEC CINT 2000"
+    description = "English parser"
+    paradigm = "Spec-DSWP+[S,DOALL,S]"
+    speculation = ("CFS", "MVS", "MV")
+
+    #: Dictionary size in pages; every worker eventually copies it all.
+    dictionary_pages = 32
+    #: Dictionary pages consulted per sentence.
+    pages_per_sentence = 2
+    #: Sentence text size moved down the pipeline (bytes).
+    sentence_bytes = 160
+    #: Tokenization cost in stage 0 (cycles).
+    read_cycles = 6_000
+    #: Parse cost per sentence (cycles).
+    parse_cycles = 380_000
+    #: Output cost in stage 2 (cycles).
+    emit_cycles = 4_000
+
+    def __init__(self, iterations=2048, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.dictionary_base = uva.malloc_page_aligned(
+            owner, self.dictionary_pages * PAGE_BYTES, read_only=True
+        )
+        self.globals_base = uva.malloc_page_aligned(owner, PAGE_BYTES)
+        self.results_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for page in range(self.dictionary_pages):
+            store.write(self.dictionary_base + page * PAGE_BYTES, 7 * page + 1)
+        for word in range(GLOBAL_WORDS):
+            store.write(self.globals_base + 8 * word, 0)
+
+    def _dict_pages_of(self, iteration):
+        first = int(mix(iteration, 9) * self.dictionary_pages)
+        return [
+            (first + k) % self.dictionary_pages
+            for k in range(self.pages_per_sentence)
+        ]
+
+    def _parse(self, ctx, sentence_seed, speculative: bool):
+        i = ctx.iteration
+        lexical = yield from touch_pages(
+            ctx, self.dictionary_base, self._dict_pages_of(i)
+        )
+        for word in range(GLOBAL_WORDS):
+            if speculative:
+                # The globals are speculated to be back at their reset
+                # values; the loads are value-checked by try-commit.
+                value = yield from ctx.load(self.globals_base + 8 * word, speculative=True)
+            else:
+                value = yield from ctx.load(self.globals_base + 8 * word)
+            lexical += value
+        if speculative and self.injected_misspec(i):
+            # Injected memory-value misspeculation (parser's MVS type):
+            # a global was *not* back at its reset value.  Detection
+            # happens at the try-commit unit when the logged observation
+            # fails the value check — delayed by log batching (sec 5.4).
+            ctx.mispredict(self.globals_base, "stale-global")
+        ctx.compute(self.parse_cycles)
+        return (sentence_seed * 31 + lexical) & 0xFFFFFFFF
+
+    # -- sequential semantics ------------------------------------------------------------
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.read_cycles)
+        sentence_seed = i * 13 + 5
+        linkage = yield from self._parse(ctx, sentence_seed, speculative=False)
+        ctx.compute(self.emit_cycles)
+        yield from ctx.store(self.results_base + 8 * i, linkage)
+
+    # -- Spec-DSWP plan --------------------------------------------------------------------
+
+    def _stage0(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.read_cycles)
+        yield from ctx.produce("sentence", i * 13 + 5, nbytes=self.sentence_bytes)
+
+    def _stage1(self, ctx):
+        sentence_seed = ctx.consume("sentence")
+        linkage = yield from self._parse(ctx, sentence_seed, speculative=True)
+        yield from ctx.produce("linkage", linkage)
+
+    def _stage2(self, ctx):
+        linkage = ctx.consume("linkage")
+        ctx.compute(self.emit_cycles)
+        yield from ctx.store(self.results_base + 8 * ctx.iteration, linkage, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["S", "DOALL", "S"]),
+            stage_bodies=[self._stage0, self._stage1, self._stage2],
+            label="Spec-DSWP+[S,DOALL,S]",
+        )
+
+    # -- TLS plan ----------------------------------------------------------------------------------
+
+    def _tls_body(self, ctx):
+        i = ctx.iteration
+        ctx.compute(self.read_cycles)
+        sentence_seed = i * 13 + 5
+        linkage = yield from self._parse(ctx, sentence_seed, speculative=True)
+        ctx.compute(self.emit_cycles)
+        yield from ctx.store(self.results_base + 8 * i, linkage, forward=False)
+        # Output ordering chains iteration to iteration.
+        position = yield from ctx.sync_recv("outpos")
+        if position is None:
+            position = 0
+        yield from ctx.sync_send("outpos", position + self.sentence_bytes)
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._tls_body],
+            label="TLS",
+        )

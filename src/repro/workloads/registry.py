@@ -1,0 +1,80 @@
+"""Benchmark registry: the paper's Table 2.
+
+Maps benchmark names to workload classes and carries the Table 2
+metadata (source suite, description, parallelization paradigm,
+speculation types) for the reports and the Table 2 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.workloads.alvinn import Alvinn
+from repro.workloads.art import Art
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import BlackScholes
+from repro.workloads.bzip2 import Bzip2
+from repro.workloads.crc32 import Crc32
+from repro.workloads.gzip import Gzip
+from repro.workloads.h264ref import H264Ref
+from repro.workloads.hmmer import Hmmer
+from repro.workloads.li import Li
+from repro.workloads.parser import Parser
+from repro.workloads.swaptions import Swaptions
+
+__all__ = ["BENCHMARKS", "workload_class", "all_benchmarks", "table2_rows"]
+
+#: The 11 benchmarks of the paper's evaluation, in Table 2 order.
+BENCHMARKS: dict[str, type] = {
+    "052.alvinn": Alvinn,
+    "130.li": Li,
+    "164.gzip": Gzip,
+    "179.art": Art,
+    "197.parser": Parser,
+    "256.bzip2": Bzip2,
+    "456.hmmer": Hmmer,
+    "464.h264ref": H264Ref,
+    "crc32": Crc32,
+    "blackscholes": BlackScholes,
+    "swaptions": Swaptions,
+}
+
+#: Legend for the speculation-type abbreviations (Table 2).
+SPECULATION_LEGEND = {
+    "CFS": "Control Flow Speculation",
+    "MVS": "Memory Value Speculation",
+    "MV": "Memory Versioning",
+}
+
+
+def workload_class(name: str) -> type:
+    """Workload class for a benchmark name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def all_benchmarks() -> Iterator[tuple[str, Callable[[], Workload]]]:
+    """(name, factory) pairs in Table 2 order."""
+    for name, cls in BENCHMARKS.items():
+        yield name, cls
+
+
+def table2_rows() -> list[dict]:
+    """Table 2 of the paper, one dict per benchmark."""
+    rows = []
+    for name, cls in BENCHMARKS.items():
+        rows.append(
+            {
+                "benchmark": name,
+                "suite": cls.suite,
+                "description": cls.description,
+                "paradigm": cls.paradigm,
+                "speculation": "/".join(cls.speculation),
+            }
+        )
+    return rows

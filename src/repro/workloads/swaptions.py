@@ -1,0 +1,76 @@
+"""swaptions — portfolio pricing (PARSEC).
+
+Paper parallelization: **Spec-DOALL** with control-flow speculation on
+an error condition during price calculation; the outermost loop over
+swaptions is parallelized.  As with 052.alvinn, the DSMTX and TLS
+parallelizations are identical.  Scalability is limited by the input
+size (section 5.2): with only as many swaptions as the input provides,
+the speedup steps and flattens once workers outnumber useful work.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.memory import PAGE_BYTES
+from repro.workloads.base import ParallelPlan, Workload
+from repro.workloads.common import mix_range, touch_pages
+
+__all__ = ["Swaptions"]
+
+
+class Swaptions(Workload):
+    name = "swaptions"
+    suite = "PARSEC"
+    description = "portfolio pricing"
+    paradigm = "Spec-DOALL"
+    speculation = ("CFS",)
+
+    #: Monte-Carlo simulation cost per swaption (cycles).
+    simulate_cycles = 1_500_000
+    #: Pages of yield-curve data all workers read.
+    curve_pages = 2
+
+    def __init__(self, iterations=128, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+
+    def build(self, uva, owner, store):
+        self.curve_base = uva.malloc_page_aligned(
+            owner, self.curve_pages * PAGE_BYTES, read_only=True
+        )
+        self.prices_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for page in range(self.curve_pages):
+            store.write(self.curve_base + page * PAGE_BYTES, round(0.03 + 0.001 * page, 6))
+
+    def _simulate(self, ctx, speculative: bool):
+        i = ctx.iteration
+        rate = yield from touch_pages(ctx, self.curve_base, [i % self.curve_pages])
+        if speculative:
+            # The price-calculation error condition is speculated absent.
+            ctx.speculate(not self.injected_misspec(i), "price calculation error")
+        ctx.compute(self.simulate_cycles)
+        price = round(100.0 * (1.0 + rate) * (0.8 + 0.4 * mix_range(i, 0.0, 1.0)), 6)
+        return price
+
+    def sequential_body(self, ctx):
+        price = yield from self._simulate(ctx, speculative=False)
+        yield from ctx.store(self.prices_base + 8 * ctx.iteration, price)
+
+    def _parallel_body(self, ctx):
+        price = yield from self._simulate(ctx, speculative=True)
+        yield from ctx.store(self.prices_base + 8 * ctx.iteration, price, forward=False)
+
+    def _doall_plan(self, scheme, label):
+        return ParallelPlan(
+            self,
+            scheme=scheme,
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._parallel_body],
+            label=label,
+        )
+
+    def dsmtx_plan(self):
+        return self._doall_plan("dsmtx", "Spec-DOALL")
+
+    def tls_plan(self):
+        # Identical parallelization (section 5.1).
+        return self._doall_plan("tls", "TLS")

@@ -1,0 +1,105 @@
+"""Tests for the analysis helpers: speedup, bandwidth, rendering."""
+
+import pytest
+
+from repro.analysis import (
+    bandwidth_series,
+    geomean,
+    measure_speedup,
+    render_series,
+    render_stacked_bars,
+    render_table,
+    scalability_curve,
+)
+from repro.core import SystemConfig
+from repro.errors import ConfigurationError
+from tests.core.toys import ToyDoall, ToyPipeline
+
+
+# ---------------------------------------------------------------------------
+# geomean
+# ---------------------------------------------------------------------------
+
+
+def test_geomean_basic():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([5.0]) == pytest.approx(5.0)
+
+
+def test_geomean_validation():
+    with pytest.raises(ConfigurationError):
+        geomean([])
+    with pytest.raises(ConfigurationError):
+        geomean([1.0, 0.0])
+
+
+# ---------------------------------------------------------------------------
+# measure_speedup / scalability_curve
+# ---------------------------------------------------------------------------
+
+
+def test_measure_speedup_fields():
+    point = measure_speedup(lambda: ToyDoall(iterations=32), "dsmtx", cores=6)
+    assert point.cores == 6
+    assert point.speedup == pytest.approx(
+        point.sequential_seconds / point.elapsed_seconds)
+    assert point.stats.committed_mtxs == 32
+
+
+def test_measure_speedup_rejects_unknown_scheme():
+    with pytest.raises(ConfigurationError):
+        measure_speedup(lambda: ToyDoall(iterations=8), "magic", cores=6)
+
+
+def test_scalability_curve_skips_undersized_core_counts():
+    points = scalability_curve(
+        lambda: ToyPipeline(iterations=16), "dsmtx", core_counts=(2, 6, 8))
+    # A 3-stage pipeline needs 5 cores; the 2-core point is dropped.
+    assert [p.cores for p in points] == [6, 8]
+
+
+def test_tls_scheme_uses_tls_plan():
+    point = measure_speedup(lambda: ToyPipeline(iterations=16), "tls", cores=6)
+    assert point.speedup > 0
+
+
+# ---------------------------------------------------------------------------
+# bandwidth
+# ---------------------------------------------------------------------------
+
+
+def test_bandwidth_series_consecutive_core_counts():
+    series = bandwidth_series(lambda: ToyPipeline(iterations=16), points=3)
+    # Pipeline min cores = 3 stages + 2 units = 5.
+    assert [p.cores for p in series] == [5, 6, 7]
+    for point in series:
+        assert point.bytes_transferred > 0
+        assert point.bandwidth_bps > 0
+        assert point.bandwidth_kbps == pytest.approx(point.bandwidth_bps / 1e3)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1], ["long-name", 22]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5  # title, header, rule, 2 rows
+
+
+def test_render_series_missing_points():
+    text = render_series({"A": {8: 1.5, 16: 3.0}, "B": {16: 2.0}})
+    assert "-" in text  # B has no 8-core point
+    assert "1.5" in text and "3.0" in text and "2.0" in text
+
+
+def test_render_stacked_bars_totals():
+    text = render_stacked_bars(
+        ["x"], {"p": [1.0], "q": [2.0]}, unit="s", title="Bars")
+    assert "3.000" in text  # total column
+    assert "[s]" in text

@@ -1,0 +1,36 @@
+"""Tests for CSV export helpers."""
+
+import csv
+import io
+
+from repro.analysis import series_to_csv, table_to_csv, write_csv
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_series_to_csv_structure():
+    text = series_to_csv({"DSWP": {8: 4.0, 32: 13.7}, "TLS": {32: 9.8}})
+    rows = parse(text)
+    assert rows[0] == ["cores", "DSWP", "TLS"]
+    assert rows[1] == ["8", "4.0", ""]
+    assert rows[2] == ["32", "13.7", "9.8"]
+
+
+def test_series_to_csv_custom_x_label():
+    text = series_to_csv({"a": {1: 2.0}}, x_label="latency_us")
+    assert parse(text)[0][0] == "latency_us"
+
+
+def test_table_to_csv_quotes_commas():
+    text = table_to_csv(["name", "note"], [["x", "a, b"]])
+    rows = parse(text)
+    assert rows[1] == ["x", "a, b"]
+
+
+def test_write_csv_creates_directories(tmp_path):
+    target = tmp_path / "nested" / "out.csv"
+    written = write_csv(target, "a,b\n1,2\n")
+    assert written.exists()
+    assert written.read_text() == "a,b\n1,2\n"

@@ -1,0 +1,49 @@
+"""Tests for the baselines package."""
+
+import pytest
+
+from repro.baselines import compare_schemes, run_dsmtx, run_tls
+from repro.core import SystemConfig
+from repro.errors import ConfigurationError
+from repro.workloads import ParallelPlan
+from tests.core.toys import ToyDoall, ToyPipeline
+
+
+def test_run_tls_executes_tls_plan():
+    result = run_tls(ToyPipeline(iterations=16), SystemConfig(total_cores=6))
+    assert result.iterations == 16
+
+
+def test_run_dsmtx_executes_best_plan():
+    result = run_dsmtx(ToyPipeline(iterations=16), SystemConfig(total_cores=6))
+    assert result.iterations == 16
+
+
+def test_run_tls_rejects_mislabeled_plan():
+    workload = ToyPipeline(iterations=8)
+    dsmtx_plan = workload.dsmtx_plan()
+
+    class Lying(ToyPipeline):
+        def tls_plan(self):
+            return dsmtx_plan  # scheme == "dsmtx"
+
+    with pytest.raises(ConfigurationError):
+        run_tls(Lying(iterations=8), SystemConfig(total_cores=6))
+
+
+def test_compare_schemes_reports_both():
+    comparison = compare_schemes(lambda: ToyDoall(iterations=48, work_cycles=40_000),
+                                 SystemConfig(total_cores=8))
+    assert comparison["dsmtx"] > 1.0
+    assert comparison["tls"] > 1.0
+    assert comparison["best"] == max(comparison["dsmtx"], comparison["tls"])
+    assert comparison["sequential_seconds"] > 0
+
+
+def test_tls_slower_than_dsmtx_on_pipelined_workload():
+    # ToyPipeline's TLS plan carries the sum through a cyclic sync chain;
+    # at moderate core counts the Spec-DSWP plan should be at least
+    # competitive.
+    comparison = compare_schemes(lambda: ToyPipeline(iterations=64, work_cycles=100_000),
+                                 SystemConfig(total_cores=12))
+    assert comparison["dsmtx"] >= 0.8 * comparison["tls"]

@@ -1,0 +1,95 @@
+"""Unit tests for nodes, cores, and cycle accounting."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, Machine
+from repro.sim import Environment
+
+
+def make_machine(nodes=2, cores_per_node=2, clock_hz=1e9, ipc=1.0):
+    env = Environment()
+    spec = ClusterSpec(
+        nodes=nodes, cores_per_node=cores_per_node, clock_hz=clock_hz,
+        instructions_per_cycle=ipc,
+    )
+    return env, Machine(env, spec)
+
+
+def test_machine_builds_all_cores():
+    _env, machine = make_machine(nodes=3, cores_per_node=4)
+    assert machine.total_cores == 12
+    assert len(list(machine.iter_cores())) == 12
+
+
+def test_core_lookup_global_index():
+    _env, machine = make_machine(nodes=2, cores_per_node=2)
+    core = machine.core(3)
+    assert core.index == 3
+    assert core.node_index == 1
+
+
+def test_compute_advances_time_by_cycles():
+    env, machine = make_machine(clock_hz=1e9)
+    core = machine.core(0)
+
+    def proc():
+        yield core.compute(5e8)  # 0.5 seconds at 1 GHz
+
+    env.process(proc())
+    env.run()
+    assert env.now == pytest.approx(0.5)
+
+
+def test_execute_instructions_uses_ipc():
+    env, machine = make_machine(clock_hz=1e9, ipc=2.0)
+    core = machine.core(0)
+
+    def proc():
+        yield core.execute_instructions(1e9)  # 5e8 cycles -> 0.5 s
+
+    env.process(proc())
+    env.run()
+    assert env.now == pytest.approx(0.5)
+
+
+def test_negative_cycles_rejected():
+    _env, machine = make_machine()
+    with pytest.raises(ValueError):
+        machine.core(0).compute(-1)
+    with pytest.raises(ValueError):
+        machine.core(0).charge_cycles(-1)
+
+
+def test_deferred_charges_realized_on_drain():
+    env, machine = make_machine(clock_hz=1e9)
+    core = machine.core(0)
+    times = []
+
+    def proc():
+        core.charge_cycles(1e8)
+        core.charge_cycles(2e8)
+        assert env.now == 0.0
+        yield from core.drain()
+        times.append(env.now)
+        # Drain with nothing pending yields nothing.
+        yield from core.drain()
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [pytest.approx(0.3), pytest.approx(0.3)]
+    assert core.pending_cycles == 0.0
+
+
+def test_busy_cycles_tracks_all_work():
+    env, machine = make_machine()
+    core = machine.core(0)
+
+    def proc():
+        core.charge_cycles(100)
+        yield core.compute(50)
+        yield from core.drain()
+
+    env.process(proc())
+    env.run()
+    assert core.busy_cycles == pytest.approx(150)

@@ -1,0 +1,42 @@
+"""Unit tests for thread-to-core placement."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, place_units
+from repro.errors import PlacementError
+
+
+def test_pack_fills_nodes_in_order():
+    spec = ClusterSpec(nodes=3, cores_per_node=4)
+    assert place_units(spec, 6, policy="pack") == [0, 1, 2, 3, 4, 5]
+
+
+def test_spread_round_robins_nodes():
+    spec = ClusterSpec(nodes=3, cores_per_node=4)
+    cores = place_units(spec, 5, policy="spread")
+    nodes = [spec.node_of_core(c) for c in cores]
+    assert nodes == [0, 1, 2, 0, 1]
+
+
+def test_spread_assigns_distinct_cores():
+    spec = ClusterSpec(nodes=4, cores_per_node=4)
+    cores = place_units(spec, 16, policy="spread")
+    assert len(set(cores)) == 16
+
+
+def test_too_many_units_rejected():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    with pytest.raises(PlacementError):
+        place_units(spec, 5)
+
+
+def test_zero_units_rejected():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    with pytest.raises(PlacementError):
+        place_units(spec, 0)
+
+
+def test_unknown_policy_rejected():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    with pytest.raises(PlacementError):
+        place_units(spec, 2, policy="zigzag")

@@ -1,0 +1,83 @@
+"""Unit tests for the cluster specification."""
+
+import pytest
+
+from repro.cluster import DEFAULT_CLUSTER, ClusterSpec
+from repro.errors import ConfigurationError
+
+
+def test_default_cluster_matches_paper_platform():
+    # 32 nodes x 4 cores = 128 cores, 3.00 GHz Xeon 5160 (section 5.1).
+    assert DEFAULT_CLUSTER.nodes == 32
+    assert DEFAULT_CLUSTER.cores_per_node == 4
+    assert DEFAULT_CLUSTER.total_cores == 128
+    assert DEFAULT_CLUSTER.clock_hz == pytest.approx(3.0e9)
+    assert DEFAULT_CLUSTER.page_bytes == 4096
+
+
+def test_node_of_core():
+    spec = ClusterSpec(nodes=4, cores_per_node=2)
+    assert spec.node_of_core(0) == 0
+    assert spec.node_of_core(1) == 0
+    assert spec.node_of_core(2) == 1
+    assert spec.node_of_core(7) == 3
+
+
+def test_node_of_core_out_of_range():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    with pytest.raises(ConfigurationError):
+        spec.node_of_core(4)
+    with pytest.raises(ConfigurationError):
+        spec.node_of_core(-1)
+
+
+def test_same_node():
+    spec = ClusterSpec(nodes=2, cores_per_node=4)
+    assert spec.same_node(0, 3)
+    assert not spec.same_node(3, 4)
+
+
+def test_wire_parameters_differ_by_locality():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    intra = spec.wire_parameters(0, 1)
+    inter = spec.wire_parameters(0, 2)
+    assert intra[0] < inter[0]  # lower latency on-node
+    assert intra[1] > inter[1]  # higher bandwidth on-node
+
+
+def test_instructions_to_seconds():
+    spec = ClusterSpec(clock_hz=1e9, instructions_per_cycle=2.0)
+    assert spec.instructions_to_seconds(2e9) == pytest.approx(1.0)
+
+
+def test_cycles_to_seconds():
+    spec = ClusterSpec(clock_hz=2e9)
+    assert spec.cycles_to_seconds(4e9) == pytest.approx(2.0)
+
+
+def test_invalid_topology_rejected():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(nodes=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(cores_per_node=0)
+
+
+def test_invalid_clock_rejected():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(clock_hz=0)
+
+
+def test_invalid_batch_rejected():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(queue_batch_bytes=4)
+
+
+def test_scc_like_preset_shape():
+    # The section 2.3 manycore: 48 cores, no chip-wide coherence, far
+    # lower latency than the InfiniBand cluster.
+    from repro.cluster import SCC_LIKE
+
+    assert SCC_LIKE.total_cores == 48
+    assert SCC_LIKE.inter_node_latency_s < DEFAULT_CLUSTER.inter_node_latency_s / 100
+    assert SCC_LIKE.inter_node_bandwidth_bps > DEFAULT_CLUSTER.inter_node_bandwidth_bps
+    assert SCC_LIKE.mpi_recv_instructions < DEFAULT_CLUSTER.mpi_recv_instructions

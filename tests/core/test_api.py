@@ -1,0 +1,101 @@
+"""Tests exercising the Table 1 API facade."""
+
+import pytest
+
+from repro.core import api
+from repro.core.config import SystemConfig
+from repro.errors import ConfigurationError
+from tests.core.toys import ToyDoall, ToyPipeline
+
+
+@pytest.fixture(autouse=True)
+def session():
+    api.DSMTX_Init()
+    yield
+    try:
+        api.DSMTX_Finalize()
+    except ConfigurationError:
+        pass
+
+
+def test_init_twice_rejected():
+    with pytest.raises(ConfigurationError):
+        api.DSMTX_Init()
+
+
+def test_finalize_without_init_rejected():
+    api.DSMTX_Finalize()
+    with pytest.raises(ConfigurationError):
+        api.DSMTX_Finalize()
+    api.DSMTX_Init()  # restore for fixture teardown
+
+
+def test_new_system_requires_session():
+    api.DSMTX_Finalize()
+    with pytest.raises(ConfigurationError):
+        api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6), ToyDoall().dsmtx_plan())
+    api.DSMTX_Init()
+
+
+def test_new_system_and_run():
+    plan = ToyPipeline(iterations=12).dsmtx_plan()
+    system = api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6), workload=plan)
+    result = api.mtx_run(system)
+    assert result.iterations == 12
+    api.mtx_deleteDSMTXsystem(system)
+
+
+def test_new_system_requires_workload():
+    with pytest.raises(ConfigurationError):
+        api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6))
+
+
+def test_mtx_spawn_binds_stage_body():
+    plan = ToyDoall(iterations=8).dsmtx_plan()
+    system = api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6), workload=plan)
+
+    seen = []
+
+    def replacement(ctx):
+        seen.append(ctx.iteration)
+        yield from plan.stage_body(0)(ctx)
+
+    api.mtx_spawn(system, replacement, tid=0)
+    result = api.mtx_run(system)
+    assert result.iterations == 8
+    assert sorted(seen) == list(range(8))
+
+
+def test_mtx_spawn_unknown_tid():
+    plan = ToyDoall(iterations=8).dsmtx_plan()
+    system = api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6), workload=plan)
+    with pytest.raises(ConfigurationError):
+        api.mtx_spawn(system, lambda ctx: None, tid=99)
+
+
+def test_malloc_free_through_api():
+    plan = ToyDoall(iterations=8).dsmtx_plan()
+    system = api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6), workload=plan)
+    address = api.dsmtx_malloc(system, tid=0, nbytes=64)
+    assert system.uva.owner_of(address) == 0
+    api.dsmtx_free(system, address)
+
+
+def test_write_api_variants_run_inside_bodies():
+    """mtx_writeAll / mtx_writeTo / mtx_read used from a stage body."""
+    workload = ToyPipeline(iterations=10)
+    plan = workload.dsmtx_plan()
+
+    def stage1(ctx):
+        x = ctx.consume("x")
+        y = x * x
+        yield from api.mtx_writeTo(ctx, 2, workload.result_base + 8 * ctx.iteration, y)
+
+    original = plan.stage_body(1)  # noqa: F841 - replaced below
+    plan._stage_bodies[1] = stage1
+    system = api.mtx_newDSMTXsystem(6, SystemConfig(total_cores=6), workload=plan)
+    result = api.mtx_run(system)
+    assert result.iterations == 10
+    for i in range(10):
+        x = 3 * i + 1
+        assert system.commit.master.read(workload.result_base + 8 * i) == x * x

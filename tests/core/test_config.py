@@ -1,0 +1,78 @@
+"""Unit tests for pipeline and system configuration."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import PipelineConfig, StageKind, StageSpec, SystemConfig
+from repro.errors import ConfigurationError
+
+
+def test_stage_kind_validation():
+    with pytest.raises(ConfigurationError):
+        StageSpec(name="bad", kind="HYPER")
+
+
+def test_pipeline_from_kinds():
+    pipeline = PipelineConfig.from_kinds(["S", "DOALL", "S"])
+    assert pipeline.num_stages == 3
+    assert pipeline.describe() == "[S,DOALL,S]"
+    assert not pipeline.stages[0].is_parallel
+    assert pipeline.stages[1].is_parallel
+
+
+def test_pipeline_needs_stages():
+    with pytest.raises(ConfigurationError):
+        PipelineConfig(stages=())
+
+
+def test_min_cores_counts_units():
+    pipeline = PipelineConfig.from_kinds(["S", "DOALL", "S"])
+    # 3 stage workers + try-commit + commit.
+    assert pipeline.min_cores == 5
+
+
+def test_allocate_gives_parallel_stage_the_remainder():
+    pipeline = PipelineConfig.from_kinds(["S", "DOALL", "S"])
+    assert pipeline.allocate(8) == [1, 4, 1]
+    assert pipeline.allocate(128) == [1, 124, 1]
+
+
+def test_allocate_splits_between_parallel_stages():
+    pipeline = PipelineConfig.from_kinds(["DOALL", "DOALL"])
+    assert pipeline.allocate(8) == [3, 3]
+    assert pipeline.allocate(9) == [4, 3]
+
+
+def test_allocate_sequential_only_pipeline():
+    pipeline = PipelineConfig.from_kinds(["S", "S"])
+    # Spare cores stay idle: DSWP width is fixed by its stages.
+    assert pipeline.allocate(10) == [1, 1]
+
+
+def test_allocate_too_few_cores():
+    pipeline = PipelineConfig.from_kinds(["S", "DOALL", "S"])
+    with pytest.raises(ConfigurationError):
+        pipeline.allocate(4)
+
+
+def test_system_config_validation():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(total_cores=2)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(total_cores=256)  # exceeds the 128-core cluster
+    with pytest.raises(ConfigurationError):
+        SystemConfig(total_cores=8, max_inflight_batches=0)
+
+
+def test_system_config_with_cores():
+    config = SystemConfig(total_cores=8, batch_bytes=512)
+    scaled = config.with_cores(64)
+    assert scaled.total_cores == 64
+    assert scaled.batch_bytes == 512
+
+
+def test_effective_batch_bytes_defaults_to_cluster():
+    cluster = ClusterSpec(queue_batch_bytes=2048)
+    config = SystemConfig(cluster=cluster, total_cores=8)
+    assert config.effective_batch_bytes == 2048
+    assert SystemConfig(total_cores=8, batch_bytes=64).effective_batch_bytes == 64

@@ -1,0 +1,146 @@
+"""Tests for the execution contexts: MasterContext, SequentialMeter,
+and MTXContext error paths."""
+
+import pytest
+
+from repro.core import DSMTXSystem, MasterContext, SequentialMeter, SystemConfig
+from repro.errors import TransactionError
+from repro.memory import AddressSpace
+from repro.workloads import run_body
+from repro.workloads.base import WriteThroughStore
+from tests.core.toys import ToyDoall, ToyPipeline
+
+
+# ---------------------------------------------------------------------------
+# SequentialMeter
+# ---------------------------------------------------------------------------
+
+
+def test_meter_accumulates_cycles():
+    meter = SequentialMeter(SystemConfig(total_cores=8))
+    meter.compute(1000)
+    meter.compute(500)
+    assert meter.cycles >= 1500
+    assert meter.seconds == pytest.approx(meter.cycles / 3.0e9)
+
+
+def test_meter_charges_memory_accesses():
+    config = SystemConfig(total_cores=8)
+    meter = SequentialMeter(config)
+    before = meter.cycles
+    run_body(meter.store(0, 1))
+    run_body(meter.load(0))
+    per_access = config.access_instructions / config.cluster.instructions_per_cycle
+    assert meter.cycles == pytest.approx(before + 2 * per_access)
+
+
+def test_meter_memory_round_trip():
+    meter = SequentialMeter(SystemConfig(total_cores=8))
+    run_body(meter.store(64, "v"))
+    values = []
+
+    def body():
+        values.append((yield from meter.load(64)))
+
+    run_body(body())
+    assert values == ["v"]
+
+
+def test_meter_dataflow_is_local():
+    meter = SequentialMeter(SystemConfig(total_cores=8))
+    run_body(meter.produce("q", 41))
+    assert meter.peek_count("q") == 1
+    assert meter.consume("q") == 41
+    with pytest.raises(TransactionError):
+        meter.consume("q")
+
+
+def test_meter_sync_round_trip():
+    meter = SequentialMeter(SystemConfig(total_cores=8))
+    run_body(meter.sync_send("s", 7))
+    values = []
+
+    def body():
+        values.append((yield from meter.sync_recv("s")))
+        values.append((yield from meter.sync_recv("s")))
+
+    run_body(body())
+    assert values == [7, None]
+
+
+def test_meter_speculation_is_noop():
+    meter = SequentialMeter(SystemConfig(total_cores=8))
+    meter.speculate(False, "ignored sequentially")
+    meter.misspec("also ignored")
+    meter.mispredict(0, "ignored")
+
+
+# ---------------------------------------------------------------------------
+# MasterContext
+# ---------------------------------------------------------------------------
+
+
+def make_master_context():
+    workload = ToyDoall(iterations=4)
+    system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=6))
+    space = AddressSpace("master-test")
+    return MasterContext(system, space, system.commit.core), space
+
+
+def test_master_context_direct_memory():
+    ctx, space = make_master_context()
+    run_body(ctx.store(8, 123))
+    assert space.read(8) == 123
+    values = []
+
+    def body():
+        values.append((yield from ctx.load(8)))
+
+    run_body(body())
+    assert values == [123]
+
+
+def test_master_context_dataflow_local():
+    ctx, _space = make_master_context()
+    run_body(ctx.produce("x", "payload"))
+    assert ctx.consume("x") == "payload"
+    with pytest.raises(TransactionError):
+        ctx.consume("x")
+
+
+def test_master_context_never_misspeculates():
+    ctx, _space = make_master_context()
+    ctx.speculate(False, "sequential execution ignores this")
+    ctx.misspec("and this")
+
+
+# ---------------------------------------------------------------------------
+# MTXContext error paths (driven through a live system)
+# ---------------------------------------------------------------------------
+
+
+def test_consume_without_produce_is_a_bug():
+    workload = ToyPipeline(iterations=4)
+    plan = workload.dsmtx_plan()
+
+    def broken_stage1(ctx):
+        ctx.consume("never-produced")
+        yield from ()
+
+    plan._stage_bodies[1] = broken_stage1
+    system = DSMTXSystem(plan, SystemConfig(total_cores=6))
+    with pytest.raises(TransactionError, match="no data"):
+        system.run()
+
+
+def test_produce_to_invalid_stage_is_a_bug():
+    workload = ToyPipeline(iterations=4)
+    plan = workload.dsmtx_plan()
+
+    def broken_stage0(ctx):
+        yield from ctx.produce("x", 1, to_stage=0)  # not a later stage
+
+    plan._stage_bodies[0] = broken_stage0
+    system = DSMTXSystem(plan, SystemConfig(total_cores=6))
+    with pytest.raises(TransactionError, match="invalid stage"):
+        system.run()

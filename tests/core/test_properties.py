@@ -1,0 +1,143 @@
+"""Property-based tests of the runtime's core guarantee.
+
+Whatever the pipeline shape, core count, batch size, or injected
+misspeculation set, the committed master memory after a parallel run
+must equal the sequential execution's memory — speculation may only
+change *when* things happen, never *what* is computed.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DSMTXSystem, PipelineConfig, SystemConfig
+from repro.workloads import ParallelPlan, Workload
+from repro.workloads.common import mix
+
+
+class RandomChain(Workload):
+    """A small pipelined workload with a loop-carried accumulator and
+    per-iteration outputs, parameterized by a seed."""
+
+    name = "random-chain"
+    suite = "tests"
+    description = "property-test kernel"
+    paradigm = "Spec-DSWP+[S,DOALL,S]"
+    speculation = ("CFS",)
+
+    def __init__(self, iterations, seed, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+        self.seed = seed
+
+    def build(self, uva, owner, store):
+        self.values_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        self.out_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        self.acc_addr = uva.malloc(owner, 8)
+        store.write(self.acc_addr, self.seed % 1009)
+        for i in range(self.iterations):
+            store.write(self.values_base + 8 * i, int(mix(i, self.seed) * 4096))
+
+    def _transform(self, value, i):
+        return (value * 37 + i * self.seed) % 104729
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        value = yield from ctx.load(self.values_base + 8 * i)
+        ctx.compute(2_000)
+        result = self._transform(value, i)
+        yield from ctx.store(self.out_base + 8 * i, result)
+        acc = yield from ctx.load(self.acc_addr)
+        yield from ctx.store(self.acc_addr, (acc + result) % 999983)
+
+    def _stage0(self, ctx):
+        i = ctx.iteration
+        value = yield from ctx.load(self.values_base + 8 * i)
+        ctx.speculate(not self.injected_misspec(i), "injected")
+        yield from ctx.produce("v", value)
+
+    def _stage1(self, ctx):
+        value = ctx.consume("v")
+        ctx.compute(2_000)
+        yield from ctx.produce("r", self._transform(value, ctx.iteration), to_stage=2)
+
+    def _stage2(self, ctx):
+        result = ctx.consume("r")
+        yield from ctx.store(self.out_base + 8 * ctx.iteration, result, forward=False)
+        acc = yield from ctx.load(self.acc_addr)
+        yield from ctx.store(self.acc_addr, (acc + result) % 999983, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self, "dsmtx", PipelineConfig.from_kinds(["S", "DOALL", "S"]),
+            [self._stage0, self._stage1, self._stage2],
+            label="Spec-DSWP+[S,DOALL,S]",
+        )
+
+    def tls_plan(self):
+        raise NotImplementedError
+
+
+def sequential_reference(iterations, seed):
+    acc = seed % 1009
+    outputs = []
+    for i in range(iterations):
+        result = (int(mix(i, seed) * 4096) * 37 + i * seed) % 104729
+        outputs.append(result)
+        acc = (acc + result) % 999983
+    return outputs, acc
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    iterations=st.integers(min_value=3, max_value=24),
+    seed=st.integers(min_value=1, max_value=10_000),
+    cores=st.sampled_from([5, 6, 8, 12]),
+    misspec=st.sets(st.integers(min_value=0, max_value=23), max_size=3),
+)
+def test_parallel_equals_sequential(iterations, seed, cores, misspec):
+    misspec = {m for m in misspec if m < iterations}
+    workload = RandomChain(iterations, seed, misspec_iterations=misspec)
+    system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=cores))
+    result = system.run()
+    outputs, acc = sequential_reference(iterations, seed)
+    assert result.iterations == iterations
+    assert system.stats.misspeculations == len(misspec)
+    master = system.commit.master
+    for i, expected in enumerate(outputs):
+        assert master.read(workload.out_base + 8 * i) == expected
+    assert master.read(workload.acc_addr) == acc
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    batch_bytes=st.sampled_from([16, 64, 1024, 8192]),
+    inflight=st.integers(min_value=1, max_value=4),
+)
+def test_invariant_under_queue_tunables(batch_bytes, inflight):
+    workload = RandomChain(12, seed=7, misspec_iterations={5})
+    config = SystemConfig(total_cores=6, batch_bytes=batch_bytes,
+                          max_inflight_batches=inflight)
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    system.run()
+    outputs, acc = sequential_reference(12, 7)
+    master = system.commit.master
+    assert master.read(workload.acc_addr) == acc
+    for i, expected in enumerate(outputs):
+        assert master.read(workload.out_base + 8 * i) == expected
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(placement=st.sampled_from(["pack", "spread"]),
+       direct=st.booleans())
+def test_invariant_under_placement_and_channel_mode(placement, direct):
+    workload = RandomChain(10, seed=3)
+    config = SystemConfig(
+        total_cores=8, placement=placement,
+        channel_mode="direct" if direct else "batched",
+    )
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    system.run()
+    outputs, acc = sequential_reference(10, 3)
+    assert system.commit.master.read(workload.acc_addr) == acc

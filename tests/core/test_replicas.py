@@ -1,0 +1,137 @@
+"""Tests for the COA read-replica extension."""
+
+import pytest
+
+from repro.core import DSMTXSystem, PipelineConfig, SystemConfig
+from repro.errors import RecoveryError
+from repro.memory import PAGE_BYTES, UnifiedVirtualAddressSpace
+from repro.workloads import ParallelPlan, Workload
+from repro.workloads.common import touch_pages
+from tests.core.toys import ToyDoall
+
+
+class SharedTableScan(Workload):
+    """Every iteration reads from a shared read-only table."""
+
+    name = "shared-scan"
+    suite = "tests"
+    description = "read-only table scan"
+    paradigm = "Spec-DOALL"
+    speculation = ()
+
+    table_pages = 6
+
+    def __init__(self, iterations=48, misspec_iterations=None,
+                 table_read_only=True):
+        super().__init__(iterations, misspec_iterations)
+        self.table_read_only = table_read_only
+
+    def build(self, uva, owner, store):
+        self.table_base = uva.malloc_page_aligned(
+            owner, self.table_pages * PAGE_BYTES, read_only=self.table_read_only)
+        self.out_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        for page in range(self.table_pages):
+            store.write(self.table_base + page * PAGE_BYTES, 10 + page)
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        value = yield from touch_pages(ctx, self.table_base, [i % self.table_pages])
+        ctx.compute(20_000)
+        yield from ctx.store(self.out_base + 8 * i, value * 3, forward=False)
+
+    def _body(self, ctx):
+        i = ctx.iteration
+        ctx.speculate(not self.injected_misspec(i), "injected")
+        value = yield from touch_pages(ctx, self.table_base, [i % self.table_pages])
+        ctx.compute(20_000)
+        yield from ctx.store(self.out_base + 8 * i, value * 3, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(self, "dsmtx", PipelineConfig.from_kinds(["DOALL"]),
+                            [self._body], label="Spec-DOALL")
+
+    def tls_plan(self):
+        return self.dsmtx_plan()
+
+
+def run(workload, replicas, cores=10, **kwargs):
+    config = SystemConfig(total_cores=cores, coa_replicas=replicas, **kwargs)
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    result = system.run()
+    return system, result
+
+
+def check_output(system, workload):
+    for i in range(workload.iterations):
+        expected = (10 + i % workload.table_pages) * 3
+        assert system.commit.master.read(workload.out_base + 8 * i) == expected
+
+
+def test_replicas_serve_read_only_pages():
+    workload = SharedTableScan()
+    system, result = run(workload, replicas=2)
+    assert result.iterations == workload.iterations
+    check_output(system, workload)
+    served = sum(r.hits + r.misses for r in system.coa_replicas)
+    assert served > 0
+    # Each replica fetched each table page at most once.
+    assert sum(r.misses for r in system.coa_replicas) <= 2 * workload.table_pages
+
+
+def test_without_read_only_marking_commit_serves_everything():
+    workload = SharedTableScan(table_read_only=False)
+    system, _result = run(workload, replicas=2)
+    check_output(system, workload)
+    assert sum(r.hits + r.misses for r in system.coa_replicas) == 0
+
+
+def test_replica_units_consume_worker_budget():
+    workload = SharedTableScan()
+    with_replicas, _ = run(workload, replicas=2, cores=10)
+    without, _ = run(SharedTableScan(), replicas=0, cores=10)
+    assert len(with_replicas.workers) == len(without.workers) - 2
+
+
+def test_replicas_survive_recovery():
+    workload = SharedTableScan(misspec_iterations={20})
+    system, result = run(workload, replicas=2)
+    assert system.stats.misspeculations == 1
+    assert result.iterations == workload.iterations
+    check_output(system, workload)
+
+
+def test_mutable_pages_still_go_to_commit():
+    # ToyDoall declares nothing read-only; with replicas configured the
+    # run must still be correct and served entirely by the commit unit.
+    workload = ToyDoall(iterations=24)
+    config = SystemConfig(total_cores=8, coa_replicas=1)
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    system.run()
+    assert sum(r.hits + r.misses for r in system.coa_replicas) == 0
+    for i in range(24):
+        assert system.commit.master.read(workload.out_base + 8 * i) == 2 * (i + 1) + 1
+
+
+def test_commit_to_read_only_page_is_rejected():
+    class Buggy(SharedTableScan):
+        def _body(self, ctx):
+            yield from ctx.store(self.table_base, 999, forward=False)
+
+        def dsmtx_plan(self):
+            return ParallelPlan(self, "dsmtx", PipelineConfig.from_kinds(["DOALL"]),
+                                [self._body], label="Spec-DOALL")
+
+    workload = Buggy(iterations=4)
+    config = SystemConfig(total_cores=8, coa_replicas=1)
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    with pytest.raises(RecoveryError, match="read-only"):
+        system.run()
+
+
+def test_uva_read_only_tracking():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    ro = uva.malloc_page_aligned(0, 2 * PAGE_BYTES, read_only=True)
+    rw = uva.malloc_page_aligned(0, PAGE_BYTES)
+    assert uva.page_is_read_only(ro // PAGE_BYTES)
+    assert uva.page_is_read_only(ro // PAGE_BYTES + 1)
+    assert not uva.page_is_read_only(rw // PAGE_BYTES)

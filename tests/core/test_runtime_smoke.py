@@ -1,0 +1,118 @@
+"""End-to-end smoke tests for the DSMTX runtime."""
+
+import pytest
+
+from repro.core import DSMTXSystem, SystemConfig
+from tests.core.toys import ToyDoall, ToyPipeline
+
+
+def run_plan(plan, cores=6, **config_kwargs):
+    config = SystemConfig(total_cores=cores, **config_kwargs)
+    system = DSMTXSystem(plan, config)
+    result = system.run()
+    return system, result
+
+
+def test_pipeline_commits_all_iterations():
+    workload = ToyPipeline(iterations=20)
+    system, result = run_plan(workload.dsmtx_plan(), cores=6)
+    assert result.iterations == 20
+    assert system.stats.misspeculations == 0
+
+
+def test_pipeline_produces_correct_results():
+    workload = ToyPipeline(iterations=20)
+    system, _result = run_plan(workload.dsmtx_plan(), cores=6)
+    master = system.commit.master
+    for i in range(20):
+        x = 3 * i + 1
+        assert master.read(workload.result_base + 8 * i) == x * x
+    expected_sum = sum((3 * i + 1) ** 2 for i in range(20))
+    assert master.read(workload.sum_addr) == expected_sum
+
+
+def test_pipeline_elapsed_time_positive():
+    workload = ToyPipeline(iterations=10)
+    _system, result = run_plan(workload.dsmtx_plan(), cores=6)
+    assert result.elapsed_seconds > 0
+
+
+def test_doall_correctness():
+    workload = ToyDoall(iterations=32)
+    system, result = run_plan(workload.dsmtx_plan(), cores=8)
+    assert result.iterations == 32
+    master = system.commit.master
+    for i in range(32):
+        assert master.read(workload.out_base + 8 * i) == 2 * (i + 1) + 1
+
+
+def test_tls_correctness():
+    workload = ToyPipeline(iterations=20)
+    system, result = run_plan(workload.tls_plan(), cores=6)
+    assert result.iterations == 20
+    master = system.commit.master
+    expected_sum = sum((3 * i + 1) ** 2 for i in range(20))
+    assert master.read(workload.sum_addr) == expected_sum
+
+
+def test_parallel_speedup_over_sequential():
+    workload = ToyDoall(iterations=64, work_cycles=50_000)
+    plan = workload.dsmtx_plan()
+    seq = workload.sequential_seconds(SystemConfig(total_cores=10))
+    _system, result = run_plan(plan, cores=10)
+    speedup = result.speedup_over(seq)
+    # 8 workers on an embarrassingly parallel loop: expect real speedup.
+    assert speedup > 3.0
+
+
+def test_more_cores_more_speedup():
+    def time_at(cores):
+        workload = ToyDoall(iterations=128, work_cycles=50_000)
+        _system, result = run_plan(workload.dsmtx_plan(), cores=cores)
+        return result.elapsed_seconds
+
+    assert time_at(16) < time_at(4)
+
+
+def test_misspeculation_recovers_and_result_correct():
+    workload = ToyDoall(iterations=32, misspec_iterations={10})
+    system, result = run_plan(workload.dsmtx_plan(), cores=6)
+    assert system.stats.misspeculations == 1
+    assert len(system.stats.recoveries) == 1
+    master = system.commit.master
+    for i in range(32):
+        assert master.read(workload.out_base + 8 * i) == 2 * (i + 1) + 1
+
+
+def test_multiple_misspeculations():
+    workload = ToyPipeline(iterations=30, misspec_iterations={5, 17})
+    system, _result = run_plan(workload.dsmtx_plan(), cores=6)
+    assert system.stats.misspeculations == 2
+    expected_sum = sum((3 * i + 1) ** 2 for i in range(30))
+    assert system.commit.master.read(workload.sum_addr) == expected_sum
+
+
+def test_recovery_records_have_phases():
+    workload = ToyDoall(iterations=32, misspec_iterations={8})
+    system, _result = run_plan(workload.dsmtx_plan(), cores=6)
+    record = system.stats.recoveries[0]
+    assert record.misspec_iteration == 8
+    assert record.erm_seconds > 0
+    assert record.seq_seconds > 0
+    assert record.reexecuted_iterations >= 1
+
+
+def test_coa_pages_are_fetched_once_per_worker_page():
+    workload = ToyDoall(iterations=32)
+    system, _result = run_plan(workload.dsmtx_plan(), cores=6)
+    # 32 iterations x 8 bytes fits one page for input and one for output;
+    # misses are per worker, bounded well below one per access.
+    assert 0 < system.stats.coa_pages_served <= 4 * 4 + 4
+
+
+def test_stats_track_queue_traffic():
+    workload = ToyPipeline(iterations=20)
+    system, _result = run_plan(workload.dsmtx_plan(), cores=6)
+    assert system.stats.queue_bytes > 0
+    assert system.stats.queue_bytes_by_purpose.get("log", 0) > 0
+    assert system.stats.words_committed > 0

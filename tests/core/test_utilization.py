@@ -1,0 +1,49 @@
+"""Tests for per-unit utilization reporting."""
+
+import pytest
+
+from repro.core import DSMTXSystem, SystemConfig
+from tests.core.toys import ToyDoall, ToyPipeline
+
+
+def test_utilization_reports_every_unit():
+    system = DSMTXSystem(ToyPipeline(iterations=24).dsmtx_plan(),
+                         SystemConfig(total_cores=6))
+    system.run()
+    report = system.utilization()
+    # [S, DOALL, S] at 6 cores: 4 workers + try-commit + commit.
+    assert len(report) == 6
+    assert "worker[0.0]" in report
+    assert "try-commit" in report and "commit" in report
+    for fraction in report.values():
+        assert 0.0 <= fraction <= 1.0
+
+
+def test_parallel_stage_workers_are_busy():
+    workload = ToyDoall(iterations=128, work_cycles=100_000)
+    system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=8))
+    system.run()
+    report = system.stage_utilization()
+    assert report["stage0"] > 0.5  # compute-bound parallel stage
+    assert report["commit"] < report["stage0"]
+
+
+def test_stage_utilization_structure():
+    system = DSMTXSystem(ToyPipeline(iterations=24).dsmtx_plan(),
+                         SystemConfig(total_cores=8))
+    system.run()
+    report = system.stage_utilization()
+    assert set(report) == {"stage0", "stage1", "stage2", "try-commit", "commit"}
+
+
+def test_utilization_empty_before_run():
+    system = DSMTXSystem(ToyDoall(iterations=8).dsmtx_plan(),
+                         SystemConfig(total_cores=6))
+    assert system.utilization() == {}
+
+
+def test_replica_appears_in_utilization():
+    system = DSMTXSystem(ToyDoall(iterations=16).dsmtx_plan(),
+                         SystemConfig(total_cores=8, coa_replicas=1))
+    system.run()
+    assert "coa-replica[0]" in system.utilization()

@@ -1,0 +1,146 @@
+"""Toy workloads used by the core runtime tests."""
+
+from repro.core.config import PipelineConfig
+from repro.workloads.base import ParallelPlan, Workload
+
+
+class ToyPipeline(Workload):
+    """A minimal [S, DOALL, S] pipeline.
+
+    Stage 0 reads the input element, stage 1 squares it (the parallel
+    stage), stage 2 accumulates the running sum — a miniature of the
+    compress-style benchmarks.
+    """
+
+    name = "toy"
+    suite = "tests"
+    description = "square-and-sum pipeline"
+    paradigm = "Spec-DSWP+[S,DOALL,S]"
+    speculation = ("MV",)
+
+    def __init__(self, iterations=20, work_cycles=2000, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+        self.work_cycles = work_cycles
+
+    def build(self, uva, owner, store):
+        self.input_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        self.result_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        self.sum_addr = uva.malloc(owner, 8)
+        store.write_array(self.input_base, [3 * i + 1 for i in range(self.iterations)])
+        store.write(self.sum_addr, 0)
+
+    # -- sequential semantics -------------------------------------------------------
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        x = yield from ctx.load(self.input_base + 8 * i)
+        ctx.compute(self.work_cycles)
+        y = x * x
+        yield from ctx.store(self.result_base + 8 * i, y)
+        total = yield from ctx.load(self.sum_addr)
+        yield from ctx.store(self.sum_addr, total + y)
+
+    # -- Spec-DSWP plan ----------------------------------------------------------------
+
+    def _stage0(self, ctx):
+        i = ctx.iteration
+        self_ = self
+        x = yield from ctx.load(self_.input_base + 8 * i)
+        ctx.speculate(not self_.injected_misspec(i), "injected")
+        yield from ctx.produce("x", x)
+
+    def _stage1(self, ctx):
+        x = ctx.consume("x")
+        ctx.compute(self.work_cycles)
+        y = x * x
+        yield from ctx.store(self.result_base + 8 * ctx.iteration, y, forward=(2,))
+
+    def _stage2(self, ctx):
+        i = ctx.iteration
+        y = yield from ctx.load(self.result_base + 8 * i)
+        total = yield from ctx.load(self.sum_addr)
+        yield from ctx.store(self.sum_addr, total + y, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["S", "DOALL", "S"]),
+            stage_bodies=[self._stage0, self._stage1, self._stage2],
+            label="Spec-DSWP+[S,DOALL,S]",
+        )
+
+    # -- TLS plan -------------------------------------------------------------------------
+
+    def _tls_body(self, ctx):
+        i = ctx.iteration
+        x = yield from ctx.load(self.input_base + 8 * i)
+        ctx.speculate(not self.injected_misspec(i), "injected")
+        ctx.compute(self.work_cycles)
+        y = x * x
+        yield from ctx.store(self.result_base + 8 * i, y, forward=False)
+        prev = yield from ctx.sync_recv("sum")
+        if prev is None:
+            prev = yield from ctx.load(self.sum_addr)
+        total = prev + y
+        yield from ctx.store(self.sum_addr, total, forward=False)
+        yield from ctx.sync_send("sum", total)
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._tls_body],
+            label="TLS",
+        )
+
+
+class ToyDoall(Workload):
+    """A pure Spec-DOALL loop: independent element-wise computation."""
+
+    name = "toy-doall"
+    suite = "tests"
+    description = "independent element-wise kernel"
+    paradigm = "Spec-DOALL"
+    speculation = ("CFS",)
+
+    def __init__(self, iterations=32, work_cycles=5000, misspec_iterations=None):
+        super().__init__(iterations, misspec_iterations)
+        self.work_cycles = work_cycles
+
+    def build(self, uva, owner, store):
+        self.data_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        self.out_base = uva.malloc_page_aligned(owner, self.iterations * 8)
+        store.write_array(self.data_base, [i + 1 for i in range(self.iterations)])
+
+    def sequential_body(self, ctx):
+        i = ctx.iteration
+        x = yield from ctx.load(self.data_base + 8 * i)
+        ctx.compute(self.work_cycles)
+        yield from ctx.store(self.out_base + 8 * i, 2 * x + 1)
+
+    def _body(self, ctx):
+        i = ctx.iteration
+        x = yield from ctx.load(self.data_base + 8 * i)
+        ctx.speculate(not self.injected_misspec(i), "injected error condition")
+        ctx.compute(self.work_cycles)
+        yield from ctx.store(self.out_base + 8 * i, 2 * x + 1, forward=False)
+
+    def dsmtx_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="dsmtx",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._body],
+            label="Spec-DOALL",
+        )
+
+    def tls_plan(self):
+        return ParallelPlan(
+            self,
+            scheme="tls",
+            pipeline=PipelineConfig.from_kinds(["DOALL"]),
+            stage_bodies=[self._body],
+            label="TLS",
+        )

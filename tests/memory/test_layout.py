@@ -1,0 +1,83 @@
+"""Unit and property tests for address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnmappedAddressError
+from repro.memory import (
+    PAGE_BYTES,
+    WORD_BYTES,
+    WORDS_PER_PAGE,
+    check_word_aligned,
+    owner_of,
+    page_base,
+    page_number,
+    region_base,
+    word_index,
+)
+from repro.memory.layout import MAX_OWNERS, REGION_BYTES
+
+
+def test_constants_consistent():
+    assert PAGE_BYTES == 4096  # paper's platform page size
+    assert WORD_BYTES == 8
+    assert WORDS_PER_PAGE * WORD_BYTES == PAGE_BYTES
+
+
+def test_page_number_and_base():
+    assert page_number(0) == 0
+    assert page_number(PAGE_BYTES - 1) == 0
+    assert page_number(PAGE_BYTES) == 1
+    assert page_base(3) == 3 * PAGE_BYTES
+
+
+def test_word_index():
+    assert word_index(0) == 0
+    assert word_index(8) == 1
+    assert word_index(PAGE_BYTES + 16) == 2
+
+
+def test_check_word_aligned():
+    check_word_aligned(0)
+    check_word_aligned(64)
+    with pytest.raises(UnmappedAddressError):
+        check_word_aligned(3)
+    with pytest.raises(UnmappedAddressError):
+        check_word_aligned(-8)
+
+
+def test_owner_encoding_round_trip():
+    base = region_base(5)
+    assert owner_of(base) == 5
+    assert owner_of(base + REGION_BYTES - WORD_BYTES) == 5
+    assert owner_of(base + REGION_BYTES) == 6
+
+
+def test_region_base_bounds():
+    with pytest.raises(UnmappedAddressError):
+        region_base(MAX_OWNERS)
+    with pytest.raises(UnmappedAddressError):
+        region_base(-1)
+
+
+def test_owner_of_negative():
+    with pytest.raises(UnmappedAddressError):
+        owner_of(-1)
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_page_base_inverts_page_number(address):
+    assert page_base(page_number(address)) <= address < page_base(page_number(address) + 1)
+
+
+@given(st.integers(min_value=0, max_value=MAX_OWNERS - 1),
+       st.integers(min_value=0, max_value=REGION_BYTES - 1))
+def test_owner_recoverable_from_any_region_offset(owner, offset):
+    assert owner_of(region_base(owner) + offset) == owner
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_word_index_in_range(address):
+    aligned = address - address % WORD_BYTES
+    assert 0 <= word_index(aligned) < WORDS_PER_PAGE

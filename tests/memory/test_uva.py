@@ -1,0 +1,140 @@
+"""Unit and property tests for the Unified Virtual Address space."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, OwnershipError
+from repro.memory import (
+    PAGE_BYTES,
+    WORD_BYTES,
+    UnifiedVirtualAddressSpace,
+    VersionedBuffer,
+)
+
+
+def test_malloc_returns_address_in_owner_region():
+    uva = UnifiedVirtualAddressSpace(owners=4)
+    for owner in range(4):
+        address = uva.malloc(owner, 64)
+        base, limit = uva.region_bounds(owner)
+        assert base <= address < limit
+        assert uva.owner_of(address) == owner
+
+
+def test_pointer_valid_across_threads_without_translation():
+    # The UVA property (section 3.3): an address allocated by one thread
+    # is directly meaningful to another — ownership decodes from the bits.
+    uva = UnifiedVirtualAddressSpace(owners=8)
+    address = uva.malloc(3, 128)
+    assert uva.owner_of(address) == 3  # any thread can tell who owns it
+
+
+def test_malloc_alignment():
+    uva = UnifiedVirtualAddressSpace(owners=2)
+    address = uva.malloc(0, 8, align=64)
+    assert address % 64 == 0
+    page_aligned = uva.malloc_page_aligned(0, 100)
+    assert page_aligned % PAGE_BYTES == 0
+
+
+def test_allocations_do_not_overlap():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    a = uva.malloc(0, 24)
+    b = uva.malloc(0, 24)
+    assert b >= a + 24
+
+
+def test_free_releases_and_tracks_bytes():
+    uva = UnifiedVirtualAddressSpace(owners=2)
+    address = uva.malloc(1, 48)
+    assert uva.bytes_allocated == 48
+    uva.free(address)
+    assert uva.bytes_allocated == 0
+
+
+def test_double_free_rejected():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    address = uva.malloc(0, 8)
+    uva.free(address)
+    with pytest.raises(AllocationError):
+        uva.free(address)
+
+
+def test_free_of_unallocated_rejected():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    with pytest.raises(AllocationError):
+        uva.free(1024)
+
+
+def test_invalid_sizes_rejected():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    with pytest.raises(AllocationError):
+        uva.malloc(0, 0)
+    with pytest.raises(AllocationError):
+        uva.malloc(0, 8, align=3)
+
+
+def test_unknown_owner_rejected():
+    uva = UnifiedVirtualAddressSpace(owners=2)
+    with pytest.raises(OwnershipError):
+        uva.malloc(2, 8)
+    with pytest.raises(OwnershipError):
+        UnifiedVirtualAddressSpace(owners=0)
+
+
+def test_owner_of_address_outside_configured_owners():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    other = UnifiedVirtualAddressSpace(owners=4)
+    foreign = other.malloc(3, 8)
+    with pytest.raises(OwnershipError):
+        uva.owner_of(foreign)
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 4096)), max_size=50))
+def test_allocations_disjoint_across_owners(requests):
+    uva = UnifiedVirtualAddressSpace(owners=4)
+    intervals = []
+    for owner, nbytes in requests:
+        address = uva.malloc(owner, nbytes)
+        intervals.append((address, address + nbytes))
+    intervals.sort()
+    for (a_start, a_end), (b_start, _b_end) in zip(intervals, intervals[1:]):
+        assert a_end <= b_start
+
+
+# ---------------------------------------------------------------------------
+# VersionedBuffer
+# ---------------------------------------------------------------------------
+
+
+def test_versioned_buffer_cycles_slots():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    buffer = VersionedBuffer(uva, owner=0, nbytes=PAGE_BYTES, depth=3)
+    assert buffer.base_for_iteration(0) == buffer.base_for_iteration(3)
+    assert buffer.base_for_iteration(0) != buffer.base_for_iteration(1)
+    assert len(set(buffer.slots)) == 3
+
+
+def test_versioned_buffer_slots_page_aligned_and_disjoint():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    buffer = VersionedBuffer(uva, owner=0, nbytes=100, depth=4)
+    for slot in buffer.slots:
+        assert slot % PAGE_BYTES == 0
+
+
+def test_versioned_buffer_element_addresses():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    buffer = VersionedBuffer(uva, owner=0, nbytes=64, depth=2)
+    assert buffer.element(0, 1) == buffer.base_for_iteration(0) + WORD_BYTES
+    with pytest.raises(AllocationError):
+        buffer.element(0, 8)  # 8 * 8 = 64 is out of bounds
+
+
+def test_versioned_buffer_validation():
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    with pytest.raises(AllocationError):
+        VersionedBuffer(uva, owner=0, nbytes=8, depth=0)
+    buffer = VersionedBuffer(uva, owner=0, nbytes=8, depth=1)
+    with pytest.raises(AllocationError):
+        buffer.base_for_iteration(-1)

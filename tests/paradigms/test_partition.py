@@ -1,0 +1,114 @@
+"""Unit tests for DSWP partitioning."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.paradigms import (
+    Dependence,
+    ProgramDependenceGraph,
+    Stage,
+    dswp_partition,
+    example_list_loop,
+    validate_partition,
+)
+
+
+def test_partition_keeps_recurrence_together():
+    pdg = example_list_loop().speculate()
+    stages = dswp_partition(pdg, max_stages=2)
+    assert len(stages) == 2
+    assert stages[0].statements == frozenset({"A", "B"})
+    assert stages[1].statements == frozenset({"C", "D"})
+
+
+def test_partition_three_stages():
+    pdg = example_list_loop().speculate()
+    stages = dswp_partition(pdg, max_stages=3)
+    assert [s.statements for s in stages] == [
+        frozenset({"A", "B"}),
+        frozenset({"C"}),
+        frozenset({"D"}),
+    ]
+
+
+def test_partition_cannot_split_recurrence():
+    # Even asking for 4 stages, {A,B} stays together.
+    pdg = example_list_loop().speculate()
+    stages = dswp_partition(pdg, max_stages=4)
+    assert any(s.statements == frozenset({"A", "B"}) for s in stages)
+    assert len(stages) <= 3
+
+
+def test_parallel_stage_marking():
+    pdg = example_list_loop().speculate()
+    stages = dswp_partition(pdg, max_stages=3)
+    # The traversal stage has the recurrence; C and D are replicable
+    # once their loop-carried edges were speculated away.
+    assert not stages[0].parallelizable
+    assert stages[1].parallelizable
+    assert stages[2].parallelizable
+
+
+def test_unspeculated_loop_keeps_d_sequential():
+    stages = dswp_partition(example_list_loop(), max_stages=4)
+    stage_of = {s: i for i, stage in enumerate(stages) for s in stage.statements}
+    # D->D carried dependence (file writes) makes D's stage sequential.
+    d_stage = stages[stage_of["D"]]
+    assert not d_stage.parallelizable
+
+
+def test_zero_stages_rejected():
+    with pytest.raises(PartitionError):
+        dswp_partition(example_list_loop(), max_stages=0)
+
+
+def test_validate_rejects_missing_statement():
+    pdg = example_list_loop().speculate()
+    stages = [Stage(statements=frozenset({"A", "B"}), cycles=2.0)]
+    with pytest.raises(PartitionError, match="not assigned"):
+        validate_partition(pdg, stages)
+
+
+def test_validate_rejects_duplicates():
+    pdg = example_list_loop().speculate()
+    stages = [
+        Stage(statements=frozenset({"A", "B", "C", "D"}), cycles=4.0),
+        Stage(statements=frozenset({"D"}), cycles=1.0),
+    ]
+    with pytest.raises(PartitionError, match="multiple stages"):
+        validate_partition(pdg, stages)
+
+
+def test_validate_rejects_split_recurrence():
+    pdg = example_list_loop().speculate()
+    stages = [
+        Stage(statements=frozenset({"A"}), cycles=1.0),
+        Stage(statements=frozenset({"B", "C", "D"}), cycles=3.0),
+    ]
+    with pytest.raises(PartitionError, match="recurrence"):
+        validate_partition(pdg, stages)
+
+
+def test_validate_rejects_backward_dependence():
+    pdg = ProgramDependenceGraph()
+    pdg.add_statement("X")
+    pdg.add_statement("Y")
+    pdg.add_dependence(Dependence("X", "Y"))
+    stages = [
+        Stage(statements=frozenset({"Y"}), cycles=1.0),
+        Stage(statements=frozenset({"X"}), cycles=1.0),
+    ]
+    with pytest.raises(PartitionError, match="backward"):
+        validate_partition(pdg, stages)
+
+
+def test_partition_balances_cycles():
+    pdg = ProgramDependenceGraph()
+    for name, cycles in [("A", 1.0), ("B", 10.0), ("C", 1.0)]:
+        pdg.add_statement(name, cycles)
+    pdg.add_dependence(Dependence("A", "B"))
+    pdg.add_dependence(Dependence("B", "C"))
+    stages = dswp_partition(pdg, max_stages=2)
+    # The heavy statement dominates; the partition should not lump
+    # everything into one stage.
+    assert len(stages) == 2

@@ -1,0 +1,94 @@
+"""Property-based tests: DSWP partitioning over random dependence graphs.
+
+For any loop PDG — random statements, random intra-iteration dependences
+(kept acyclic by construction, as program order guarantees), random
+loop-carried dependences — the partitioner must produce a valid pipeline
+at any stage budget: complete, non-overlapping, recurrences intact,
+communication acyclic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paradigms import (
+    Dependence,
+    ProgramDependenceGraph,
+    dswp_partition,
+    validate_partition,
+)
+
+
+@st.composite
+def random_pdg(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    names = [f"s{i}" for i in range(n)]
+    pdg = ProgramDependenceGraph()
+    for name in names:
+        pdg.add_statement(name, cycles=draw(st.floats(min_value=0.5, max_value=20.0)))
+    # Intra-iteration dependences follow program order (src before dst),
+    # which is what keeps them acyclic in real loops.
+    for src_index in range(n):
+        for dst_index in range(src_index + 1, n):
+            if draw(st.booleans()):
+                pdg.add_dependence(Dependence(names[src_index], names[dst_index]))
+    # Loop-carried dependences may point anywhere (including backward).
+    carried_count = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(carried_count):
+        src = names[draw(st.integers(0, n - 1))]
+        dst = names[draw(st.integers(0, n - 1))]
+        pdg.add_dependence(Dependence(src, dst, loop_carried=True))
+    return pdg
+
+
+@settings(max_examples=80, deadline=None)
+@given(pdg=random_pdg(), max_stages=st.integers(min_value=1, max_value=6))
+def test_partition_always_valid(pdg, max_stages):
+    stages = dswp_partition(pdg, max_stages)
+    # validate_partition raises on any violated invariant.
+    validate_partition(pdg, stages)
+    assert 1 <= len(stages) <= max_stages
+
+
+@settings(max_examples=80, deadline=None)
+@given(pdg=random_pdg(), max_stages=st.integers(min_value=1, max_value=6))
+def test_partition_covers_all_cycles(pdg, max_stages):
+    stages = dswp_partition(pdg, max_stages)
+    total = sum(stage.cycles for stage in stages)
+    expected = sum(pdg.cycles_of(s) for s in pdg.statements)
+    assert total == pytest.approx(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pdg=random_pdg())
+def test_parallel_stages_really_have_no_recurrence(pdg):
+    stages = dswp_partition(pdg, max_stages=4)
+    recurrences = pdg.recurrences()
+    for stage in stages:
+        if stage.parallelizable:
+            for recurrence in recurrences:
+                assert not (recurrence <= stage.statements)
+            for dependence in pdg.dependences:
+                inside = (dependence.src in stage.statements
+                          and dependence.dst in stage.statements)
+                assert not (inside and dependence.loop_carried)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pdg=random_pdg())
+def test_single_stage_partition_is_whole_loop(pdg):
+    (stage,) = dswp_partition(pdg, max_stages=1)
+    assert stage.statements == frozenset(pdg.statements)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pdg=random_pdg(), max_stages=st.integers(min_value=2, max_value=6))
+def test_speculation_only_refines_components(pdg, max_stages):
+    # Speculation can only remove edges, so strongly connected
+    # components can only split, never merge — and the speculated loop
+    # still partitions validly.  (The greedy balancer's *stage count*
+    # may go either way: component order can change.)
+    speculated = pdg.speculate(lambda d: d.loop_carried)  # speculate all carried
+    assert len(speculated.sccs()) >= len(pdg.sccs())
+    assert len(speculated.recurrences()) <= len(pdg.recurrences())
+    validate_partition(speculated, dswp_partition(speculated, max_stages))

@@ -1,0 +1,70 @@
+"""Unit tests for the plan-notation parser."""
+
+import pytest
+
+from repro.core.config import StageKind
+from repro.errors import PlanSyntaxError
+from repro.paradigms import format_plan, parse_plan
+from repro.workloads import table2_rows
+
+
+def test_parse_spec_dswp_brackets():
+    plan = parse_plan("Spec-DSWP+[S,DOALL,S]")
+    assert plan.technique == "DSWP"
+    assert plan.speculative
+    assert plan.stage_kinds == (StageKind.SEQUENTIAL, StageKind.PARALLEL,
+                                StageKind.SEQUENTIAL)
+    assert plan.needs_mtx  # speculation spanning a pipeline requires MTXs
+
+
+def test_parse_per_stage_speculation():
+    plan = parse_plan("DSWP+[Spec-DOALL,S]")
+    assert not plan.speculative
+    assert plan.stage_speculative == (True, False)
+    assert not plan.needs_mtx  # single-stage speculation fits in a TX
+
+
+def test_parse_simple_techniques():
+    for text in ("DOALL", "DOACROSS", "TLS", "DSWP"):
+        plan = parse_plan(text)
+        assert plan.technique == text
+        assert not plan.speculative
+
+
+def test_parse_spec_doall():
+    plan = parse_plan("Spec-DOALL")
+    assert plan.technique == "DOALL"
+    assert plan.speculative
+    assert not plan.needs_mtx
+
+
+def test_round_trip_formatting():
+    for text in (
+        "Spec-DSWP+[S,DOALL,S]",
+        "DSWP+[Spec-DOALL,S]",
+        "Spec-DSWP+[DOALL,S]",
+        "Spec-DOALL",
+        "TLS",
+    ):
+        assert format_plan(parse_plan(text)) == text
+
+
+def test_pipeline_config_from_plan():
+    plan = parse_plan("Spec-DSWP+[S,DOALL,S]")
+    pipeline = plan.pipeline_config()
+    assert pipeline.describe() == "[S,DOALL,S]"
+    assert parse_plan("Spec-DOALL").pipeline_config().num_stages == 1
+
+
+def test_syntax_errors():
+    for bad in ("", "Spec-", "MAGIC", "DOALL+[S]", "DSWP+[S,", "DSWP+[S,WARP]",
+                "DSWP+[]"):
+        with pytest.raises(PlanSyntaxError):
+            parse_plan(bad)
+
+
+def test_all_table2_paradigms_parse():
+    # Every paradigm string the registry reports must round-trip.
+    for row in table2_rows():
+        plan = parse_plan(row["paradigm"])
+        assert plan.technique in ("DSWP", "DOALL")

@@ -1,0 +1,86 @@
+"""Unit tests for the Figure 1 schedulers."""
+
+import pytest
+
+from repro.errors import ParadigmError
+from repro.paradigms import (
+    Dependence,
+    ProgramDependenceGraph,
+    doacross_schedule,
+    doall_schedule,
+    dswp_schedule,
+    example_list_loop,
+    schedule_loop,
+)
+
+
+def speculated():
+    return example_list_loop().speculate()
+
+
+def test_figure1c_doacross_latency_1():
+    # Paper Figure 1(c): latency 1 cycle -> DOACROSS 2 cycles/iter.
+    result = doacross_schedule(speculated(), cores=2, iterations=100, latency=1.0)
+    assert result.cycles_per_iteration == pytest.approx(2.0)
+
+
+def test_figure1d_doacross_latency_2():
+    # Paper Figure 1(d): latency 2 cycles -> DOACROSS 3 cycles/iter
+    # (speedup drops from 2x to 1.33x).
+    result = doacross_schedule(speculated(), cores=2, iterations=100, latency=2.0)
+    assert result.cycles_per_iteration == pytest.approx(3.0)
+    assert result.speedup_over(4.0) == pytest.approx(4.0 / 3.0)
+
+
+def test_figure1_dswp_latency_insensitive():
+    # Paper Figure 1(c,d): DSWP stays at 2 cycles/iter at both latencies.
+    for latency in (1.0, 2.0, 8.0):
+        result, _stages = dswp_schedule(speculated(), cores=2, iterations=100,
+                                        latency=latency)
+        assert result.cycles_per_iteration == pytest.approx(2.0)
+
+
+def test_dswp_fill_time_grows_with_latency():
+    fast, _ = dswp_schedule(speculated(), cores=2, iterations=50, latency=1.0)
+    slow, _ = dswp_schedule(speculated(), cores=2, iterations=50, latency=10.0)
+    assert slow.makespan > fast.makespan  # fill time differs
+    assert slow.cycles_per_iteration == pytest.approx(fast.cycles_per_iteration)
+
+
+def test_doall_requires_independence():
+    with pytest.raises(ParadigmError, match="DOALL illegal"):
+        doall_schedule(speculated(), cores=2, iterations=10, latency=1.0)
+
+
+def test_doall_scales_with_cores():
+    pdg = ProgramDependenceGraph()
+    pdg.add_statement("W", cycles=4.0)
+    one = doall_schedule(pdg, cores=1, iterations=100, latency=1.0)
+    four = doall_schedule(pdg, cores=4, iterations=100, latency=1.0)
+    assert one.cycles_per_iteration == pytest.approx(4.0)
+    # The finish-time estimator quantizes at core granularity.
+    assert four.cycles_per_iteration == pytest.approx(1.0, rel=0.05)
+
+
+def test_schedule_loop_requires_complete_assignment():
+    with pytest.raises(ParadigmError, match="without a core"):
+        schedule_loop(speculated(), {"A": 0}, iterations=10, latency=1.0)
+
+
+def test_schedule_loop_needs_iterations():
+    with pytest.raises(ParadigmError):
+        schedule_loop(speculated(), {s: 0 for s in "ABCD"}, iterations=1, latency=1.0)
+
+
+def test_single_core_schedule_is_sequential():
+    result = schedule_loop(speculated(), {s: 0 for s in "ABCD"},
+                           iterations=50, latency=5.0)
+    assert result.cycles_per_iteration == pytest.approx(4.0)
+
+
+def test_doacross_more_cores_do_not_beat_dependence_chain():
+    # The carried chain B(i) -> A(i+1) bounds DOACROSS regardless of
+    # core count once latency dominates.
+    two = doacross_schedule(speculated(), cores=2, iterations=100, latency=4.0)
+    eight = doacross_schedule(speculated(), cores=8, iterations=100, latency=4.0)
+    assert eight.cycles_per_iteration == pytest.approx(two.cycles_per_iteration)

@@ -1,0 +1,350 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    EventAlreadyTriggered,
+    ProcessInterrupt,
+    SimulationError,
+)
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.timeout(3.0)
+        times.append(env.now)
+        yield env.timeout(2.0)
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [3.0, 5.0]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    got = []
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        got.append(value)
+
+    env.process(proc())
+    env.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_process_return_value_via_run_until():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        return 42
+
+    result = env.run(until=env.process(proc()))
+    assert result == 42
+
+
+def test_process_exception_propagates_from_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=env.process(proc()))
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10.0)
+
+    env.process(proc())
+    env.run(until=25.0)
+    assert env.now == 25.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+
+
+def test_process_waits_on_manual_event():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(7.0)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(7.0, "open")]
+
+
+def test_failed_event_raises_inside_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("bad"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["bad"]
+
+
+def test_unhandled_failed_event_surfaces():
+    env = Environment()
+    gate = env.event()
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("nobody catches me"))
+
+    env.process(failer())
+    with pytest.raises(ValueError, match="nobody catches me"):
+        env.run()
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ["a", "b", "c"]:
+        env.process(proc(name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_yield_already_processed_event_resumes():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    log = []
+
+    def proc():
+        value = yield done
+        log.append(value)
+
+    env.process(proc())
+    env.run()
+    assert log == ["early"]
+
+
+def test_all_of_collects_values_in_order():
+    env = Environment()
+    results = []
+
+    def proc():
+        events = [env.timeout(3.0, "slow"), env.timeout(1.0, "fast")]
+        values = yield env.all_of(events)
+        results.append((env.now, values))
+
+    env.process(proc())
+    env.run()
+    assert results == [(3.0, ["slow", "fast"])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+    results = []
+
+    def proc():
+        values = yield env.all_of([])
+        results.append(values)
+
+    env.process(proc())
+    env.run()
+    assert results == [[]]
+
+
+def test_any_of_returns_first():
+    env = Environment()
+    results = []
+
+    def proc():
+        index, value = yield env.any_of([env.timeout(3.0, "slow"), env.timeout(1.0, "fast")])
+        results.append((env.now, index, value))
+
+    env.process(proc())
+    env.run()
+    assert results == [(1.0, 1, "fast")]
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except ProcessInterrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def attacker(target):
+        yield env.timeout(5.0)
+        target.interrupt(cause="misspec")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == [(5.0, "misspec")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except ProcessInterrupt:
+            pass
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    def attacker(target):
+        yield env.timeout(5.0)
+        target.interrupt()
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == [6.0]
+
+
+def test_run_until_event_that_never_triggers_deadlocks():
+    env = Environment()
+    never = env.event()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    env.process(quick())
+    with pytest.raises(DeadlockError):
+        env.run(until=never)
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(DeadlockError):
+        env.step()
+
+
+def test_nested_process_waits_for_child():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield env.process(child())
+        log.append((env.now, result))
+
+    env.process(parent())
+    env.run()
+    assert log == [(2.0, "child-result")]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(4.0)
+    assert env.peek() == 4.0
+
+
+def test_peek_empty_is_infinite():
+    env = Environment()
+    assert env.peek() == float("inf")

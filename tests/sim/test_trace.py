@@ -1,0 +1,95 @@
+"""Tests for the simulation tracer."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.trace import Tracer
+
+
+def run_some_events(env):
+    def proc():
+        for _ in range(5):
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+
+
+def test_tracer_records_events():
+    env = Environment()
+    tracer = Tracer(env)
+    run_some_events(env)
+    assert tracer.total_events > 0
+    assert tracer.counts["Timeout"] == 5
+    assert "Process" in tracer.counts
+
+
+def test_tracer_ring_buffer_bounds_memory():
+    env = Environment()
+    tracer = Tracer(env, capacity=3)
+    run_some_events(env)
+    assert len(tracer.records) == 3
+    assert tracer.total_events > 3
+
+
+def test_tracer_tail_and_render():
+    env = Environment()
+    tracer = Tracer(env)
+    run_some_events(env)
+    tail = tracer.tail(2)
+    assert len(tail) == 2
+    text = tracer.render_tail(3)
+    assert "Timeout" in text or "Process" in text
+    assert "time (us)" in text
+
+
+def test_tracer_records_failures():
+    env = Environment()
+    tracer = Tracer(env)
+    gate = env.event()
+
+    def failer():
+        yield env.timeout(1.0)
+        gate.fail(ValueError("boom"))
+
+    def catcher():
+        try:
+            yield gate
+        except ValueError:
+            pass
+
+    env.process(catcher())
+    env.process(failer())
+    env.run()
+    assert any(not record.ok for record in tracer.records)
+
+
+def test_tracer_detach_stops_recording():
+    env = Environment()
+    tracer = Tracer(env)
+    run_some_events(env)
+    before = tracer.total_events
+    tracer.detach()
+    run_some_events(env)
+    assert tracer.total_events == before
+
+
+def test_tracer_summary():
+    env = Environment()
+    tracer = Tracer(env)
+    run_some_events(env)
+    summary = tracer.summary()
+    assert summary["total"] == tracer.total_events
+    assert summary["Timeout"] == 5
+
+
+def test_tracer_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(Environment(), capacity=0)
+
+
+def test_tracer_on_empty_run():
+    env = Environment()
+    tracer = Tracer(env)
+    assert tracer.tail() == []
+    assert tracer.summary() == {"total": 0}

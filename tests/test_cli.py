@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_table2(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "164.gzip" in out
+    assert "Spec-DSWP+[S,DOALL,S]" in out
+    assert "Memory Versioning" in out
+
+
+def test_run_single_benchmark(capsys):
+    assert main(["run", "swaptions", "--cores", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "swaptions on 8 cores" in out
+    assert "Spec-DOALL" in out
+    assert "TLS" in out
+    assert "MTXs" in out
+
+
+def test_run_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run", "999.nothere"])
+
+
+def test_sweep_small(capsys):
+    assert main(["sweep", "swaptions", "--cores", "8,16"]) == 0
+    out = capsys.readouterr().out
+    assert "swaptions scalability" in out
+    assert "8" in out and "16" in out
+
+
+def test_sweep_drops_undersized_core_counts(capsys):
+    # gzip's 3-stage pipeline needs 5 cores; 4 is skipped silently.
+    assert main(["sweep", "164.gzip", "--cores", "4,8"]) == 0
+    out = capsys.readouterr().out
+    assert "8" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_core_list_parsing():
+    args = build_parser().parse_args(["sweep", "crc32", "--cores", "8,32,64"])
+    assert args.cores == [8, 32, 64]

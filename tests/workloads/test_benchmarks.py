@@ -1,0 +1,135 @@
+"""Correctness tests for the 11 benchmark workloads.
+
+The strongest property the runtime offers: for every benchmark, under
+both the DSMTX plan and the TLS plan, at any core count, the committed
+master memory must equal what sequential execution produces.
+"""
+
+import pytest
+
+from repro.core import DSMTXSystem, SystemConfig
+from repro.core.context import SequentialMeter
+from repro.memory import UnifiedVirtualAddressSpace
+from repro.workloads import BENCHMARKS, run_body
+from repro.workloads.base import WriteThroughStore
+
+#: Observable output regions per benchmark: (attribute, words) with
+#: words=None meaning one word per iteration.
+OUTPUT_REGIONS = {
+    "052.alvinn": [("partials_base", None)],
+    "130.li": [("results_base", None)],
+    "164.gzip": [("output_base", None)],
+    "179.art": [("matches_base", None)],
+    "197.parser": [("results_base", None)],
+    "256.bzip2": [("output_base", None)],
+    "456.hmmer": [("hist_base", 64), ("max_addr", 1)],
+    "464.h264ref": [("bitstream_base", None)],
+    "crc32": [("checksums_base", None)],
+    "blackscholes": [("prices_base", None), ("total_addr", 1)],
+    "swaptions": [("prices_base", None)],
+}
+
+#: Small-but-representative iteration counts for tests.
+TEST_ITERATIONS = {
+    "052.alvinn": 48,
+    "130.li": 40,
+    "164.gzip": 24,
+    "179.art": 40,
+    "197.parser": 40,
+    "256.bzip2": 24,
+    "456.hmmer": 48,
+    "464.h264ref": 10,
+    "crc32": 12,
+    "blackscholes": 48,
+    "swaptions": 24,
+}
+
+
+def sequential_outputs(name, iterations):
+    """Run the workload sequentially; return {(attr, index): value}."""
+    workload = BENCHMARKS[name](iterations=iterations)
+    config = SystemConfig(total_cores=8)
+    meter = SequentialMeter(config)
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    workload.build(uva, 0, WriteThroughStore(meter._space))
+    for iteration in range(iterations):
+        meter.begin_iteration(iteration)
+        run_body(workload.sequential_body(meter))
+    outputs = {}
+    for attr, words in OUTPUT_REGIONS[name]:
+        base = getattr(workload, attr)
+        count = iterations if words is None else words
+        for index in range(count):
+            outputs[(attr, index)] = meter._space.read(base + 8 * index)
+    return outputs
+
+
+def parallel_outputs(name, iterations, scheme, cores=8):
+    workload = BENCHMARKS[name](iterations=iterations)
+    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    system = DSMTXSystem(plan, SystemConfig(total_cores=cores))
+    result = system.run()
+    assert result.iterations == iterations
+    outputs = {}
+    for attr, words in OUTPUT_REGIONS[name]:
+        base = getattr(workload, attr)
+        count = iterations if words is None else words
+        for index in range(count):
+            outputs[(attr, index)] = system.commit.master.read(base + 8 * index)
+    return outputs, system
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_dsmtx_matches_sequential(name):
+    iterations = TEST_ITERATIONS[name]
+    expected = sequential_outputs(name, iterations)
+    actual, system = parallel_outputs(name, iterations, "dsmtx")
+    assert actual == expected
+    assert system.stats.misspeculations == 0
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_tls_matches_sequential(name):
+    iterations = TEST_ITERATIONS[name]
+    expected = sequential_outputs(name, iterations)
+    actual, _system = parallel_outputs(name, iterations, "tls")
+    assert actual == expected
+
+
+@pytest.mark.parametrize("name", ["164.gzip", "456.hmmer", "blackscholes"])
+def test_dsmtx_correct_at_higher_core_count(name):
+    iterations = TEST_ITERATIONS[name]
+    expected = sequential_outputs(name, iterations)
+    actual, _system = parallel_outputs(name, iterations, "dsmtx", cores=24)
+    assert actual == expected
+
+
+@pytest.mark.parametrize("name", ["179.art", "197.parser", "swaptions"])
+def test_misspeculation_recovery_preserves_results(name):
+    iterations = TEST_ITERATIONS[name]
+    expected = sequential_outputs(name, iterations)
+    workload = BENCHMARKS[name](
+        iterations=iterations, misspec_iterations={iterations // 3}
+    )
+    system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=8))
+    result = system.run()
+    assert system.stats.misspeculations == 1
+    assert result.iterations == iterations
+    for (attr, index), value in expected.items():
+        base = getattr(workload, attr)
+        assert system.commit.master.read(base + 8 * index) == value
+
+
+def test_hmmer_tls_recovery_with_value_chain():
+    # The TLS histogram chain must survive a rollback: after recovery
+    # the chain restarts from committed memory.
+    name = "456.hmmer"
+    iterations = TEST_ITERATIONS[name]
+    expected = sequential_outputs(name, iterations)
+    workload = BENCHMARKS[name](iterations=iterations, misspec_iterations={7})
+    system = DSMTXSystem(workload.tls_plan(), SystemConfig(total_cores=8))
+    system.run()
+    assert system.stats.misspeculations == 1
+    for (attr, index), value in expected.items():
+        base = getattr(workload, attr)
+        assert system.commit.master.read(base + 8 * index) == value

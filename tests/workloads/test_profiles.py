@@ -1,0 +1,96 @@
+"""Tests of the workloads' modelled profiles: determinism, relative
+communication volumes, and structural properties the figures rely on."""
+
+import pytest
+
+from repro.core import DSMTXSystem, SystemConfig
+from repro.workloads import BENCHMARKS, Bzip2, Gzip, Swaptions
+
+SMALL = {
+    "052.alvinn": 48, "130.li": 32, "164.gzip": 16, "179.art": 32,
+    "197.parser": 32, "256.bzip2": 12, "456.hmmer": 32, "464.h264ref": 8,
+    "crc32": 12, "blackscholes": 32, "swaptions": 16,
+}
+
+
+def run_stats(name, cores=8):
+    workload = BENCHMARKS[name](iterations=SMALL[name])
+    system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=cores))
+    result = system.run()
+    return result, system.stats
+
+
+def test_sequential_seconds_deterministic():
+    config = SystemConfig(total_cores=8)
+    for name, factory in BENCHMARKS.items():
+        workload_a = factory(iterations=SMALL[name])
+        workload_b = factory(iterations=SMALL[name])
+        assert workload_a.sequential_seconds(config) == pytest.approx(
+            workload_b.sequential_seconds(config)), name
+
+
+def test_parallel_runs_deterministic():
+    a, stats_a = run_stats("197.parser")
+    b, stats_b = run_stats("197.parser")
+    assert a.elapsed_seconds == b.elapsed_seconds
+    assert stats_a.queue_bytes == stats_b.queue_bytes
+
+
+def test_gzip_moves_more_data_per_iteration_than_others():
+    _result, gzip_stats = run_stats("164.gzip")
+    _result, hmmer_stats = run_stats("456.hmmer")
+    gzip_per_iter = gzip_stats.queue_bytes / SMALL["164.gzip"]
+    hmmer_per_iter = hmmer_stats.queue_bytes / SMALL["456.hmmer"]
+    assert gzip_per_iter > 20 * hmmer_per_iter
+
+
+def test_bzip2_computes_more_per_byte_than_gzip():
+    config = SystemConfig(total_cores=8)
+    gzip_seq = Gzip(iterations=16).sequential_seconds(config) / 16
+    bzip_seq = Bzip2(iterations=16).sequential_seconds(config) / 16
+    assert bzip_seq > 2 * gzip_seq  # "the amount of computation is much more"
+
+
+def test_art_iterations_are_imbalanced():
+    from repro.workloads import Art
+
+    art = Art(iterations=64)
+    cycles = [art._match_cycles(i) for i in range(64)]
+    assert max(cycles) > 3 * min(cycles)
+
+
+def test_crc32_file_sizes_vary():
+    from repro.workloads import Crc32
+
+    crc = Crc32(iterations=24)
+    assert max(crc._file_pages) > 2 * min(crc._file_pages)
+    # File layout is contiguous and non-overlapping.
+    for index in range(1, 24):
+        assert (crc._file_first_page[index]
+                == crc._file_first_page[index - 1] + crc._file_pages[index - 1])
+
+
+def test_h264_iterations_model_gops():
+    from repro.workloads import H264Ref
+
+    h264 = H264Ref()
+    assert h264.iterations == 40  # speedup limited by GoP count
+    assert h264.encode_cycles > 10 * Swaptions.simulate_cycles
+
+
+def test_speculative_read_traffic_only_where_mvs():
+    # Only li and parser declare memory value speculation; only they
+    # should generate read-validation traffic.
+    for name in ("130.li", "197.parser"):
+        _result, stats = run_stats(name)
+        assert stats.reads_checked > 0, name
+    for name in ("164.gzip", "blackscholes", "swaptions"):
+        _result, stats = run_stats(name)
+        assert stats.reads_checked == 0, name
+
+
+def test_workload_requires_positive_iterations():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        Gzip(iterations=0)

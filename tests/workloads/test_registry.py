@@ -1,0 +1,84 @@
+"""Tests for the benchmark registry (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    BENCHMARKS,
+    SPECULATION_LEGEND,
+    all_benchmarks,
+    table2_rows,
+    workload_class,
+)
+
+
+def test_registry_has_all_eleven_benchmarks():
+    assert len(BENCHMARKS) == 11
+
+
+def test_registry_order_matches_table2():
+    assert list(BENCHMARKS) == [
+        "052.alvinn", "130.li", "164.gzip", "179.art", "197.parser",
+        "256.bzip2", "456.hmmer", "464.h264ref", "crc32",
+        "blackscholes", "swaptions",
+    ]
+
+
+def test_table2_metadata_complete():
+    for row in table2_rows():
+        assert row["suite"]
+        assert row["description"]
+        assert row["paradigm"]
+        assert row["speculation"]
+
+
+def test_table2_paper_values_spot_check():
+    rows = {row["benchmark"]: row for row in table2_rows()}
+    assert rows["052.alvinn"]["paradigm"] == "Spec-DOALL"
+    assert rows["052.alvinn"]["speculation"] == "MV"
+    assert rows["130.li"]["paradigm"] == "DSWP+[Spec-DOALL,S]"
+    assert rows["130.li"]["speculation"] == "CFS/MVS/MV"
+    assert rows["164.gzip"]["paradigm"] == "Spec-DSWP+[S,DOALL,S]"
+    assert rows["256.bzip2"]["speculation"] == "CFS/MV"
+    assert rows["456.hmmer"]["paradigm"] == "Spec-DSWP+[DOALL,S]"
+    assert rows["blackscholes"]["speculation"] == "CFS"
+    assert rows["swaptions"]["paradigm"] == "Spec-DOALL"
+
+
+def test_speculation_legend():
+    assert SPECULATION_LEGEND["CFS"] == "Control Flow Speculation"
+    assert SPECULATION_LEGEND["MVS"] == "Memory Value Speculation"
+    assert SPECULATION_LEGEND["MV"] == "Memory Versioning"
+
+
+def test_workload_class_lookup():
+    cls = workload_class("164.gzip")
+    assert cls.name == "164.gzip"
+    with pytest.raises(ConfigurationError):
+        workload_class("999.unknown")
+
+
+def test_all_benchmarks_factories_construct():
+    for name, factory in all_benchmarks():
+        workload = factory(iterations=8)
+        assert workload.name == name
+        assert workload.iterations == 8
+
+
+def test_plan_labels_match_paradigms():
+    # The DSMTX plan label is the Table 2 paradigm string.
+    for name, factory in all_benchmarks():
+        workload = factory(iterations=8)
+        assert workload.dsmtx_plan().label == workload.paradigm
+        assert workload.tls_plan().label == "TLS"
+
+
+def test_identical_parallelizations_for_alvinn_and_swaptions():
+    # Section 5.1: for 052.alvinn and swaptions the DSMTX and TLS
+    # parallelizations are the same (Spec-DOALL, no communication).
+    for name in ("052.alvinn", "swaptions"):
+        workload = BENCHMARKS[name](iterations=8)
+        dsmtx = workload.dsmtx_plan()
+        tls = workload.tls_plan()
+        assert dsmtx.pipeline().describe() == tls.pipeline().describe() == "[DOALL]"
+        assert dsmtx.stage_body(0) == tls.stage_body(0)
