@@ -9,14 +9,28 @@ simulator rather than the authors' InfiniBand testbed.
 
 Set ``REPRO_FULL_SWEEP=1`` to use the paper's full 8..128 core grid in
 Figure 4 instead of the five-point default.
+
+Pass ``--trace-out out.json`` (or set ``REPRO_TRACE=out.json``) to any
+bench that drives :class:`~repro.core.DSMTXSystem` directly and every
+run is captured as a Perfetto trace — repeated runs get ``out.1.json``,
+``out.2.json``, ... (see ``docs/OBSERVABILITY.md``; plain ``--trace``
+is pytest's debugger flag).
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import pathlib
+import sys
 
-__all__ = ["CORE_COUNTS", "RECOVERY_CORE_COUNTS", "write_report"]
+__all__ = [
+    "CORE_COUNTS",
+    "RECOVERY_CORE_COUNTS",
+    "observed_run",
+    "trace_path",
+    "write_report",
+]
 
 _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -28,6 +42,53 @@ else:
 
 #: Core counts for the Figure 6 recovery analysis.
 RECOVERY_CORE_COUNTS = (32, 64, 96, 128)
+
+
+#: Counts traced runs so one bench invocation yields distinct files.
+_TRACE_SEQUENCE = itertools.count()
+
+
+def trace_path() -> str | None:
+    """The trace output requested for this bench invocation, if any.
+
+    Reads ``--trace-out PATH`` / ``--trace-out=PATH`` from the command
+    line (registered with pytest in ``benchmarks/conftest.py``), falling
+    back to the ``REPRO_TRACE`` environment variable.
+    """
+    argv = sys.argv
+    for index, arg in enumerate(argv):
+        if arg == "--trace-out" and index + 1 < len(argv):
+            return argv[index + 1]
+        if arg.startswith("--trace-out="):
+            return arg.split("=", 1)[1]
+    return os.environ.get("REPRO_TRACE")
+
+
+def observed_run(system, iterations=None):
+    """``system.run()``, capturing a Perfetto trace when requested.
+
+    With no ``--trace-out``/``REPRO_TRACE`` this is ``system.run()``
+    — no instrumentation is attached, so bench timings are unaffected.
+    When tracing, the first run of the invocation writes to the given
+    path and later runs to ``<stem>.N<suffix>``.
+    """
+    path = trace_path()
+    if path is None:
+        return system.run(iterations)
+    from repro.obs import instrument, write_chrome_trace
+
+    hub = instrument(system)
+    result = system.run(iterations)
+    hub.finalize(system)
+    sequence = next(_TRACE_SEQUENCE)
+    out = pathlib.Path(path)
+    if sequence:
+        out = out.with_name(f"{out.stem}.{sequence}{out.suffix}")
+    write_chrome_trace(
+        hub.tracer, out, metadata={"metrics": hub.metrics.snapshot()}
+    )
+    print(f"trace written: {out}", file=sys.stderr)
+    return result
 
 
 def write_report(name: str, text: str) -> None:

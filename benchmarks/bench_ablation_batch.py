@@ -7,7 +7,7 @@ small batches detect misspeculation sooner (less squashed run-ahead),
 large batches amortize the MPI call overhead better.
 """
 
-from _common import write_report
+from _common import observed_run, write_report
 from repro.analysis import render_table
 from repro.core import DSMTXSystem, SystemConfig
 from repro.workloads import Parser
@@ -23,7 +23,7 @@ def _run(batch_bytes, misspec):
                       misspec_iterations=misspec if misspec else set())
     config = SystemConfig(total_cores=CORES, batch_bytes=batch_bytes)
     system = DSMTXSystem(workload.dsmtx_plan(), config)
-    result = system.run()
+    result = observed_run(system)
     return result.elapsed_seconds, system.stats
 
 

@@ -7,7 +7,7 @@ constructive prefetcher.  This bench runs a scan kernel with genuine
 spatial locality (many words read per page) under both granularities.
 """
 
-from _common import write_report
+from _common import observed_run, write_report
 from repro.analysis import render_table
 from repro.core import DSMTXSystem, PipelineConfig, SystemConfig
 from repro.workloads import ParallelPlan, Workload
@@ -62,7 +62,7 @@ def _measure():
         config = SystemConfig(total_cores=CORES, coa_page_granularity=page_mode)
         workload = ScanKernel()
         system = DSMTXSystem(workload.dsmtx_plan(), config)
-        run = system.run()
+        run = observed_run(system)
         transfers = (system.stats.coa_pages_served if page_mode
                      else system.stats.coa_words_served)
         results[granularity] = (run.elapsed_seconds, transfers)

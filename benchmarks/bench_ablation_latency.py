@@ -10,7 +10,7 @@ simulated InfiniBand latency under 456.hmmer on 64 cores.
 
 from dataclasses import replace
 
-from _common import write_report
+from _common import observed_run, write_report
 from repro.analysis import render_table
 from repro.cluster import DEFAULT_CLUSTER
 from repro.core import DSMTXSystem, SystemConfig
@@ -26,7 +26,7 @@ def _speedup(scheme, latency_us):
     sequential = Hmmer().sequential_seconds(config)
     workload = Hmmer()
     plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
-    result = DSMTXSystem(plan, config).run()
+    result = observed_run(DSMTXSystem(plan, config))
     return sequential / result.elapsed_seconds
 
 

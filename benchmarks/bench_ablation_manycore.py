@@ -11,7 +11,7 @@ crippled on the cluster — becomes competitive on-chip, because its
 cyclic dependences now cost nanoseconds rather than microseconds.
 """
 
-from _common import write_report
+from _common import observed_run, write_report
 from repro.analysis import render_table
 from repro.cluster import DEFAULT_CLUSTER
 from repro.cluster.spec import SCC_LIKE
@@ -26,7 +26,7 @@ def _speedup(cluster, scheme):
     sequential = Li().sequential_seconds(config)
     workload = Li()
     plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
-    result = DSMTXSystem(plan, config).run()
+    result = observed_run(DSMTXSystem(plan, config))
     return sequential / result.elapsed_seconds
 
 

@@ -10,7 +10,7 @@ such pages can never be committed to, so replica caches cannot go
 stale) and measures the payoff at high core counts.
 """
 
-from _common import write_report
+from _common import observed_run, write_report
 from repro.analysis import render_table
 from repro.core import DSMTXSystem, SystemConfig
 from repro.workloads import BENCHMARKS
@@ -25,7 +25,7 @@ def _speedup(name, replicas):
     config = SystemConfig(total_cores=CORES, coa_replicas=replicas)
     sequential = factory().sequential_seconds(config)
     system = DSMTXSystem(factory().dsmtx_plan(), config)
-    result = system.run()
+    result = observed_run(system)
     hits = sum(replica.hits for replica in system.coa_replicas)
     return sequential / result.elapsed_seconds, hits
 

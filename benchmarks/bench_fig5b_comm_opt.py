@@ -8,7 +8,7 @@ whose array data is already explicitly produced in chunks — see little
 benefit (section 5.3).
 """
 
-from _common import write_report
+from _common import observed_run, write_report
 from fig4_data import figure4_point
 from repro.analysis import geomean, render_table
 from repro.core import DSMTXSystem, SystemConfig
@@ -35,7 +35,7 @@ def _measure():
             workload.dsmtx_plan(),
             SystemConfig(total_cores=CORES, channel_mode="direct"),
         )
-        run = system.run()
+        run = observed_run(system)
         unoptimized = sequential / run.elapsed_seconds
         results[name] = (unoptimized, optimized)
         rows.append([name, f"{unoptimized:.1f}x", f"{optimized:.1f}x",

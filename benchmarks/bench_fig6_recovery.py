@@ -12,7 +12,7 @@ every iteration past the misspeculated one.
 as in the paper: they have no input-dependent misspeculation.
 """
 
-from _common import RECOVERY_CORE_COUNTS, write_report
+from _common import RECOVERY_CORE_COUNTS, observed_run, write_report
 from repro.analysis import render_table
 from repro.core import DSMTXSystem, SystemConfig
 from repro.workloads import BENCHMARKS
@@ -36,7 +36,7 @@ def _run(name, cores, with_misspec):
     misspec = _injected(iterations) if with_misspec else set()
     workload = factory(misspec_iterations=misspec)
     system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=cores))
-    result = system.run()
+    result = observed_run(system)
     return system, result
 
 

@@ -1,0 +1,21 @@
+"""Bench-local pytest hooks.
+
+Registers the ``--trace-out`` option so bench invocations like::
+
+    pytest benchmarks/bench_fig6_recovery.py --benchmark-only \
+        --trace-out out.json
+
+are accepted (pytest already owns plain ``--trace`` for its debugger);
+``_common.observed_run`` reads the value from ``sys.argv``, so setting
+``REPRO_TRACE=out.json`` works identically.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        action="store",
+        default=None,
+        help="capture each DSMTX run as a Perfetto trace at this path "
+             "(repeats get a .N suffix); see docs/OBSERVABILITY.md",
+    )

@@ -9,6 +9,11 @@ from repro.analysis.bandwidth import (
     bandwidth_series,
 )
 from repro.analysis.report import render_series, render_stacked_bars, render_table
+from repro.analysis.timeline import (
+    attribution,
+    render_attribution,
+    render_timeline,
+)
 from repro.analysis.speedup import (
     ScalabilityPoint,
     geomean,
@@ -27,6 +32,9 @@ __all__ = [
     "render_table",
     "render_series",
     "render_stacked_bars",
+    "attribution",
+    "render_attribution",
+    "render_timeline",
     "series_to_csv",
     "table_to_csv",
     "write_csv",

@@ -1,0 +1,121 @@
+"""Text-mode timeline and time-attribution views over a trace.
+
+Works directly on a :class:`repro.obs.SpanTracer` (or any object with a
+compatible ``events`` list), so the same data that feeds the Perfetto
+export can be inspected without leaving the terminal:
+
+* :func:`attribution` / :func:`render_attribution` — sum the duration of
+  every complete ("X") span per category and report counts, totals and
+  the share of simulated elapsed time.  Categories *nest* (a
+  ``worker.compute`` span contains the ``page_fault`` spans its COA
+  fetches produce), so the shares can legitimately sum past 100%.
+* :func:`render_timeline` — an ASCII chart with one row per (pid, tid)
+  track and one column per time bucket; each cell shows the letter of
+  the category that occupied most of that bucket, so pipeline phases,
+  commit rounds and recovery episodes are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.report import render_table
+
+__all__ = [
+    "attribution",
+    "render_attribution",
+    "render_timeline",
+]
+
+
+def attribution(tracer) -> Dict[str, Tuple[int, float]]:
+    """Per-category ``(span_count, total_duration_us)`` over all "X" events."""
+    out: Dict[str, List[float]] = {}
+    for event in tracer.events:
+        if event.ph != "X":
+            continue
+        bucket = out.setdefault(event.cat, [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += event.dur
+    return {cat: (int(count), dur) for cat, (count, dur) in out.items()}
+
+
+def render_attribution(tracer, elapsed_us: float | None = None) -> str:
+    """Fixed-width attribution table, largest total first.
+
+    ``elapsed_us`` defaults to the last event timestamp seen by the
+    tracer.  Because spans nest, the ``share`` column is per-category
+    (time-in-category over elapsed), not a partition of the run.
+    """
+    attrib = attribution(tracer)
+    if elapsed_us is None:
+        elapsed_us = tracer.last_ts()
+    rows = []
+    for cat, (count, dur) in sorted(
+        attrib.items(), key=lambda item: item[1][1], reverse=True
+    ):
+        share = (dur / elapsed_us * 100.0) if elapsed_us > 0 else 0.0
+        rows.append([cat, count, f"{dur:,.1f}", f"{share:.1f}%"])
+    return render_table(
+        ["category", "spans", "total us", "share"],
+        rows,
+        title="time attribution (spans nest; shares may exceed 100%)",
+    )
+
+
+def _track_label(tracer, pid: int, tid: int) -> str:
+    name = tracer.thread_names.get((pid, tid))
+    if name:
+        return name
+    return f"pid{pid}/tid{tid}"
+
+
+def render_timeline(tracer, width: int = 72) -> str:
+    """ASCII timeline: one row per (pid, tid) track, ``width`` columns.
+
+    Each column is one time bucket; the cell shows the letter assigned
+    to the category whose spans covered the most of that bucket on that
+    track ("." when idle).  A legend maps letters back to categories.
+    """
+    spans = [e for e in tracer.events if e.ph == "X" and e.dur > 0]
+    if not spans:
+        return "(no spans recorded)"
+    end = max(e.ts + e.dur for e in spans)
+    begin = min(e.ts for e in spans)
+    extent = max(end - begin, 1e-9)
+    bucket_us = extent / width
+
+    categories = sorted({e.cat for e in spans})
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+    letter_of = {cat: letters[i % len(letters)] for i, cat in enumerate(categories)}
+
+    # (pid, tid) -> per-bucket {category: covered_us}
+    tracks: Dict[Tuple[int, int], List[Dict[str, float]]] = {}
+    for e in spans:
+        row = tracks.setdefault((e.pid, e.tid), [dict() for _ in range(width)])
+        first = int((e.ts - begin) / bucket_us)
+        last = int((e.ts + e.dur - begin) / bucket_us)
+        for b in range(max(first, 0), min(last, width - 1) + 1):
+            lo = begin + b * bucket_us
+            hi = lo + bucket_us
+            covered = min(e.ts + e.dur, hi) - max(e.ts, lo)
+            if covered > 0:
+                cell = row[b]
+                cell[e.cat] = cell.get(e.cat, 0.0) + covered
+
+    labels = {key: _track_label(tracer, *key) for key in tracks}
+    label_width = max(len(label) for label in labels.values())
+    lines = [f"timeline  ({extent:,.1f} us across {width} buckets)"]
+    for key in sorted(tracks):
+        cells = []
+        for cell in tracks[key]:
+            if not cell:
+                cells.append(".")
+            else:
+                dominant = max(cell.items(), key=lambda item: item[1])[0]
+                cells.append(letter_of[dominant])
+        lines.append(f"{labels[key].rjust(label_width)} |{''.join(cells)}|")
+    lines.append("legend: " + "  ".join(
+        f"{letter_of[cat]}={cat}" for cat in categories
+    ))
+    return "\n".join(lines)

@@ -6,6 +6,7 @@ Run benchmarks and inspect the suite without writing code::
     python -m repro run 456.hmmer --cores 64     # one run, both schemes
     python -m repro sweep blackscholes           # Figure 4 panel
     python -m repro bandwidth                    # Figure 5(a)
+    python -m repro trace crc32 --out t.json     # Perfetto trace of one run
 
 All runs execute on the simulated cluster; times reported are simulated
 seconds, speedups are against the single-core sequential execution.
@@ -21,10 +22,13 @@ from repro.analysis import (
     bandwidth_series,
     geomean,
     measure_speedup,
+    render_attribution,
     render_series,
     render_table,
+    render_timeline,
 )
 from repro.core import DSMTXSystem, SystemConfig
+from repro.obs import instrument, write_chrome_trace, write_trace_csv
 from repro.workloads import BENCHMARKS, SPECULATION_LEGEND, table2_rows
 
 DEFAULT_SWEEP = (8, 32, 64, 96, 128)
@@ -122,6 +126,57 @@ def cmd_bandwidth(_args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run one benchmark instrumented and export a Perfetto trace."""
+    factory = _factory(args.benchmark)
+    kwargs = {}
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+    iterations = factory(**kwargs).iterations
+    if not args.no_misspec:
+        # Inject one deterministic misspeculation mid-run so the trace
+        # exercises the recovery categories (drain/ERM/FLQ/SEQ).
+        kwargs["misspec_iterations"] = {iterations // 2}
+    workload = factory(**kwargs)
+    plan = (workload.dsmtx_plan() if args.scheme == "dsmtx"
+            else workload.tls_plan())
+    system = DSMTXSystem(plan, SystemConfig(total_cores=args.cores))
+    hub = instrument(system)
+    result = system.run()
+    hub.finalize(system)
+
+    out = args.out or f"{args.benchmark}.trace.json"
+    metadata = {
+        "benchmark": args.benchmark,
+        "scheme": args.scheme,
+        "plan": plan.label,
+        "cores": args.cores,
+        "metrics": hub.metrics.snapshot(),
+    }
+    write_chrome_trace(hub.tracer, out, metadata=metadata)
+    if args.csv:
+        write_trace_csv(hub.tracer, args.csv)
+
+    stats = result.stats
+    elapsed_us = stats.elapsed_seconds * 1e6
+    print(f"{args.benchmark} ({plan.label}) on {args.cores} cores: "
+          f"{stats.elapsed_seconds * 1e3:.2f} ms simulated, "
+          f"{stats.committed_mtxs} MTXs, "
+          f"{stats.misspeculations} misspeculation(s)")
+    print(f"wrote {len(hub.tracer)} events to {out}"
+          + (f" and {args.csv}" if args.csv else ""))
+    if hub.tracer.dropped:
+        print(f"warning: {hub.tracer.dropped} events dropped "
+              f"(raise tracer capacity)", file=sys.stderr)
+    print()
+    print(render_attribution(hub.tracer, elapsed_us=elapsed_us))
+    print()
+    print(render_timeline(hub.tracer))
+    print()
+    print("open the JSON in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
 def _core_list(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -151,6 +206,23 @@ def build_parser() -> argparse.ArgumentParser:
     geo.add_argument("--cores", type=_core_list, default=[128])
 
     sub.add_parser("bandwidth", help="bandwidth requirements (Figure 5(a))")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one benchmark instrumented; write a Perfetto trace "
+             "(docs/OBSERVABILITY.md)",
+    )
+    trace.add_argument("benchmark")
+    trace.add_argument("--cores", type=int, default=16)
+    trace.add_argument("--scheme", choices=("dsmtx", "tls"), default="dsmtx")
+    trace.add_argument("--iterations", type=int, default=None,
+                       help="override the workload's iteration count")
+    trace.add_argument("--out", default=None,
+                       help="trace JSON path (default: <benchmark>.trace.json)")
+    trace.add_argument("--csv", default=None,
+                       help="also write a flat CSV of the events")
+    trace.add_argument("--no-misspec", action="store_true",
+                       help="do not inject the default mid-run misspeculation")
     return parser
 
 
@@ -162,6 +234,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "geomean": cmd_geomean,
         "bandwidth": cmd_bandwidth,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -23,6 +23,7 @@ from typing import Any, Generator, Optional
 
 from repro.cluster.mpi import MPI, MPIVariant
 from repro.errors import ChannelClosedError, CommunicationError
+from repro.obs.tracer import CAT_QUEUE, PID_CLUSTER
 from repro.sim import Event
 
 __all__ = ["Channel", "CLOSE_TOKEN"]
@@ -136,12 +137,21 @@ class Channel:
         )
 
     def _push_batch(self) -> Generator[Event, Any, None]:
+        obs = self.env.obs
+        start = self.env.now if obs is not None else 0.0
         batch, self._send_buffer = self._send_buffer, []
         nbytes, self._send_buffer_bytes = self._send_buffer_bytes, 0
         self.batches_sent += 1
         yield from self.mpi.send(
             self.src_core, self.dst_core, batch, nbytes, tag=self.name, variant=self.variant
         )
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_QUEUE, f"push:{self.name}", PID_CLUSTER, self.src_core, start,
+                items=len(batch), bytes=nbytes,
+            )
+            obs.metrics.counter("queue.batches").inc()
+            obs.metrics.histogram("queue.batch_bytes").observe(nbytes)
 
     # -- consuming -------------------------------------------------------------
 

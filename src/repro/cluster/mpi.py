@@ -20,6 +20,7 @@ from repro.cluster.interconnect import Interconnect
 from repro.cluster.node import Machine
 from repro.cluster.spec import MPIVariant
 from repro.errors import CommunicationError
+from repro.obs.tracer import CAT_MPI_RECV, CAT_MPI_SEND, PID_CLUSTER
 from repro.sim import Environment, Event, Store
 
 __all__ = ["MPI", "MPIVariant"]
@@ -72,6 +73,8 @@ class MPI:
         """
         if src_rank == dst_rank:
             raise CommunicationError(f"send to self (rank {src_rank}) is not supported")
+        obs = self.env.obs
+        start = self.env.now if obs is not None else 0.0
         core = self.machine.core(src_rank)
         yield from core.drain()
         sender_instructions = self.spec.mpi_variant_sender_instructions[variant]
@@ -84,6 +87,13 @@ class MPI:
             nbytes + ENVELOPE_BYTES,
             deliver=lambda: box.put(payload),
         )
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_MPI_SEND, variant.value, PID_CLUSTER, src_rank, start,
+                dst=dst_rank, bytes=nbytes,
+            )
+            obs.metrics.counter("mpi.sends").inc()
+            obs.metrics.histogram("mpi.send_bytes").observe(nbytes)
 
     def recv(
         self, dst_rank: int, src_rank: int, tag: Any = 0
@@ -95,11 +105,19 @@ class MPI:
         :class:`~repro.errors.ChannelFlushedError` if the mailbox is
         flushed (misspeculation recovery) while blocked.
         """
+        obs = self.env.obs
+        start = self.env.now if obs is not None else 0.0
         core = self.machine.core(dst_rank)
         yield from core.drain()
         box = self.mailbox(src_rank, dst_rank, tag)
         payload = yield box.get()
         yield core.execute_instructions(self.spec.mpi_recv_instructions)
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_MPI_RECV, "MPI_Recv", PID_CLUSTER, dst_rank, start,
+                src=src_rank,
+            )
+            obs.metrics.counter("mpi.recvs").inc()
         return payload
 
     def try_recv(self, dst_rank: int, src_rank: int, tag: Any = 0) -> tuple[bool, Any]:

@@ -35,6 +35,15 @@ from repro.core.messages import (
 from repro.core.stats import RecoveryRecord
 from repro.errors import RecoveryError
 from repro.memory import AddressSpace
+from repro.obs.tracer import (
+    CAT_COMMIT,
+    CAT_PAGE_FAULT,
+    CAT_RECOVERY_DRAIN,
+    CAT_RECOVERY_ERM,
+    CAT_RECOVERY_FLQ,
+    CAT_RECOVERY_SEQ,
+    PID_RUNTIME,
+)
 from repro.sim import Event
 
 __all__ = ["CommitUnit"]
@@ -109,6 +118,8 @@ class CommitUnit:
         page copy (page granularity — the prefetching design the paper
         adopts) or a single word (the ablation's word granularity)."""
         page_no, requester_tid, word_index = payload
+        obs = self.system.obs
+        start = self.system.env.now if obs is not None else 0.0
         self.core.charge_instructions(COA_SERVICE_INSTRUCTIONS)
         if word_index is None:
             page = self.master.get_page(page_no).snapshot()
@@ -130,6 +141,12 @@ class CommitUnit:
                 (page_no, word_index, value),
                 nbytes=16,
             )
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_PAGE_FAULT, "coa.serve", PID_RUNTIME, self.tid, start,
+                page=page_no, requester=requester_tid,
+            )
+            obs.metrics.counter("coa.serves").inc()
 
     def _drain_queue(self, queue) -> None:
         """Group a clog queue's entries into per-iteration write sets."""
@@ -159,6 +176,9 @@ class CommitUnit:
         """Group-commit every in-order MTX that is validated and whose
         subTX logs have fully arrived."""
         system = self.system
+        obs = system.obs
+        start = system.env.now if obs is not None else 0.0
+        committed, committed_words = 0, 0
         while (
             self.next_commit < system.total_iterations
             and self.next_commit in self.validated
@@ -178,8 +198,22 @@ class CommitUnit:
             self.core.charge_instructions(words * system.config.commit_instructions)
             system.stats.words_committed += words
             system.stats.committed_mtxs += 1
+            committed += 1
+            committed_words += words
             self.next_commit += 1
         yield from self.core.drain()
+        if obs is not None and committed:
+            obs.tracer.complete(
+                CAT_COMMIT, "group_commit", PID_RUNTIME, self.tid, start,
+                mtxs=committed, words=committed_words,
+            )
+            obs.tracer.counter_sample(
+                "committed_mtxs", PID_RUNTIME, self.tid, mtxs=self.next_commit
+            )
+            obs.metrics.counter("commit.group_commits").inc()
+            obs.metrics.histogram(
+                "commit.words_per_round", buckets=(1, 4, 16, 64, 256, 1024, 4096)
+            ).observe(committed_words)
 
     def _check_read_only(self, writes) -> None:
         """COA replicas rely on read-only pages never being committed
@@ -210,6 +244,13 @@ class CommitUnit:
             return
         state.begin_draining(misspec_iteration)
         self._drain_started_at = self.system.env.now
+        obs = self.system.obs
+        if obs is not None:
+            obs.tracer.instant(
+                CAT_RECOVERY_DRAIN, "misspec.detected", PID_RUNTIME, self.tid,
+                iteration=misspec_iteration,
+            )
+            obs.metrics.counter("recovery.misspec_notices").inc()
         for queue in self.system.all_queues():
             queue.release_all_credits()
 
@@ -261,6 +302,29 @@ class CommitUnit:
         system.state.resume(restart_base=self.next_commit)
         yield from system.recovery._barrier_cost(self)
         yield system.recovery.resume_barrier.wait()
+        obs = system.obs
+        if obs is not None:
+            tracer = obs.tracer
+            tid = self.tid
+            tracer.complete(
+                CAT_RECOVERY_DRAIN, "drain", PID_RUNTIME, tid, detected_at,
+                end_s=recovery_started, iteration=misspec_iteration,
+            )
+            tracer.complete(
+                CAT_RECOVERY_ERM, "erm", PID_RUNTIME, tid, recovery_started,
+                end_s=erm_done,
+            )
+            tracer.complete(
+                CAT_RECOVERY_FLQ, "flq", PID_RUNTIME, tid, erm_done,
+                end_s=flq_done, discarded=discarded,
+            )
+            tracer.complete(
+                CAT_RECOVERY_SEQ, "seq", PID_RUNTIME, tid, flq_done,
+                end_s=seq_done, reexecuted=reexecuted,
+            )
+            obs.metrics.counter("recovery.episodes").inc()
+            obs.metrics.counter("recovery.squashed_iterations").inc(squashed)
+            obs.metrics.counter("recovery.reexecuted_iterations").inc(reexecuted)
         system.stats.recoveries.append(
             RecoveryRecord(
                 misspec_iteration=misspec_iteration,

@@ -23,6 +23,7 @@ from typing import Any, Generator
 
 from repro.core.messages import BatchEnvelope, ControlEnvelope
 from repro.errors import RecoveryAbort
+from repro.obs.tracer import CAT_MPI_RECV, PID_RUNTIME
 from repro.sim import Event, Store
 
 __all__ = ["Endpoint"]
@@ -62,11 +63,24 @@ class Endpoint:
         state = self.system.state
         if check_state and not ready and (state.in_recovery or state.done):
             raise RecoveryAbort("system state changed while draining")
+        obs = self.system.obs
+        start = self.system.env.now if obs is not None else 0.0
         envelope = yield self.inbox.get()
         if ready:
             core.charge_instructions(self.system.cluster.mpi_recv_ready_instructions)
         else:
             core.charge_instructions(self.system.cluster.mpi_recv_instructions)
+        if obs is not None:
+            if not ready:
+                # Only receives that actually blocked get a span; the
+                # polling fast path would flood the trace with zero-width
+                # events.
+                obs.tracer.complete(
+                    CAT_MPI_RECV, "inbox.recv", PID_RUNTIME, self.tid, start
+                )
+                obs.metrics.counter("endpoint.recv_blocked").inc()
+            else:
+                obs.metrics.counter("endpoint.recv_ready").inc()
         return envelope
 
     def _route(self, envelope: Any, arrival_order: bool) -> None:

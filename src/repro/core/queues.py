@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.core.messages import BatchEnvelope, entry_bytes
+from repro.obs.tracer import CAT_QUEUE, PID_RUNTIME
 from repro.sim import Event, Resource
 
 __all__ = ["RuntimeQueue"]
@@ -96,6 +97,11 @@ class RuntimeQueue:
             yield from self._push_batch()
 
     def _push_batch(self) -> Generator[Event, Any, None]:
+        # The span deliberately covers the credit wait: time blocked on
+        # flow control is queue time, and it is exactly the decoupling
+        # stall the section 5.4 trade-off is about.
+        obs = self.system.obs
+        start = self.system.env.now if obs is not None else 0.0
         credit = self._credits.request()
         yield credit
         credit_id = self._next_credit_id
@@ -121,6 +127,13 @@ class RuntimeQueue:
             variant=self.system.config.mpi_variant,
             mailbox=self.system.inbox_of(self.dst_tid),
         )
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_QUEUE, f"push:{self.name}", PID_RUNTIME, self.src_tid, start,
+                purpose=self.purpose, entries=len(entries), bytes=nbytes,
+            )
+            obs.metrics.counter(f"queue.batches.{self.purpose}").inc()
+            obs.metrics.histogram("queue.batch_bytes").observe(nbytes)
 
     def src_tid_core_index(self) -> int:
         return self.system.core_of(self.src_tid).index

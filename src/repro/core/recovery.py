@@ -28,6 +28,12 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.errors import ChannelFlushedError, RecoveryAbort
+from repro.obs.tracer import (
+    CAT_RECOVERY_ERM,
+    CAT_RECOVERY_FLQ,
+    CAT_RECOVERY_SEQ,
+    PID_RUNTIME,
+)
 from repro.sim import Barrier, Event
 
 __all__ = ["RecoveryCoordinator"]
@@ -54,6 +60,9 @@ class RecoveryCoordinator:
         try-commit unit.  Returns after the resume barrier (or at once
         if the run terminated instead)."""
         system = self.system
+        obs = system.obs
+        env = system.env
+        entered = env.now if obs is not None else 0.0
         # Wait for the commit unit to actually enter recovery mode; the
         # inbox flush it performs will wake us if we block meanwhile.
         while not system.state.in_recovery:
@@ -67,6 +76,11 @@ class RecoveryCoordinator:
         # ERM: synchronize into recovery mode.
         yield from self._barrier_cost(unit)
         yield self.erm_barrier.wait()
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_RECOVERY_ERM, "erm", PID_RUNTIME, unit.tid, entered
+            )
+            erm_done = env.now
         # FLQ: reinstate protections, discard local speculative state.
         dropped_pages = unit.discard_speculative_state()
         unit.core.charge_instructions(
@@ -74,8 +88,18 @@ class RecoveryCoordinator:
         )
         yield from self._barrier_cost(unit)
         yield self.flq_barrier.wait()
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_RECOVERY_FLQ, "flq", PID_RUNTIME, unit.tid, erm_done,
+                dropped_pages=dropped_pages,
+            )
+            flq_done = env.now
         # SEQ runs at the commit unit; we wait for the resume barrier.
         yield from self._barrier_cost(unit)
         yield self.resume_barrier.wait()
         # Propagation of the resume notification.
         yield system.env.timeout(2 * system.cluster.inter_node_latency_s)
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_RECOVERY_SEQ, "seq.wait", PID_RUNTIME, unit.tid, flq_done
+            )

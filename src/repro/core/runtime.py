@@ -68,6 +68,9 @@ class DSMTXSystem:
         self.mpi = MPI(self.env, self.machine, self.interconnect)
         self.state = SystemState()
         self.stats = RunStats()
+        #: Observability hub (:func:`repro.obs.instrument` attaches one);
+        #: every runtime hook site no-ops while this is ``None``.
+        self.obs = None
 
         pipeline: PipelineConfig = workload.pipeline()
         self.pipeline = pipeline

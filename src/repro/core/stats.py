@@ -72,12 +72,18 @@ class RunStats:
     recoveries: list = field(default_factory=list)
     #: Wall-clock (simulated) duration of the parallel region.
     elapsed_seconds: float = 0.0
+    #: Observability hub (:class:`repro.obs.Observability`) mirroring the
+    #: byte accounting into its metrics registry; ``None`` when the run
+    #: is not instrumented.
+    observer: object = field(default=None, repr=False, compare=False)
 
     def record_queue_bytes(self, purpose: str, nbytes: int) -> None:
         self.queue_bytes += nbytes
         self.queue_bytes_by_purpose[purpose] = (
             self.queue_bytes_by_purpose.get(purpose, 0) + nbytes
         )
+        if self.observer is not None:
+            self.observer.metrics.counter(f"queue.bytes.{purpose}").inc(nbytes)
 
     @property
     def erm_seconds(self) -> float:

@@ -40,6 +40,7 @@ from repro.errors import (
     RecoveryAbort,
 )
 from repro.memory import AddressSpace, page_number, word_index
+from repro.obs.tracer import CAT_COMPUTE, CAT_PAGE_FAULT, CAT_QUEUE, PID_RUNTIME
 from repro.sim import Event
 
 __all__ = ["Worker"]
@@ -101,11 +102,25 @@ class Worker:
             self.context.first_on_worker = first
             first = False
             body = system.workload_stage_body(self.stage_index)
+            obs = system.obs
+            start = system.env.now if obs is not None else 0.0
             try:
                 yield from body(self.context)
             except MisspeculationDetected as misspec:
+                if obs is not None:
+                    obs.tracer.complete(
+                        CAT_COMPUTE, f"stage{self.stage_index}.body",
+                        PID_RUNTIME, self.tid, start,
+                        iteration=iteration, misspec=True,
+                    )
                 yield from self._report_misspec(misspec)
                 raise RecoveryAbort(str(misspec)) from misspec
+            if obs is not None:
+                obs.tracer.complete(
+                    CAT_COMPUTE, f"stage{self.stage_index}.body",
+                    PID_RUNTIME, self.tid, start, iteration=iteration,
+                )
+                obs.metrics.counter("worker.subtxs").inc()
             yield from self.mtx_end(iteration)
             self.iterations_executed += 1
             iteration += replicas
@@ -131,6 +146,8 @@ class Worker:
         self.context.begin_iteration(iteration)
         self.current_log = []
         self.pending_forwards = []
+        obs = self.system.obs
+        start = self.system.env.now if obs is not None else 0.0
         if self.stage_index > 0:
             # About to block on upstream subTXs: push out any completed
             # log batches first, so the validation and commit units are
@@ -154,6 +171,11 @@ class Worker:
                     self.apply_forwarded(entry[1], entry[2])
                 elif kind == DATA:
                     self.context.incoming.setdefault(entry[1], []).append(entry[2])
+        if obs is not None and self.stage_index > 0:
+            obs.tracer.complete(
+                CAT_QUEUE, "mtx_begin.wait", PID_RUNTIME, self.tid, start,
+                iteration=iteration,
+            )
 
     def mtx_end(self, iteration: int) -> Generator[Event, Any, None]:
         """Exit the subTX: forward stores to later stages (flushed now)
@@ -161,6 +183,8 @@ class Worker:
         if self.system.state.in_recovery:
             raise RecoveryAbort("recovery at mtx_end")
         system = self.system
+        obs = system.obs
+        start = system.env.now if obs is not None else 0.0
         # Uncommitted value forwarding to later stages (writeAll/writeTo).
         for later_stage in range(self.stage_index + 1, system.num_stages):
             consumer_tid = system.worker_tid_for(later_stage, iteration)
@@ -183,6 +207,11 @@ class Worker:
         yield from clog.produce((END_SUBTX, iteration, self.stage_index))
         self.current_log = []
         self.pending_forwards = []
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_QUEUE, "mtx_end.forward", PID_RUNTIME, self.tid, start,
+                iteration=iteration,
+            )
         if system.state.draining:
             # While the system drains toward a rollback, logs must reach
             # the validation/commit units promptly.
@@ -273,6 +302,8 @@ class Worker:
         One round trip; the whole 4 KiB page comes back, prefetching
         neighbouring words (section 4.2).
         """
+        obs = self.system.obs
+        start = self.system.env.now if obs is not None else 0.0
         target_tid = self.system.coa_target_tid(page_no, self.tid)
         yield from self.endpoint.send_ctl(
             target_tid, CTL_COA_REQUEST, (page_no, self.tid, None)
@@ -289,9 +320,17 @@ class Worker:
         if pending:
             for index, value in pending.items():
                 page.write(index, value)
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_PAGE_FAULT, "coa.fetch", PID_RUNTIME, self.tid, start,
+                page=page_no, server=target_tid,
+            )
+            obs.metrics.counter("coa.page_fetches").inc()
 
     def _coa_fetch_word(self, page_no: int, index: int) -> Generator[Event, Any, Any]:
         """Word-granularity COA: one round trip for a single word."""
+        obs = self.system.obs
+        start = self.system.env.now if obs is not None else 0.0
         yield from self.endpoint.send_ctl(
             self.system.commit_tid, CTL_COA_REQUEST, (page_no, self.tid, index)
         )
@@ -299,6 +338,12 @@ class Worker:
             envelope = yield from self.endpoint.wait_ctl(CTL_COA_RESPONSE)
             got_page_no, got_index, value = envelope.payload
             if got_page_no == page_no and got_index == index:
+                if obs is not None:
+                    obs.tracer.complete(
+                        CAT_PAGE_FAULT, "coa.fetch_word", PID_RUNTIME, self.tid,
+                        start, page=page_no, word=index,
+                    )
+                    obs.metrics.counter("coa.word_fetches").inc()
                 return value
 
     # -- recovery ------------------------------------------------------------------------------------

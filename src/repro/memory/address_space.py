@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Iterator, Tuple
 from repro.errors import ProtectionFault
 from repro.memory.layout import check_word_aligned, page_number, word_index
 from repro.memory.page import Page
+from repro.obs.tracer import CAT_PAGE_FAULT, PID_RUNTIME
 
 __all__ = ["AddressSpace"]
 
@@ -39,6 +40,10 @@ class AddressSpace:
         self.pages_installed = 0
         #: Protection faults taken (stats; each one is a COA round trip).
         self.faults_taken = 0
+        #: Observability hook: :func:`repro.obs.instrument` attaches the
+        #: hub here (plus the owning unit's tid); ``None`` means no-op.
+        self.obs = None
+        self.owner_tid = -1
 
     # -- word access ------------------------------------------------------------
 
@@ -71,6 +76,12 @@ class AddressSpace:
     def _page_miss(self, address: int, page_no: int) -> Page:
         if self.faulting:
             self.faults_taken += 1
+            if self.obs is not None:
+                self.obs.tracer.instant(
+                    CAT_PAGE_FAULT, "protection_fault", PID_RUNTIME,
+                    self.owner_tid, page=page_no, space=self.name,
+                )
+                self.obs.metrics.counter("memory.protection_faults").inc()
             raise ProtectionFault(address, page_no)
         page = Page(page_no)
         self.pages[page_no] = page
@@ -96,6 +107,8 @@ class AddressSpace:
         """Install a COA-transferred page copy, clearing its protection."""
         self.pages[page.number] = page
         self.pages_installed += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("memory.pages_installed").inc()
 
     def drop_page(self, page_no: int) -> None:
         """Discard one page, reinstating its protection."""

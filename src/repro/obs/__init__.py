@@ -1,0 +1,85 @@
+"""``repro.obs`` — unified observability: structured tracing + metrics.
+
+The subsystem has three parts (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.tracer` — a typed span/event tracer over simulated
+  time, with the fixed category taxonomy every instrumentation hook in
+  the simulator, cluster, runtime, and memory layers uses;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms that subsumes and feeds the evaluation's
+  :class:`~repro.core.stats.RunStats`;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON and
+  flat CSV exporters.
+
+Attach with :func:`instrument` (or the scoped :func:`observe`) before
+running a :class:`~repro.core.runtime.DSMTXSystem`; when nothing is
+attached every hook is a single ``is None`` check, so tracing is
+zero-cost when disabled.  Text-mode attribution tables and timelines
+live in :mod:`repro.analysis.timeline`; the CLI front-end is
+``python -m repro trace <benchmark>``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    trace_csv,
+    write_chrome_trace,
+    write_trace_csv,
+)
+from repro.obs.hub import Observability, detach, instrument, observe
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    ALL_CATEGORIES,
+    CAT_COMMIT,
+    CAT_COMPUTE,
+    CAT_MPI_RECV,
+    CAT_MPI_SEND,
+    CAT_PAGE_FAULT,
+    CAT_QUEUE,
+    CAT_RECOVERY_DRAIN,
+    CAT_RECOVERY_ERM,
+    CAT_RECOVERY_FLQ,
+    CAT_RECOVERY_SEQ,
+    PID_CLUSTER,
+    PID_RUNTIME,
+    SpanTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "Observability",
+    "instrument",
+    "detach",
+    "observe",
+    "SpanTracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "BYTES_BUCKETS",
+    "LATENCY_BUCKETS_US",
+    "chrome_trace",
+    "write_chrome_trace",
+    "trace_csv",
+    "write_trace_csv",
+    "ALL_CATEGORIES",
+    "PID_RUNTIME",
+    "PID_CLUSTER",
+    "CAT_MPI_SEND",
+    "CAT_MPI_RECV",
+    "CAT_QUEUE",
+    "CAT_COMMIT",
+    "CAT_PAGE_FAULT",
+    "CAT_RECOVERY_DRAIN",
+    "CAT_RECOVERY_ERM",
+    "CAT_RECOVERY_FLQ",
+    "CAT_RECOVERY_SEQ",
+    "CAT_COMPUTE",
+]

@@ -1,0 +1,114 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and flat CSV.
+
+The JSON exporter emits the `Chrome trace event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+(JSON-object flavour, ``{"traceEvents": [...]}``), which loads directly
+in `Perfetto <https://ui.perfetto.dev>`_ and ``chrome://tracing``.
+Every event carries the required ``ph``/``ts``/``pid``/``tid``/``name``
+keys; spans are complete ("X") events with ``dur``; metadata ("M")
+events name the process and thread tracks.
+
+The CSV exporter flattens the same records for spreadsheet/pandas
+post-processing: one row per event, args JSON-encoded in the last
+column.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Optional
+
+from repro.obs.tracer import SpanTracer, TraceEvent
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "trace_csv",
+    "write_trace_csv",
+]
+
+
+def _event_dict(event: TraceEvent) -> dict:
+    out = {
+        "ph": event.ph,
+        "cat": event.cat,
+        "name": event.name,
+        "ts": event.ts,
+        "pid": event.pid,
+        "tid": event.tid,
+    }
+    if event.ph == "X":
+        out["dur"] = event.dur
+    if event.ph == "i":
+        out["s"] = "t"  # thread-scoped instant
+    if event.args is not None:
+        out["args"] = event.args
+    return out
+
+
+def chrome_trace(tracer: SpanTracer, metadata: Optional[dict] = None) -> dict:
+    """Build the ``trace_event`` JSON object for ``tracer``.
+
+    ``metadata`` (e.g. a metrics snapshot, the run configuration) lands
+    under ``otherData``, where Perfetto surfaces it in the trace info.
+    """
+    events: list = []
+    for pid, name in sorted(tracer.process_names.items()):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "ts": 0, "args": {"name": name},
+        })
+    for (pid, tid), name in sorted(tracer.thread_names.items()):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "ts": 0, "args": {"name": name},
+        })
+    events.extend(_event_dict(e) for e in sorted(tracer.events, key=lambda e: e.ts))
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    other = dict(metadata or {})
+    if tracer.dropped:
+        other["dropped_events"] = tracer.dropped
+    if other:
+        trace["otherData"] = other
+    return trace
+
+
+def write_chrome_trace(
+    tracer: SpanTracer, path, metadata: Optional[dict] = None
+) -> None:
+    """Serialize :func:`chrome_trace` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, metadata), handle, default=str)
+
+
+CSV_COLUMNS = ("ts_us", "dur_us", "ph", "category", "name", "pid", "tid", "args")
+
+
+def trace_csv(events: Iterable[TraceEvent]) -> str:
+    """Flatten ``events`` into CSV text (header + one row per event)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for event in sorted(events, key=lambda e: e.ts):
+        writer.writerow([
+            f"{event.ts:.3f}",
+            f"{event.dur:.3f}",
+            event.ph,
+            event.cat,
+            event.name,
+            event.pid,
+            event.tid,
+            json.dumps(event.args, default=str) if event.args else "",
+        ])
+    return buffer.getvalue()
+
+
+def write_trace_csv(tracer: SpanTracer, path) -> None:
+    """Serialize the tracer's events as CSV to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(trace_csv(tracer.events))

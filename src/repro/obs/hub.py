@@ -1,0 +1,133 @@
+"""Observability hub: one tracer + one metrics registry per run.
+
+:func:`instrument` is the single entry point: given a constructed (not
+yet run) :class:`~repro.core.runtime.DSMTXSystem`, it creates an
+:class:`Observability` hub and attaches it to every hook point — the
+system, its simulation environment (where the cluster substrate finds
+it), the unit address spaces, and the run statistics.  All hook sites
+guard on the attribute being ``None``, so a system that was never
+instrumented records nothing and pays only that check.
+
+Usage::
+
+    system = DSMTXSystem(workload.dsmtx_plan(), config)
+    hub = instrument(system)
+    result = system.run()
+    hub.finalize(system)
+    write_chrome_trace(hub.tracer, "trace.json", metadata=hub.metrics.snapshot())
+
+or, scoped::
+
+    with observe(system) as hub:
+        result = system.run()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import PID_CLUSTER, PID_RUNTIME, SpanTracer
+
+__all__ = ["Observability", "instrument", "detach", "observe"]
+
+
+class Observability:
+    """Bundle of one :class:`SpanTracer` and one :class:`MetricsRegistry`."""
+
+    def __init__(self, env, capacity: int = 1_000_000) -> None:
+        self.env = env
+        self.tracer = SpanTracer(env, capacity=capacity)
+        self.metrics = MetricsRegistry()
+
+    def finalize(self, system) -> None:
+        """Ingest the run's aggregate state into the metrics registry.
+
+        Subsumes :class:`~repro.core.stats.RunStats` — every counter the
+        evaluation reports becomes a metric — and snapshots per-unit
+        core utilization as gauges.
+        """
+        stats = system.stats
+        m = self.metrics
+        m.gauge("run.elapsed_seconds").set(stats.elapsed_seconds)
+        m.gauge("run.bandwidth_bps").set(stats.bandwidth_bps())
+        for name, value in (
+            ("run.committed_mtxs", stats.committed_mtxs),
+            ("run.misspeculations", stats.misspeculations),
+            ("run.coa_pages_served", stats.coa_pages_served),
+            ("run.coa_words_served", stats.coa_words_served),
+            ("run.queue_batches", stats.queue_batches),
+            ("run.reads_checked", stats.reads_checked),
+            ("run.words_committed", stats.words_committed),
+        ):
+            m.gauge(name).set(value)
+        for purpose, nbytes in sorted(stats.queue_bytes_by_purpose.items()):
+            m.gauge(f"run.queue_bytes.{purpose}").set(nbytes)
+        m.gauge("run.queue_bytes.total").set(stats.queue_bytes)
+        for phase in ("erm", "flq", "seq"):
+            m.gauge(f"run.recovery.{phase}_seconds").set(
+                getattr(stats, f"{phase}_seconds")
+            )
+        for label, fraction in system.utilization().items():
+            m.gauge(f"util.{label}").set(fraction)
+
+
+def instrument(system, capacity: int = 1_000_000) -> Observability:
+    """Attach a fresh hub to ``system``; returns the hub.
+
+    Must run before :meth:`DSMTXSystem.run`.  Attaching changes no
+    simulated timing — the hooks only *read* the clock — so an
+    instrumented run reproduces the uninstrumented run's results
+    exactly.
+    """
+    hub = Observability(system.env, capacity=capacity)
+    system.obs = hub
+    system.env.obs = hub
+    system.stats.observer = hub
+    # Memory hooks: per-unit address spaces report faults/installs.
+    for worker in system.workers:
+        worker.space.obs = hub
+        worker.space.owner_tid = worker.tid
+    system.try_commit.shadow.obs = hub
+    system.try_commit.shadow.owner_tid = system.try_commit.tid
+    system.commit.master.obs = hub
+    system.commit.master.owner_tid = system.commit.tid
+    # Perfetto track names.
+    tracer = hub.tracer
+    tracer.set_process_name(PID_RUNTIME, "dsmtx runtime units")
+    tracer.set_process_name(PID_CLUSTER, "cluster cores")
+    for worker in system.workers:
+        tracer.set_thread_name(
+            PID_RUNTIME, worker.tid,
+            f"worker[{worker.stage_index}.{worker.replica}]",
+        )
+    tracer.set_thread_name(PID_RUNTIME, system.trycommit_tid, "try-commit")
+    tracer.set_thread_name(PID_RUNTIME, system.commit_tid, "commit")
+    for index, tid in enumerate(system.replica_tids):
+        tracer.set_thread_name(PID_RUNTIME, tid, f"coa-replica[{index}]")
+    for tid in range(system.num_units):
+        core = system.core_of(tid)
+        tracer.set_thread_name(PID_CLUSTER, core.index, f"core{core.index}")
+    return hub
+
+
+def detach(system) -> None:
+    """Remove the hub from every hook point of ``system``."""
+    system.obs = None
+    system.env.obs = None
+    system.stats.observer = None
+    for worker in system.workers:
+        worker.space.obs = None
+    system.try_commit.shadow.obs = None
+    system.commit.master.obs = None
+
+
+@contextmanager
+def observe(system, capacity: int = 1_000_000) -> Iterator[Observability]:
+    """Scoped :func:`instrument`/:func:`detach` around a run."""
+    hub = instrument(system, capacity=capacity)
+    try:
+        yield hub
+    finally:
+        detach(system)

@@ -1,0 +1,202 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the aggregate side of ``repro.obs``: where the span
+tracer answers *where did the time go*, the metrics answer *how much of
+everything happened*.  It subsumes the counters the evaluation relies on
+(queue bytes, COA service counts, commits, recoveries) and is fed both
+live — instrumentation hooks bump counters as events happen — and at
+run end, when :meth:`~repro.obs.hub.Observability.finalize` ingests the
+run's :class:`~repro.core.stats.RunStats`.
+
+Everything is stdlib-only and exact: counters are plain Python ints, so
+accumulation never overflows or loses precision regardless of volume.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BYTES_BUCKETS",
+    "LATENCY_BUCKETS_US",
+]
+
+#: Default buckets for byte-sized observations (payloads, batches).
+BYTES_BUCKETS: Tuple[float, ...] = (
+    16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
+
+#: Default buckets for latency observations in microseconds.
+LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 100000,
+)
+
+
+class Counter:
+    """A monotonically increasing count (Python int: overflow-free)."""
+
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A point-in-time value that may move in either direction."""
+
+    __slots__ = ("name", "description", "value")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``buckets`` are upper bounds, in increasing order; one implicit
+    overflow bucket catches everything beyond the last bound.  Counts
+    are per-bucket (not cumulative); :meth:`cumulative` derives the
+    Prometheus-style running totals.
+    """
+
+    __slots__ = ("name", "description", "buckets", "counts", "total", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = BYTES_BUCKETS,
+        description: str = "",
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name!r} buckets must strictly increase")
+        self.name = name
+        self.description = description
+        self.buckets = bounds
+        #: One slot per bound plus the overflow slot.
+        self.counts = [0] * (len(bounds) + 1)
+        self.total: int = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def cumulative(self) -> list:
+        """Running totals per bound (the last entry is the grand total)."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.total} mean={self.mean:.1f}>"
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared thereafter."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, description))
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, description))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        description: str = "",
+    ) -> Histogram:
+        chosen = BYTES_BUCKETS if buckets is None else buckets
+        return self._get(name, Histogram, lambda: Histogram(name, chosen, description))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every metric, keyed by name."""
+        out: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = metric.value
+            else:  # Histogram
+                hist = metric
+                out[name] = {
+                    "buckets": list(hist.buckets),
+                    "counts": list(hist.counts),
+                    "total": hist.total,
+                    "sum": hist.sum,
+                    "mean": hist.mean,
+                }
+        return out
+
+    def render(self, title: str = "Metrics") -> str:
+        """Human-readable dump, one metric per line."""
+        lines = [title, "-" * len(title)]
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"{name:<40} n={value['total']} mean={value['mean']:.1f} "
+                    f"sum={value['sum']:.0f}"
+                )
+            elif isinstance(value, float):
+                lines.append(f"{name:<40} {value:.6g}")
+            else:
+                lines.append(f"{name:<40} {value}")
+        return "\n".join(lines)

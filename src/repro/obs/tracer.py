@@ -1,0 +1,236 @@
+"""Structured span/event tracer over simulated time.
+
+The tracer records *typed* spans — named intervals of simulated time on
+a (pid, tid) track, tagged with one of the fixed categories below — and
+instant events, in a flat list ready for Chrome/Perfetto export
+(:mod:`repro.obs.export`) or text attribution
+(:mod:`repro.analysis.timeline`).
+
+Category taxonomy (documented in ``docs/OBSERVABILITY.md``; every
+instrumentation hook in the tree uses one of these):
+
+==================  ==========================================================
+category            meaning
+==================  ==========================================================
+``mpi.send``        one simulated MPI send: per-call software overhead plus
+                    the handoff to the wire (sender side)
+``mpi.recv``        receive-side time: a blocked ``MPI_Recv`` or a unit
+                    blocked on its inbox
+``queue``           DSMTX queue work: batch pushes (including flow-control
+                    credit waits) and the subTX boundary protocol
+                    (``mtx_begin`` upstream consumption, ``mtx_end``
+                    forwarding)
+``commit``          commit-unit group transaction commit
+``page_fault``      Copy-On-Access activity: protection faults, page/word
+                    fetches (requester side), COA service (server side)
+``recovery.drain``  from misspeculation detection until every earlier MTX
+                    has committed
+``recovery.erm``    enter-recovery-mode phase (to the first barrier)
+``recovery.flq``    flush-queues / reinstate-protections phase
+``recovery.seq``    sequential re-execution (participants: waiting for it)
+``worker.compute``  a worker executing one subTX body
+==================  ==========================================================
+
+Tracks: runtime units trace under ``pid == PID_RUNTIME`` with their unit
+tid; the cluster substrate (MPI, channels) traces under
+``pid == PID_CLUSTER`` with the global core index.  Timestamps are
+simulated **microseconds** (the Chrome ``trace_event`` convention).
+
+Recording costs nothing when no tracer is attached: every hook site
+guards on ``obs is None`` before touching the tracer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "SpanTracer",
+    "TraceEvent",
+    "PID_RUNTIME",
+    "PID_CLUSTER",
+    "CAT_MPI_SEND",
+    "CAT_MPI_RECV",
+    "CAT_QUEUE",
+    "CAT_COMMIT",
+    "CAT_PAGE_FAULT",
+    "CAT_RECOVERY_DRAIN",
+    "CAT_RECOVERY_ERM",
+    "CAT_RECOVERY_FLQ",
+    "CAT_RECOVERY_SEQ",
+    "CAT_COMPUTE",
+    "ALL_CATEGORIES",
+]
+
+#: Track group for runtime units (tids are unit thread ids).
+PID_RUNTIME = 0
+#: Track group for the cluster substrate (tids are global core indices).
+PID_CLUSTER = 1
+
+CAT_MPI_SEND = "mpi.send"
+CAT_MPI_RECV = "mpi.recv"
+CAT_QUEUE = "queue"
+CAT_COMMIT = "commit"
+CAT_PAGE_FAULT = "page_fault"
+CAT_RECOVERY_DRAIN = "recovery.drain"
+CAT_RECOVERY_ERM = "recovery.erm"
+CAT_RECOVERY_FLQ = "recovery.flq"
+CAT_RECOVERY_SEQ = "recovery.seq"
+CAT_COMPUTE = "worker.compute"
+
+ALL_CATEGORIES = (
+    CAT_MPI_SEND,
+    CAT_MPI_RECV,
+    CAT_QUEUE,
+    CAT_COMMIT,
+    CAT_PAGE_FAULT,
+    CAT_RECOVERY_DRAIN,
+    CAT_RECOVERY_ERM,
+    CAT_RECOVERY_FLQ,
+    CAT_RECOVERY_SEQ,
+    CAT_COMPUTE,
+)
+
+_SECONDS_TO_US = 1e6
+
+
+@dataclass
+class TraceEvent:
+    """One trace record in Chrome ``trace_event`` terms.
+
+    ``ph`` is the phase: ``"X"`` (complete span), ``"i"`` (instant) or
+    ``"C"`` (counter sample).  ``ts``/``dur`` are simulated
+    microseconds.
+    """
+
+    ph: str
+    cat: str
+    name: str
+    ts: float
+    pid: int
+    tid: int
+    dur: float = 0.0
+    args: Optional[dict] = field(default=None)
+
+
+class SpanTracer:
+    """Flat, bounded recorder of :class:`TraceEvent` records.
+
+    ``capacity`` bounds memory on long runs: once reached, further
+    events are counted in :attr:`dropped` rather than stored, so a
+    forgotten tracer can never exhaust memory.
+    """
+
+    def __init__(self, env, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        #: Display names for Perfetto: {pid: name} and {(pid, tid): name}.
+        self.process_names: Dict[int, str] = {}
+        self.thread_names: Dict[tuple, str] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def complete(
+        self,
+        cat: str,
+        name: str,
+        pid: int,
+        tid: int,
+        start_s: float,
+        *,
+        end_s: Optional[float] = None,
+        **args,
+    ) -> None:
+        """Record a finished span from ``start_s`` (simulated seconds) to
+        ``end_s`` (default: now)."""
+        end = self.env.now if end_s is None else end_s
+        self._append(
+            TraceEvent(
+                ph="X",
+                cat=cat,
+                name=name,
+                ts=start_s * _SECONDS_TO_US,
+                dur=(end - start_s) * _SECONDS_TO_US,
+                pid=pid,
+                tid=tid,
+                args=args or None,
+            )
+        )
+
+    def instant(self, cat: str, name: str, pid: int, tid: int, **args) -> None:
+        """Record a zero-duration marker at the current simulated time."""
+        self._append(
+            TraceEvent(
+                ph="i",
+                cat=cat,
+                name=name,
+                ts=self.env.now * _SECONDS_TO_US,
+                pid=pid,
+                tid=tid,
+                args=args or None,
+            )
+        )
+
+    def counter_sample(self, name: str, pid: int, tid: int, **values) -> None:
+        """Record a counter-track sample (Chrome ``"C"`` phase)."""
+        self._append(
+            TraceEvent(
+                ph="C",
+                cat="counter",
+                name=name,
+                ts=self.env.now * _SECONDS_TO_US,
+                pid=pid,
+                tid=tid,
+                args=dict(values),
+            )
+        )
+
+    @contextmanager
+    def span(self, cat: str, name: str, pid: int, tid: int, **args) -> Iterator[None]:
+        """Context-managed span; records on exit, exceptions included.
+
+        Safe inside simulation generators: the recorded duration is the
+        simulated time that elapsed across the block's yields.
+        """
+        start = self.env.now
+        try:
+            yield
+        finally:
+            self.complete(cat, name, pid, tid, start, **args)
+
+    # -- track naming ------------------------------------------------------------
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        self.process_names[pid] = name
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self.thread_names[(pid, tid)] = name
+
+    # -- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def categories(self) -> set:
+        """Distinct categories recorded so far (counter samples excluded)."""
+        return {e.cat for e in self.events if e.ph != "C"}
+
+    def spans(self) -> list:
+        """Only the complete ("X") events."""
+        return [e for e in self.events if e.ph == "X"]
+
+    def last_ts(self) -> float:
+        """Largest end timestamp recorded (us); 0 when empty."""
+        return max((e.ts + e.dur for e in self.events), default=0.0)

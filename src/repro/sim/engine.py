@@ -236,6 +236,12 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active: Optional[Process] = None
+        #: Observability hub (:class:`repro.obs.Observability`) if one is
+        #: attached; instrumentation hooks across the cluster layer read
+        #: this and do nothing while it is ``None``.
+        self.obs = None
+        #: Hooks invoked with each processed event (see ``repro.sim.trace``).
+        self._step_listeners: list[Callable[[Event], None]] = []
 
     # -- introspection ----------------------------------------------------
 
@@ -330,6 +336,17 @@ class Environment:
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
+    def add_step_listener(self, listener: Callable[[Event], None]) -> None:
+        """Register ``listener`` to observe every processed event."""
+        self._step_listeners.append(listener)
+
+    def remove_step_listener(self, listener: Callable[[Event], None]) -> None:
+        """Unregister a step listener; missing listeners are ignored."""
+        try:
+            self._step_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def step(self) -> None:
         """Process the single next event, advancing the clock."""
         if not self._queue:
@@ -343,6 +360,9 @@ class Environment:
         if not event._ok and not getattr(event, "_defused", True):
             # A failed event that nobody handled: surface the error.
             raise event._value
+        if self._step_listeners:
+            for listener in self._step_listeners:
+                listener(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

@@ -6,19 +6,25 @@ bounded by a ring buffer so long simulations stay cheap to trace.  It is
 a debugging aid for runtime development: attach one, run, and dump the
 tail when something deadlocks or misbehaves.
 
-Usage::
+The tracer registers as a *step listener* on the environment (the same
+hook API the structured ``repro.obs`` layer builds on) rather than
+monkey-patching the step loop, and it is a context manager, so it can
+be scoped to exactly the region of interest::
 
     env = Environment()
-    tracer = Tracer(env, capacity=10_000)
-    ... run ...
+    with Tracer(env, capacity=10_000) as tracer:
+        ... run ...
     print(tracer.render_tail(50))
+
+For *typed* spans with categories, metrics, and Perfetto export — the
+production observability layer — see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, Event
 
 __all__ = ["Tracer", "TraceRecord"]
 
@@ -34,7 +40,11 @@ class TraceRecord:
 
 
 class Tracer:
-    """Ring-buffer tracer attached to an environment's step loop."""
+    """Ring-buffer tracer listening on an environment's step loop.
+
+    Attaches on construction; use :meth:`detach` (or leave a ``with``
+    block) to stop recording.  Attach/detach are idempotent.
+    """
 
     def __init__(self, env: Environment, capacity: int = 10_000) -> None:
         if capacity < 1:
@@ -44,29 +54,40 @@ class Tracer:
         self.records: deque[TraceRecord] = deque(maxlen=capacity)
         self.counts: Counter = Counter()
         self.total_events = 0
-        self._original_step = env.step
-        env.step = self._traced_step  # type: ignore[method-assign]
+        self._attached = False
+        self.attach()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start (or resume) recording the environment's step loop."""
+        if not self._attached:
+            self.env.add_step_listener(self._on_step)
+            self._attached = True
 
     def detach(self) -> None:
-        """Restore the environment's untraced step loop."""
-        self.env.step = self._original_step  # type: ignore[method-assign]
+        """Stop recording; the environment's step loop is left untouched."""
+        if self._attached:
+            self.env.remove_step_listener(self._on_step)
+            self._attached = False
 
-    def _traced_step(self) -> None:
-        queue = self.env._queue
-        head = queue[0][3] if queue else None
-        self._original_step()
-        if head is None:
-            return
-        kind = type(head).__name__
+    def __enter__(self) -> "Tracer":
+        self.attach()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
+
+    def _on_step(self, event: Event) -> None:
+        kind = type(event).__name__
         self.total_events += 1
         self.counts[kind] += 1
-        value = head._value
         self.records.append(
             TraceRecord(
                 time=self.env.now,
                 kind=kind,
-                ok=bool(head._ok),
-                value_repr=_short_repr(value),
+                ok=bool(event._ok),
+                value_repr=_short_repr(event._value),
             )
         )
 

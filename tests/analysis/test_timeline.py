@@ -1,0 +1,53 @@
+"""Tests for trace attribution and the ASCII timeline."""
+
+from repro.analysis import attribution, render_attribution, render_timeline
+from repro.obs.tracer import CAT_COMMIT, CAT_QUEUE, PID_RUNTIME, SpanTracer
+from repro.sim import Environment
+
+
+def _tracer_with_spans():
+    tracer = SpanTracer(Environment())
+    tracer.set_thread_name(PID_RUNTIME, 0, "worker[0.0]")
+    # Two queue spans and one commit span on two tracks (explicit ends;
+    # timestamps in seconds, recorded as microseconds).
+    tracer.complete(CAT_QUEUE, "push:q", PID_RUNTIME, 0, 0.0, end_s=0.004)
+    tracer.complete(CAT_QUEUE, "push:q", PID_RUNTIME, 0, 0.006, end_s=0.010)
+    tracer.complete(CAT_COMMIT, "group_commit", PID_RUNTIME, 1, 0.002, end_s=0.003)
+    tracer.instant(CAT_QUEUE, "marker", PID_RUNTIME, 0)
+    return tracer
+
+
+def test_attribution_sums_span_durations():
+    attrib = attribution(_tracer_with_spans())
+    count, total_us = attrib[CAT_QUEUE]
+    assert count == 2  # the instant does not count
+    assert total_us == 8000.0
+    assert attrib[CAT_COMMIT] == (1, 1000.0)
+
+
+def test_render_attribution_orders_by_total():
+    text = render_attribution(_tracer_with_spans(), elapsed_us=10_000.0)
+    lines = text.splitlines()
+    assert lines[0].startswith("time attribution")
+    queue_line = next(l for l in lines if l.startswith("queue"))
+    assert "80.0%" in queue_line
+    assert lines.index(queue_line) < lines.index(
+        next(l for l in lines if l.startswith("commit"))
+    )
+
+
+def test_render_timeline_tracks_and_legend():
+    text = render_timeline(_tracer_with_spans(), width=10)
+    assert "worker[0.0]" in text  # named track
+    assert "pid0/tid1" in text    # unnamed track falls back
+    legend = text.splitlines()[-1]
+    assert "=queue" in legend and "=commit" in legend
+    # The worker row is mostly queue time with an idle gap.
+    worker_row = next(l for l in text.splitlines() if "worker[0.0]" in l)
+    cells = worker_row.split("|")[1]
+    assert len(cells) == 10
+    assert "." in cells  # the 4-6 ms gap shows as idle
+
+
+def test_render_timeline_empty_tracer():
+    assert render_timeline(SpanTracer(Environment())) == "(no spans recorded)"

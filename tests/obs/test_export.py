@@ -1,0 +1,98 @@
+"""Exporter tests: trace_event JSON schema validity and CSV flattening,
+over a real instrumented run."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import DSMTXSystem, SystemConfig
+from repro.obs import chrome_trace, instrument, trace_csv, write_chrome_trace
+from repro.obs.export import CSV_COLUMNS
+from repro.workloads import Crc32
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One instrumented crc32 run with an injected misspeculation."""
+    workload = Crc32(iterations=48, misspec_iterations={24})
+    system = DSMTXSystem(workload.dsmtx_plan(), SystemConfig(total_cores=8))
+    hub = instrument(system)
+    system.run()
+    hub.finalize(system)
+    return hub
+
+
+def test_trace_json_is_valid_and_schema_complete(traced_run):
+    text = json.dumps(chrome_trace(traced_run.tracer, metadata={"bench": "crc32"}))
+    doc = json.loads(text)  # round-trips: valid JSON
+    events = doc["traceEvents"]
+    assert len(events) > 100
+    for event in events:
+        for key in REQUIRED_KEYS:
+            assert key in event, f"event missing {key!r}: {event}"
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["bench"] == "crc32"
+
+
+def test_trace_covers_all_subsystems(traced_run):
+    categories = traced_run.tracer.categories()
+    assert len(categories) >= 5
+    # MPI, commit, memory-fault and recovery activity must all appear.
+    assert {"mpi.send", "mpi.recv", "queue", "commit", "page_fault",
+            "worker.compute"} <= categories
+    assert {"recovery.drain", "recovery.erm", "recovery.flq",
+            "recovery.seq"} <= categories
+
+
+def test_trace_event_phases(traced_run):
+    doc = chrome_trace(traced_run.tracer)
+    by_phase = {}
+    for event in doc["traceEvents"]:
+        by_phase.setdefault(event["ph"], []).append(event)
+    for span in by_phase["X"]:
+        assert "dur" in span and span["dur"] >= 0
+    for instant in by_phase["i"]:
+        assert instant["s"] == "t"
+    # Track-name metadata is emitted for Perfetto.
+    names = {e["name"] for e in by_phase["M"]}
+    assert names == {"process_name", "thread_name"}
+
+
+def test_events_sorted_by_timestamp(traced_run):
+    doc = chrome_trace(traced_run.tracer)
+    stamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert stamps == sorted(stamps)
+
+
+def test_write_chrome_trace_loads_back(traced_run, tmp_path):
+    path = tmp_path / "out.json"
+    write_chrome_trace(traced_run.tracer, path, metadata={"k": "v"})
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["k"] == "v"
+    assert len(doc["traceEvents"]) == (
+        len(traced_run.tracer.events)
+        + len(traced_run.tracer.process_names)
+        + len(traced_run.tracer.thread_names)
+    )
+
+
+def test_trace_csv_flattens_every_event(traced_run):
+    text = trace_csv(traced_run.tracer.events)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert tuple(rows[0]) == CSV_COLUMNS
+    assert len(rows) == len(traced_run.tracer.events) + 1
+    categories = {row[3] for row in rows[1:]}
+    assert "mpi.send" in categories and "commit" in categories
+
+
+def test_metrics_snapshot_embeds_run_stats(traced_run):
+    snap = traced_run.metrics.snapshot()
+    assert snap["run.committed_mtxs"] == 48
+    assert snap["run.misspeculations"] == 1
+    assert snap["recovery.episodes"] == 1
+    assert snap["mpi.sends"] > 0
+    assert snap["queue.bytes.forward"] > 0

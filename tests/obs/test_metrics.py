@@ -1,0 +1,110 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+
+
+def test_counter_rejects_decrease():
+    counter = Counter("c")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_is_overflow_free():
+    counter = Counter("c")
+    huge = 2**64
+    counter.inc(huge)
+    counter.inc(huge)
+    assert counter.value == 2 * huge  # Python ints: exact at any scale
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(3.5)
+    gauge.add(-1.0)
+    assert gauge.value == 2.5
+
+
+def test_histogram_bucketing():
+    hist = Histogram("h", buckets=(10, 100, 1000))
+    for value in (1, 9, 10, 11, 100, 999, 1000, 5000):
+        hist.observe(value)
+    # bisect_left on upper bounds: value <= bound lands in that bucket.
+    assert hist.counts == [3, 2, 2, 1]
+    assert hist.total == 8
+    assert hist.sum == 1 + 9 + 10 + 11 + 100 + 999 + 1000 + 5000
+    assert hist.cumulative() == [3, 5, 7, 8]
+
+
+def test_histogram_boundary_values_inclusive():
+    hist = Histogram("h", buckets=(16, 64))
+    hist.observe(16)
+    hist.observe(64)
+    assert hist.counts == [1, 1, 0]
+
+
+def test_histogram_overflow_slot():
+    hist = Histogram("h", buckets=(1,))
+    hist.observe(10**12)
+    assert hist.counts == [0, 1]
+
+
+def test_histogram_mean():
+    hist = Histogram("h", buckets=(100,))
+    assert hist.mean == 0.0
+    hist.observe(10)
+    hist.observe(30)
+    assert hist.mean == 20.0
+
+
+def test_histogram_validates_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(10, 10))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(100, 10))
+
+
+def test_registry_get_or_create_shares_instances():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h").buckets == BYTES_BUCKETS
+    assert len(registry) == 2
+    assert "a" in registry and "missing" not in registry
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_and_render():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(7)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h", buckets=(10,)).observe(3)
+    snap = registry.snapshot()
+    assert snap["c"] == 7
+    assert snap["g"] == 1.5
+    assert snap["h"]["total"] == 1 and snap["h"]["counts"] == [1, 0]
+    text = registry.render()
+    assert "c" in text and "n=1" in text

@@ -1,0 +1,48 @@
+"""Smoke tests for the `repro trace` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def test_trace_crc32_writes_perfetto_file(tmp_path, capsys):
+    out = tmp_path / "crc32.trace.json"
+    assert main(["trace", "crc32", "--cores", "8", "--out", str(out)]) == 0
+
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    assert len(events) > 100
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in event
+    categories = {e.get("cat") for e in events if e["ph"] not in ("M",)}
+    assert len(categories) >= 5
+    # The default injected misspeculation makes recovery visible.
+    assert {"mpi.send", "commit", "page_fault", "recovery.seq"} <= categories
+    assert doc["otherData"]["benchmark"] == "crc32"
+    assert doc["otherData"]["metrics"]["run.misspeculations"] == 1
+
+    printed = capsys.readouterr().out
+    assert "time attribution" in printed
+    assert "timeline" in printed
+    assert "legend:" in printed
+
+
+def test_trace_no_misspec_skips_recovery(tmp_path, capsys):
+    out = tmp_path / "clean.json"
+    assert main(["trace", "crc32", "--cores", "8", "--out", str(out),
+                 "--no-misspec"]) == 0
+    doc = json.loads(out.read_text())
+    categories = {e.get("cat") for e in doc["traceEvents"]}
+    assert not any(c and c.startswith("recovery.") for c in categories)
+    capsys.readouterr()
+
+
+def test_trace_csv_option(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    csv_path = tmp_path / "t.csv"
+    assert main(["trace", "crc32", "--cores", "8", "--iterations", "16",
+                 "--out", str(out), "--csv", str(csv_path)]) == 0
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("ts_us,dur_us,ph,category,name")
+    capsys.readouterr()

@@ -1,0 +1,87 @@
+"""Tests for the span tracer."""
+
+import pytest
+
+from repro.obs.tracer import (
+    ALL_CATEGORIES,
+    CAT_COMMIT,
+    CAT_QUEUE,
+    PID_RUNTIME,
+    SpanTracer,
+)
+from repro.sim import Environment
+
+
+def test_complete_span_converts_to_microseconds():
+    env = Environment()
+    tracer = SpanTracer(env)
+
+    def proc():
+        start = env.now
+        yield env.timeout(0.001)
+        tracer.complete(CAT_QUEUE, "push:q", PID_RUNTIME, 3, start, bytes=64)
+
+    env.process(proc())
+    env.run()
+    (event,) = tracer.events
+    assert event.ph == "X"
+    assert event.ts == 0.0
+    assert event.dur == pytest.approx(1000.0)  # 1 ms -> 1000 us
+    assert event.args == {"bytes": 64}
+    assert tracer.last_ts() == pytest.approx(1000.0)
+
+
+def test_complete_span_with_explicit_end():
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.complete(CAT_COMMIT, "x", PID_RUNTIME, 0, 0.5, end_s=0.75)
+    (event,) = tracer.events
+    assert event.ts == pytest.approx(500_000.0)
+    assert event.dur == pytest.approx(250_000.0)
+
+
+def test_span_context_manager_records_on_exception():
+    env = Environment()
+    tracer = SpanTracer(env)
+    with pytest.raises(RuntimeError):
+        with tracer.span(CAT_QUEUE, "work", PID_RUNTIME, 1):
+            raise RuntimeError("boom")
+    assert len(tracer) == 1
+
+
+def test_instant_and_counter_phases():
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.instant(CAT_QUEUE, "marker", PID_RUNTIME, 0, page=3)
+    tracer.counter_sample("committed", PID_RUNTIME, 0, mtxs=7)
+    phases = {e.ph for e in tracer.events}
+    assert phases == {"i", "C"}
+    # Counter samples are not a category of their own.
+    assert tracer.categories() == {CAT_QUEUE}
+    assert tracer.spans() == []
+
+
+def test_capacity_bounds_and_counts_drops():
+    env = Environment()
+    tracer = SpanTracer(env, capacity=2)
+    for _ in range(5):
+        tracer.instant(CAT_QUEUE, "m", PID_RUNTIME, 0)
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SpanTracer(Environment(), capacity=0)
+
+
+def test_track_names():
+    tracer = SpanTracer(Environment())
+    tracer.set_process_name(PID_RUNTIME, "units")
+    tracer.set_thread_name(PID_RUNTIME, 2, "worker[0.2]")
+    assert tracer.process_names[PID_RUNTIME] == "units"
+    assert tracer.thread_names[(PID_RUNTIME, 2)] == "worker[0.2]"
+
+
+def test_category_constants_are_distinct():
+    assert len(set(ALL_CATEGORIES)) == len(ALL_CATEGORIES) == 10

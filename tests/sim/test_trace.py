@@ -93,3 +93,48 @@ def test_tracer_on_empty_run():
     tracer = Tracer(env)
     assert tracer.tail() == []
     assert tracer.summary() == {"total": 0}
+
+
+def test_tracer_context_manager_scopes_recording():
+    env = Environment()
+    with Tracer(env) as tracer:
+        run_some_events(env)
+        inside = tracer.total_events
+        assert inside > 0
+    run_some_events(env)
+    assert tracer.total_events == inside
+
+
+def test_tracer_attach_detach_idempotent():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.attach()  # second attach must not double-register
+    run_some_events(env)
+    assert tracer.counts["Timeout"] == 5
+    tracer.detach()
+    tracer.detach()  # second detach is a no-op
+    run_some_events(env)
+    assert tracer.counts["Timeout"] == 5
+
+
+def test_tracer_reattach_resumes():
+    env = Environment()
+    tracer = Tracer(env)
+    run_some_events(env)
+    tracer.detach()
+    before = tracer.total_events
+    tracer.attach()
+    run_some_events(env)
+    assert tracer.total_events > before
+
+
+def test_two_listeners_coexist():
+    env = Environment()
+    first, second = Tracer(env), Tracer(env)
+    run_some_events(env)
+    assert first.counts["Timeout"] == 5
+    assert second.counts["Timeout"] == 5
+    first.detach()
+    run_some_events(env)
+    assert first.counts["Timeout"] == 5
+    assert second.counts["Timeout"] == 10
