@@ -7,6 +7,7 @@ Run benchmarks and inspect the suite without writing code::
     python -m repro sweep blackscholes           # Figure 4 panel
     python -m repro bandwidth                    # Figure 5(a)
     python -m repro trace crc32 --out t.json     # Perfetto trace of one run
+    python -m repro perf                         # wall-clock hot-path harness
 
 All runs execute on the simulated cluster; times reported are simulated
 seconds, speedups are against the single-core sequential execution.
@@ -29,6 +30,7 @@ from repro.analysis import (
 )
 from repro.core import DSMTXSystem, SystemConfig
 from repro.obs import instrument, write_chrome_trace, write_trace_csv
+from repro.perf import cmd_perf
 from repro.workloads import BENCHMARKS, SPECULATION_LEGEND, table2_rows
 
 DEFAULT_SWEEP = (8, 32, 64, 96, 128)
@@ -223,6 +225,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write a flat CSV of the events")
     trace.add_argument("--no-misspec", action="store_true",
                        help="do not inject the default mid-run misspeculation")
+
+    perf = sub.add_parser(
+        "perf",
+        help="time the simulation hot path; write BENCH_sim.json "
+             "(docs/PERFORMANCE.md)",
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="tiny matrix, one repeat: validates the harness "
+                           "without overwriting real numbers")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="runs per matrix entry; best wall time wins")
+    perf.add_argument("--out", default=None,
+                      help="results path (default: ./BENCH_sim.json)")
     return parser
 
 
@@ -235,6 +250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "geomean": cmd_geomean,
         "bandwidth": cmd_bandwidth,
         "trace": cmd_trace,
+        "perf": cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -19,7 +19,7 @@ using a selectable variant — the unoptimized baseline of Figure 5b.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterable, Optional
 
 from repro.cluster.mpi import MPI, MPIVariant
 from repro.errors import ChannelClosedError, CommunicationError
@@ -86,6 +86,10 @@ class Channel:
         self._send_buffer_bytes = 0
         self._recv_buffer: list[Any] = []
         self._recv_index = 0
+        # Resolved once; produce()/consume() run per datum.
+        self._src_core_obj = mpi.machine.core(src_core)
+        self._dst_core_obj = mpi.machine.core(dst_core)
+        self._queue_op_instructions = self.spec.queue_op_instructions
 
         #: Statistics: payload bytes and datum/message counts.
         self.bytes_produced = 0
@@ -94,12 +98,13 @@ class Channel:
 
     # -- producing -------------------------------------------------------------
 
-    def produce(self, value: Any, nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
+    def produce(self, value: Any, nbytes: Optional[int] = None) -> Iterable[Event]:
         """Enqueue ``value``; drive with ``yield from`` in the producer.
 
         In batched mode the value lands in the local buffer for the cost
         of a ring-buffer write; the batch is pushed when full.  In
-        direct mode every value pays a full MPI send.
+        direct mode every value pays a full MPI send.  The buffered fast
+        path returns an empty tuple — no generator per datum.
         """
         if self.closed:
             raise ChannelClosedError(f"produce on closed channel {self.name!r}")
@@ -107,18 +112,17 @@ class Channel:
         self.bytes_produced += size
         self.items_produced += 1
         if self.mode == "direct":
-            yield from self.mpi.send(
+            return self.mpi.send(
                 self.src_core, self.dst_core, [value], size, tag=self.name, variant=self.variant
             )
-            return
-        core = self.mpi.machine.core(self.src_core)
-        core.charge_instructions(self.spec.queue_op_instructions)
+        self._src_core_obj.charge_instructions(self._queue_op_instructions)
         self._send_buffer.append(value)
         self._send_buffer_bytes += size
         if self._send_buffer_bytes >= self.batch_bytes:
-            yield from self._push_batch()
+            return self._push_batch()
+        return ()
 
-    def flush_pending(self) -> Generator[Event, Any, None]:
+    def flush_pending(self) -> Iterable[Event]:
         """Push any partially filled batch to the consumer.
 
         Called at subTX boundaries: uncommitted values are explicitly
@@ -126,7 +130,8 @@ class Channel:
         partial batch cannot linger past that point.
         """
         if self._send_buffer:
-            yield from self._push_batch()
+            return self._push_batch()
+        return ()
 
     def close(self) -> Generator[Event, Any, None]:
         """Flush, then deliver a close token to the consumer."""
@@ -163,13 +168,12 @@ class Channel:
         :class:`~repro.errors.ChannelFlushedError` if the channel is
         flushed while blocked (misspeculation recovery).
         """
-        core = self.mpi.machine.core(self.dst_core)
         if self._recv_index >= len(self._recv_buffer):
             self._recv_buffer = yield from self.mpi.recv(
                 self.dst_core, self.src_core, tag=self.name
             )
             self._recv_index = 0
-        core.charge_instructions(self.spec.queue_op_instructions)
+        self._dst_core_obj.charge_instructions(self._queue_op_instructions)
         value = self._recv_buffer[self._recv_index]
         self._recv_index += 1
         return value
@@ -182,8 +186,7 @@ class Channel:
                 return False, None
             self._recv_buffer = batch
             self._recv_index = 0
-        core = self.mpi.machine.core(self.dst_core)
-        core.charge_instructions(self.spec.queue_op_instructions)
+        self._dst_core_obj.charge_instructions(self._queue_op_instructions)
         value = self._recv_buffer[self._recv_index]
         self._recv_index += 1
         return True, value

@@ -63,6 +63,75 @@ class TransferStats:
         }
 
 
+class _Delivery:
+    """One in-flight message, driven as a chain of event callbacks.
+
+    Behaviourally identical to running :meth:`Interconnect._delivery_phase`
+    as its own process — same timeouts, same NIC receive contention, same
+    hand-off instant — but without the process machinery: no Initialize
+    event, no generator frame, no process-completion event.  On the
+    batched-queue fast path that removes two queue trips per envelope,
+    and with a (``mailbox``, ``payload``) destination the final hand-off
+    is a :meth:`~repro.sim.resources.Store.put_nowait`, removing the
+    per-message put-acknowledge event and deliver closure as well.
+    """
+
+    __slots__ = ("env", "dst_node", "nbytes", "bandwidth", "mailbox",
+                 "payload", "deliver", "_rx")
+
+    def __init__(
+        self,
+        env: "Environment",
+        dst_node: Any,
+        nbytes: int,
+        latency: float,
+        bandwidth: float,
+        mailbox: Any,
+        payload: Any,
+        deliver: Optional[Callable[[], Any]],
+    ) -> None:
+        self.env = env
+        self.nbytes = nbytes
+        self.mailbox = mailbox
+        self.payload = payload
+        self.deliver = deliver
+        #: Destination node, or ``None`` for an intra-node transfer.
+        self.dst_node = dst_node
+        self.bandwidth = bandwidth
+        self._rx: Optional[Event] = None
+        # A zero latency still takes one trip through the event queue
+        # (as the old delivery process's Initialize event did), so the
+        # hand-off never happens synchronously inside the sender.
+        env.sleep(latency).callbacks.append(self._after_latency)
+
+    def _after_latency(self, _event: Event) -> None:
+        node = self.dst_node
+        if node is None:
+            self._finish()
+            return
+        node.bytes_received += self.nbytes
+        rx = node.nic_rx.request()
+        self._rx = rx
+        rx.callbacks.append(self._after_rx_grant)
+
+    def _after_rx_grant(self, _event: Event) -> None:
+        serialization = self.nbytes / self.bandwidth
+        if serialization > 0:
+            self.env.sleep(serialization).callbacks.append(self._after_serialization)
+        else:
+            self._after_serialization(_event)
+
+    def _after_serialization(self, _event: Event) -> None:
+        self.dst_node.nic_rx.release(self._rx)
+        self._finish()
+
+    def _finish(self) -> None:
+        if self.mailbox is not None:
+            self.mailbox.put_nowait(self.payload)
+        elif self.deliver is not None:
+            self.deliver()
+
+
 class Interconnect:
     """Point-to-point transfer engine over the cluster's NICs."""
 
@@ -71,6 +140,13 @@ class Interconnect:
         self.machine = machine
         self.spec = machine.spec
         self.stats = TransferStats()
+        # Per-core node lookups and the two wire-parameter pairs,
+        # resolved once: send() runs for every batch and control message.
+        spec = self.spec
+        self._node_index_of = [spec.node_of_core(i) for i in range(spec.total_cores)]
+        self._node_of = [machine.nodes[n] for n in self._node_index_of]
+        self._intra = (spec.intra_node_latency_s, spec.intra_node_bandwidth_bps)
+        self._inter = (spec.inter_node_latency_s, spec.inter_node_bandwidth_bps)
 
     # -- public API -----------------------------------------------------------
 
@@ -80,19 +156,52 @@ class Interconnect:
         dst_core: int,
         nbytes: int,
         deliver: Optional[Callable[[], Any]] = None,
+        mailbox: Any = None,
+        payload: Any = None,
     ) -> Generator[Event, Any, None]:
         """Eager send: transmit synchronously, deliver asynchronously.
 
         Drive with ``yield from`` in the sending process; it returns when
-        the data has been handed to the network.  ``deliver`` runs in a
-        detached process once the message reaches the destination.
+        the data has been handed to the network.  The delivery runs as a
+        detached callback chain once the message reaches the destination:
+        either ``payload`` is deposited into the ``mailbox`` store (the
+        fast path — no closure, no put-acknowledge event) or the
+        ``deliver`` callable runs.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        inter_node = not self.spec.same_node(src_core, dst_core)
-        self.stats.record(nbytes, inter_node)
-        yield from self._transmit_phase(src_core, dst_core, nbytes, inter_node)
-        self.env.process(self._delivery_phase(src_core, dst_core, nbytes, inter_node, deliver))
+        if src_core < 0 or dst_core < 0:
+            raise IndexError(f"core index out of range: {src_core}, {dst_core}")
+        node_index_of = self._node_index_of
+        inter_node = node_index_of[src_core] != node_index_of[dst_core]
+        stats = self.stats
+        stats.total_bytes += nbytes
+        stats.total_messages += 1
+        # Transmit phase, inlined (this is _transmit_phase without the
+        # extra generator frame and spec lookups).
+        if inter_node:
+            stats.inter_node_bytes += nbytes
+            latency, bandwidth = self._inter
+            src_node = self._node_of[src_core]
+            src_node.bytes_sent += nbytes
+            tx = src_node.nic_tx.request()
+            yield tx
+            try:
+                serialization = nbytes / bandwidth
+                if serialization > 0:
+                    yield self.env.sleep(serialization)
+            finally:
+                src_node.nic_tx.release(tx)
+            dst_node = self._node_of[dst_core]
+        else:
+            stats.intra_node_bytes += nbytes
+            latency, bandwidth = self._intra
+            # Intra-node: the sender pays the memcpy into the shared buffer.
+            serialization = nbytes / bandwidth
+            if serialization > 0:
+                yield self.env.sleep(serialization)
+            dst_node = None
+        _Delivery(self.env, dst_node, nbytes, latency, bandwidth, mailbox, payload, deliver)
 
     def send_blocking(
         self,
@@ -123,13 +232,13 @@ class Interconnect:
             yield tx
             try:
                 if serialization > 0:
-                    yield self.env.timeout(serialization)
+                    yield self.env.sleep(serialization)
             finally:
                 src_node.nic_tx.release(tx)
         else:
             # Intra-node: the sender pays the memcpy into the shared buffer.
             if serialization > 0:
-                yield self.env.timeout(serialization)
+                yield self.env.sleep(serialization)
 
     def _delivery_phase(
         self,
@@ -141,7 +250,7 @@ class Interconnect:
     ) -> Generator[Event, Any, None]:
         latency, bandwidth = self.spec.wire_parameters(src_core, dst_core)
         if latency > 0:
-            yield self.env.timeout(latency)
+            yield self.env.sleep(latency)
         if inter_node:
             dst_node = self.machine.nodes[self.spec.node_of_core(dst_core)]
             dst_node.bytes_received += nbytes
@@ -150,7 +259,7 @@ class Interconnect:
             try:
                 serialization = nbytes / bandwidth
                 if serialization > 0:
-                    yield self.env.timeout(serialization)
+                    yield self.env.sleep(serialization)
             finally:
                 dst_node.nic_rx.release(rx)
         if deliver is not None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.cluster.interconnect import Interconnect
+from repro.cluster.interconnect import Interconnect, _Delivery
 from repro.cluster.node import Machine
 from repro.cluster.spec import MPIVariant
 from repro.errors import CommunicationError
@@ -40,6 +40,14 @@ class MPI:
         self._mailboxes: dict[tuple[int, int, Any], Store] = {}
         #: Messages sent, per variant, for diagnostics.
         self.sent_count: dict[MPIVariant, int] = {v: 0 for v in MPIVariant}
+        # Per-variant sender cost in cycles, resolved once for the send
+        # hot path (one division per variant instead of one per message).
+        ipc = self.spec.instructions_per_cycle
+        self._variant_cycles = {
+            v: instructions / ipc
+            for v, instructions in self.spec.mpi_variant_sender_instructions.items()
+        }
+        self._recv_cycles = self.spec.mpi_recv_instructions / ipc
 
     def mailbox(self, src_rank: int, dst_rank: int, tag: Any = 0) -> Store:
         """The FIFO mailbox for (src, dst, tag), created on first use."""
@@ -77,16 +85,46 @@ class MPI:
         start = self.env.now if obs is not None else 0.0
         core = self.machine.core(src_rank)
         yield from core.drain()
-        sender_instructions = self.spec.mpi_variant_sender_instructions[variant]
-        yield core.execute_instructions(sender_instructions)
+        yield core.compute(self._variant_cycles[variant])
         self.sent_count[variant] += 1
         box = mailbox if mailbox is not None else self.mailbox(src_rank, dst_rank, tag)
-        yield from self.interconnect.send(
-            src_rank,
-            dst_rank,
-            nbytes + ENVELOPE_BYTES,
-            deliver=lambda: box.put(payload),
-        )
+        # Interconnect.send inlined (the eager mailbox path): one
+        # generator frame per message instead of two.  Must stay
+        # behaviour-identical to Interconnect.send — edit both together.
+        ic = self.interconnect
+        wire_bytes = nbytes + ENVELOPE_BYTES
+        if wire_bytes < 0:
+            raise ValueError(f"negative transfer size: {wire_bytes}")
+        if dst_rank < 0:
+            raise IndexError(f"core index out of range: {src_rank}, {dst_rank}")
+        node_index_of = ic._node_index_of
+        inter_node = node_index_of[src_rank] != node_index_of[dst_rank]
+        stats = ic.stats
+        stats.total_bytes += wire_bytes
+        stats.total_messages += 1
+        if inter_node:
+            stats.inter_node_bytes += wire_bytes
+            latency, bandwidth = ic._inter
+            src_node = ic._node_of[src_rank]
+            src_node.bytes_sent += wire_bytes
+            tx = src_node.nic_tx.request()
+            yield tx
+            try:
+                serialization = wire_bytes / bandwidth
+                if serialization > 0:
+                    yield self.env.sleep(serialization)
+            finally:
+                src_node.nic_tx.release(tx)
+            dst_node = ic._node_of[dst_rank]
+        else:
+            stats.intra_node_bytes += wire_bytes
+            latency, bandwidth = ic._intra
+            # Intra-node: the sender pays the memcpy into the shared buffer.
+            serialization = wire_bytes / bandwidth
+            if serialization > 0:
+                yield self.env.sleep(serialization)
+            dst_node = None
+        _Delivery(self.env, dst_node, wire_bytes, latency, bandwidth, box, payload, None)
         if obs is not None:
             obs.tracer.complete(
                 CAT_MPI_SEND, variant.value, PID_CLUSTER, src_rank, start,
@@ -111,7 +149,7 @@ class MPI:
         yield from core.drain()
         box = self.mailbox(src_rank, dst_rank, tag)
         payload = yield box.get()
-        yield core.execute_instructions(self.spec.mpi_recv_instructions)
+        yield core.compute(self._recv_cycles)
         if obs is not None:
             obs.tracer.complete(
                 CAT_MPI_RECV, "MPI_Recv", PID_CLUSTER, dst_rank, start,

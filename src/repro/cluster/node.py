@@ -14,7 +14,7 @@ number of simulator events by an order of magnitude.
 
 from __future__ import annotations
 
-from typing import Generator, Iterator
+from typing import Iterator
 
 from repro.cluster.spec import ClusterSpec
 from repro.sim import Environment, Event, Resource
@@ -36,6 +36,12 @@ class Core:
         self.pending_cycles = 0.0
         #: Total busy cycles, realized + pending, for utilization stats.
         self.busy_cycles = 0.0
+        # Divisors resolved once; compute/charge run per instruction
+        # batch on the hot path.  Kept as divisors (not reciprocal
+        # multipliers) so the float results stay bit-identical to
+        # spec.cycles_to_seconds / instructions_to_seconds.
+        self._clock_hz = spec.clock_hz
+        self._ipc = spec.instructions_per_cycle
 
     # -- immediate costs -----------------------------------------------------
 
@@ -44,12 +50,11 @@ class Core:
         if cycles < 0:
             raise ValueError(f"negative cycle count: {cycles}")
         self.busy_cycles += cycles
-        return self.env.timeout(self.spec.cycles_to_seconds(cycles))
+        return self.env.sleep(cycles / self._clock_hz)
 
     def execute_instructions(self, instructions: float) -> Event:
         """Return an event realizing ``instructions`` of work right now."""
-        cycles = instructions / self.spec.instructions_per_cycle
-        return self.compute(cycles)
+        return self.compute(instructions / self._ipc)
 
     # -- deferred costs --------------------------------------------------------
 
@@ -62,17 +67,21 @@ class Core:
 
     def charge_instructions(self, instructions: float) -> None:
         """Accumulate instruction cost to be realized at the next drain."""
-        self.charge_cycles(instructions / self.spec.instructions_per_cycle)
+        self.charge_cycles(instructions / self._ipc)
 
-    def drain(self) -> Generator[Event, None, None]:
+    def drain(self) -> tuple[Event, ...]:
         """Realize all pending cycles as simulated time.
 
-        Yields zero or one timeout; call as ``yield from core.drain()``
-        immediately before any blocking operation.
+        Returns a tuple of zero or one timeouts; drive with
+        ``yield from core.drain()`` immediately before any blocking
+        operation.  Returning a tuple instead of being a generator keeps
+        the (very common) nothing-pending case free of generator
+        allocation.
         """
         if self.pending_cycles > 0.0:
             cycles, self.pending_cycles = self.pending_cycles, 0.0
-            yield self.env.timeout(self.spec.cycles_to_seconds(cycles))
+            return (self.env.sleep(cycles / self._clock_hz),)
+        return ()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Core {self.index} on node {self.node_index}>"
@@ -105,11 +114,14 @@ class Machine:
         self.env = env
         self.spec = spec
         self.nodes = [Node(env, spec, i) for i in range(spec.nodes)]
+        # Flat global-index view; core() is a hot lookup in the MPI layer.
+        self._cores = [core for node in self.nodes for core in node.cores]
 
     def core(self, index: int) -> Core:
         """Global core lookup."""
-        node = self.nodes[self.spec.node_of_core(index)]
-        return node.cores[index % self.spec.cores_per_node]
+        if index < 0:
+            raise IndexError(f"core index {index} out of range")
+        return self._cores[index]
 
     def iter_cores(self) -> Iterator[Core]:
         """All cores in global index order."""

@@ -151,10 +151,9 @@ class CommitUnit:
     def _drain_queue(self, queue) -> None:
         """Group a clog queue's entries into per-iteration write sets."""
         group = self._open_groups.setdefault(queue.name, [])
-        while True:
-            ok, entry = queue.pop_local()
-            if not ok:
-                break
+        delivered = queue.delivered
+        while delivered:
+            entry = delivered.popleft()
             kind = entry[0]
             if kind == WRITE:
                 group.append((entry[1], entry[2]))

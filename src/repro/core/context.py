@@ -27,6 +27,7 @@ from typing import Any, Generator, Optional
 from repro.core.messages import DATA, READ, WRITE
 from repro.errors import (
     MisspeculationDetected,
+    ProtectionFault,
     RecoveryAbort,
     TransactionError,
 )
@@ -42,6 +43,18 @@ class MTXContext:
     def __init__(self, worker: "Worker") -> None:  # noqa: F821 - runtime type
         self._worker = worker
         self._system = worker.system
+        # Per-access state resolved once: load/store run for every word
+        # a workload body touches, so attribute chains and divisions
+        # there dominate the wall-clock profile.  All of these objects
+        # are assigned exactly once for the lifetime of the system.
+        system = worker.system
+        ipc = system.cluster.instructions_per_cycle
+        self._state = system.state
+        self._space = worker.space
+        self._charge = worker.core.charge_cycles
+        self._access_cycles = system.config.access_instructions / ipc
+        self._queue_op_cycles = system.cluster.queue_op_instructions / ipc
+        self._page_coa = system.config.coa_page_granularity
         self.iteration = -1
         #: DATA entries received for this iteration, per label.
         self.incoming: dict[str, list] = {}
@@ -72,10 +85,21 @@ class MTXContext:
         try-commit unit (``mtx_read``) and checked against the value the
         earlier store actually commits.
         """
-        self._check_state()
+        if self._state.in_recovery:
+            raise RecoveryAbort("system entered recovery mid-subTX")
         worker = self._worker
-        worker.core.charge_instructions(self._system.config.access_instructions)
-        value = yield from worker.speculative_read(address)
+        self._charge(self._access_cycles)
+        # Non-faulting page-granularity reads (the common case by far)
+        # run inline; everything else goes through the worker's COA
+        # machinery.
+        if self._page_coa:
+            try:
+                value = self._space.read(address)
+            except ProtectionFault as fault:
+                yield from worker._coa_fetch(fault.page_number)
+                value = self._space.read(address)
+        else:
+            value = yield from worker._word_granular_read(address)
         if speculative:
             worker.current_log.append((READ, address, value))
         return value
@@ -94,10 +118,18 @@ class MTXContext:
         size of the logged entry when the store stands for a bulk
         write-set (e.g. a whole output block).
         """
-        self._check_state()
+        if self._state.in_recovery:
+            raise RecoveryAbort("system entered recovery mid-subTX")
         worker = self._worker
-        worker.core.charge_instructions(self._system.config.access_instructions)
-        yield from worker.speculative_write(address, value)
+        self._charge(self._access_cycles)
+        if self._page_coa:
+            try:
+                self._space.write(address, value)
+            except ProtectionFault as fault:
+                yield from worker._coa_fetch(fault.page_number)
+                self._space.write(address, value)
+        else:
+            worker._word_granular_write(address, value)
         entry = (WRITE, address, value) if nbytes is None else (WRITE, address, value, nbytes)
         worker.current_log.append(entry)
         if forward is True:
@@ -126,10 +158,15 @@ class MTXContext:
             raise TransactionError(
                 f"produce from stage {worker.stage_index} to invalid stage {stage}"
             )
-        queue = self._system.forward_queue(
-            worker.tid, self._system.worker_tid_for(stage, self.iteration)
-        )
-        yield from queue.produce((DATA, label, value), nbytes=nbytes)
+        dst_tid = self._system.worker_tid_for(stage, self.iteration)
+        queue = worker._fw_out.get(dst_tid)
+        if queue is None:
+            queue = worker._fw_out[dst_tid] = self._system.forward_queue(
+                worker.tid, dst_tid
+            )
+        events = queue.produce((DATA, label, value), nbytes=nbytes)
+        if events:
+            yield from events
 
     def consume(self, label: str) -> Any:
         """Take the next upstream value for ``label`` (``mtx_consume``).
@@ -146,7 +183,7 @@ class MTXContext:
                 f"consume of {label!r} at iteration {self.iteration}: no data "
                 "(produce/consume counts disagree)"
             )
-        self._worker.core.charge_instructions(self._system.cluster.queue_op_instructions)
+        self._charge(self._queue_op_cycles)
         return items.pop(0)
 
     def peek_count(self, label: str) -> int:

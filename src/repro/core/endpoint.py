@@ -36,6 +36,18 @@ class Endpoint:
         self.system = system
         self.tid = tid
         self.inbox = Store(system.env)
+        # Per-receive costs and the owning core, resolved once:
+        # _recv_one runs for every envelope this unit takes in.
+        cluster = system.cluster
+        ipc = cluster.instructions_per_cycle
+        self._core = system.core_of(tid)
+        self._recv_ready_cycles = cluster.mpi_recv_ready_instructions / ipc
+        self._recv_blocked_cycles = cluster.mpi_recv_instructions / ipc
+        self._state = system.state
+        self._mpi_variant = system.config.mpi_variant
+        #: Per-destination (core index, tag, inbox) for send_ctl, filled
+        #: on first use — all three are fixed for the life of the system.
+        self._ctl_dst: dict[int, tuple] = {}
         #: Control envelopes awaiting a wait_ctl caller.
         self.pending_ctl: deque[ControlEnvelope] = deque()
         #: Arrival-order records for next_message consumers.
@@ -54,22 +66,19 @@ class Endpoint:
         ``check_state=False`` is for units with no recovery-barrier
         obligations (COA replicas): they simply sleep through rollbacks.
         """
-        core = self.system.core_of(self.tid)
+        core = self._core
         yield from core.drain()
         # Evaluate readiness only *after* realizing deferred work: the
         # recovery flush may have emptied the inbox meanwhile, and
         # blocking on it then would hang past the rollback.
         ready = len(self.inbox.items) > 0
-        state = self.system.state
+        state = self._state
         if check_state and not ready and (state.in_recovery or state.done):
             raise RecoveryAbort("system state changed while draining")
         obs = self.system.obs
         start = self.system.env.now if obs is not None else 0.0
         envelope = yield self.inbox.get()
-        if ready:
-            core.charge_instructions(self.system.cluster.mpi_recv_ready_instructions)
-        else:
-            core.charge_instructions(self.system.cluster.mpi_recv_instructions)
+        core.charge_cycles(self._recv_ready_cycles if ready else self._recv_blocked_cycles)
         if obs is not None:
             if not ready:
                 # Only receives that actually blocked get a span; the
@@ -109,11 +118,11 @@ class Endpoint:
         are buffered.  Raises :class:`RecoveryAbort` if the system
         enters recovery while waiting (the inbox flush wakes us).
         """
+        delivered = queue.delivered
         while True:
-            ok, entry = queue.pop_local()
-            if ok:
-                return entry
-            if self.system.state.in_recovery:
+            if delivered:
+                return delivered.popleft()
+            if self._state.in_recovery:
                 raise RecoveryAbort("recovery started while consuming")
             envelope = yield from self._recv_one()
             self._route(envelope, arrival_order=False)
@@ -125,7 +134,7 @@ class Endpoint:
                 if envelope.kind == kind:
                     del self.pending_ctl[i]
                     return envelope
-            if check_state and self.system.state.in_recovery:
+            if check_state and self._state.in_recovery:
                 raise RecoveryAbort("recovery started while waiting for control")
             envelope = yield from self._recv_one(check_state=check_state)
             self._route(envelope, arrival_order=False)
@@ -149,18 +158,25 @@ class Endpoint:
         """Send one control message to unit ``dst_tid``."""
         envelope = ControlEnvelope(
             kind=kind,
-            epoch=self.system.state.epoch,
+            epoch=self._state.epoch,
             sender_tid=self.tid,
             payload=payload,
         )
+        dst = self._ctl_dst.get(dst_tid)
+        if dst is None:
+            dst = self._ctl_dst[dst_tid] = (
+                self.system.core_of(dst_tid).index,
+                ("inbox", dst_tid),
+                self.system.inbox_of(dst_tid),
+            )
         yield from self.system.mpi.send(
-            self.system.core_of(self.tid).index,
-            self.system.core_of(dst_tid).index,
+            self._core.index,
+            dst[0],
             envelope,
             nbytes,
-            tag=("inbox", dst_tid),
-            variant=self.system.config.mpi_variant,
-            mailbox=self.system.inbox_of(dst_tid),
+            dst[1],
+            self._mpi_variant,
+            dst[2],
         )
 
     # -- recovery -----------------------------------------------------------------------

@@ -20,7 +20,8 @@ per batch (section 4.2).  It differs in three runtime-specific ways:
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from collections import deque
+from typing import Any, Generator, Iterable, Optional
 
 from repro.core.messages import BatchEnvelope, entry_bytes
 from repro.obs.tracer import CAT_QUEUE, PID_RUNTIME
@@ -59,10 +60,26 @@ class RuntimeQueue:
         self._next_credit_id = 0
         self._buffer: list[tuple] = []
         self._buffer_bytes = 0
+        # Per-entry costs resolved once: produce() runs for every datum
+        # a worker emits, so repeated config/core lookups add up.
+        self._direct = config.channel_mode == "direct"
+        self._src_core = system.core_of(src_tid)
+        self._queue_op_instructions = system.cluster.queue_op_instructions
+        self._queue_op_cycles = (
+            self._queue_op_instructions / system.cluster.instructions_per_cycle
+        )
+        self._charge_src = self._src_core.charge_cycles
+        self._stats = system.stats
+        # Send-side constants for _push_batch: the destination core,
+        # inbox and tag never change for the life of the queue.
+        self._src_index = self._src_core.index
+        self._dst_index = system.core_of(dst_tid).index
+        self._dst_inbox = system.inbox_of(dst_tid)
+        self._tag = ("inbox", dst_tid)
+        self._mpi_variant = config.mpi_variant
 
-        #: Consumer-side entries routed here by the endpoint.
-        self.delivered: list[tuple] = []
-        self.delivered_index = 0
+        #: Consumer-side entries routed here by the endpoint (FIFO).
+        self.delivered: deque[tuple] = deque()
 
         self.bytes_produced = 0
         self.entries_produced = 0
@@ -70,8 +87,12 @@ class RuntimeQueue:
 
     # -- producer side -------------------------------------------------------------
 
-    def produce(self, entry: tuple, nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
+    def produce(self, entry: tuple, nbytes: Optional[int] = None) -> Iterable[Event]:
         """Append one entry; pushes a batch when the buffer fills.
+
+        Returns an iterable of events — drive with ``yield from``.  The
+        buffered fast path (the overwhelmingly common case) returns an
+        empty tuple, so no generator is allocated per entry.
 
         In ``direct`` channel mode (the Figure 5(b) unoptimized
         baseline) every entry pays one full MPI send instead of a
@@ -79,22 +100,30 @@ class RuntimeQueue:
         """
         size = entry_bytes(entry) if nbytes is None else nbytes
         self._buffer.append(entry)
-        self._buffer_bytes += size
+        buffered = self._buffer_bytes + size
+        self._buffer_bytes = buffered
         self.bytes_produced += size
         self.entries_produced += 1
-        self.system.stats.record_queue_bytes(self.purpose, size)
-        if self.system.config.channel_mode == "direct":
-            yield from self._push_batch()
-            return
-        src_core = self.system.core_of(self.src_tid)
-        src_core.charge_instructions(self.system.cluster.queue_op_instructions)
-        if self._buffer_bytes >= self._batch_bytes:
-            yield from self._push_batch()
+        # RunStats.record_queue_bytes inlined: one per-entry call saved.
+        stats = self._stats
+        stats.queue_bytes += size
+        purpose = self.purpose
+        by_purpose = stats.queue_bytes_by_purpose
+        by_purpose[purpose] = by_purpose.get(purpose, 0) + size
+        if stats.observer is not None:
+            stats.observer.metrics.counter(f"queue.bytes.{purpose}").inc(size)
+        if self._direct:
+            return self._push_batch()
+        self._charge_src(self._queue_op_cycles)
+        if buffered >= self._batch_bytes:
+            return self._push_batch()
+        return ()
 
-    def flush_pending(self) -> Generator[Event, Any, None]:
+    def flush_pending(self) -> Iterable[Event]:
         """Push a partial batch (subTX boundary / termination)."""
         if self._buffer:
-            yield from self._push_batch()
+            return self._push_batch()
+        return ()
 
     def _push_batch(self) -> Generator[Event, Any, None]:
         # The span deliberately covers the credit wait: time blocked on
@@ -119,13 +148,13 @@ class RuntimeQueue:
             nbytes=nbytes,
         )
         yield from self.system.mpi.send(
-            self.src_tid_core_index(),
-            self.dst_tid_core_index(),
+            self._src_index,
+            self._dst_index,
             envelope,
             nbytes,
-            tag=("inbox", self.dst_tid),
-            variant=self.system.config.mpi_variant,
-            mailbox=self.system.inbox_of(self.dst_tid),
+            self._tag,
+            self._mpi_variant,
+            self._dst_inbox,
         )
         if obs is not None:
             obs.tracer.complete(
@@ -136,7 +165,7 @@ class RuntimeQueue:
             obs.metrics.histogram("queue.batch_bytes").observe(nbytes)
 
     def src_tid_core_index(self) -> int:
-        return self.system.core_of(self.src_tid).index
+        return self._src_core.index
 
     def dst_tid_core_index(self) -> int:
         return self.system.core_of(self.dst_tid).index
@@ -159,18 +188,13 @@ class RuntimeQueue:
 
     def pop_local(self) -> tuple[bool, Any]:
         """Take the next delivered entry without blocking."""
-        if self.delivered_index >= len(self.delivered):
-            return False, None
-        entry = self.delivered[self.delivered_index]
-        self.delivered_index += 1
-        if self.delivered_index > 4096:
-            del self.delivered[: self.delivered_index]
-            self.delivered_index = 0
-        return True, entry
+        if self.delivered:
+            return True, self.delivered.popleft()
+        return False, None
 
     @property
     def has_local(self) -> bool:
-        return self.delivered_index < len(self.delivered)
+        return bool(self.delivered)
 
     # -- recovery ----------------------------------------------------------------------
 
@@ -186,10 +210,9 @@ class RuntimeQueue:
 
         Returns the number of entries discarded locally (FLQ cost).
         """
-        discarded = len(self._buffer) + (len(self.delivered) - self.delivered_index)
+        discarded = len(self._buffer) + len(self.delivered)
         self._buffer.clear()
         self._buffer_bytes = 0
-        self.delivered = []
-        self.delivered_index = 0
+        self.delivered.clear()
         self.release_all_credits()
         return discarded

@@ -68,6 +68,19 @@ class Worker:
         self.context = MTXContext(self)
         #: Iterations this worker completed (stats/debugging).
         self.iterations_executed = 0
+        # Per-entry queue-op cost in cycles, resolved once for the
+        # mtx_begin consume loop.
+        self._queue_op_cycles = (
+            self.system.cluster.queue_op_instructions
+            / self.system.cluster.instructions_per_cycle
+        )
+        # Lazily-cached queue handles, filled on first use so the queue
+        # registry's creation order (which recovery iterates) is
+        # exactly what it would be without the cache.
+        self._tclog = None
+        self._clog = None
+        self._fw_out: dict[int, Any] = {}
+        self._fw_in: dict[int, Any] = {}
 
     # -- main process ----------------------------------------------------------------------
 
@@ -155,11 +168,15 @@ class Worker:
             yield from self._flush_log_queues()
         for earlier_stage in range(self.stage_index):
             producer_tid = self.system.worker_tid_for(earlier_stage, iteration)
-            queue = self.system.forward_queue(producer_tid, self.tid)
+            queue = self._fw_in.get(producer_tid)
+            if queue is None:
+                queue = self._fw_in[producer_tid] = self.system.forward_queue(
+                    producer_tid, self.tid
+                )
             while True:
                 entry = yield from self.endpoint.consume_from(queue)
                 kind = entry[0]
-                self.core.charge_instructions(self.system.cluster.queue_op_instructions)
+                self.core.charge_cycles(self._queue_op_cycles)
                 if kind == END_SUBTX:
                     if entry[1] != iteration:  # pragma: no cover - invariant
                         raise RecoveryAbort(
@@ -186,25 +203,40 @@ class Worker:
         obs = system.obs
         start = system.env.now if obs is not None else 0.0
         # Uncommitted value forwarding to later stages (writeAll/writeTo).
+        # ``produce`` returns an empty tuple on its buffered fast path;
+        # branching on it skips the ``yield from`` machinery per entry.
         for later_stage in range(self.stage_index + 1, system.num_stages):
             consumer_tid = system.worker_tid_for(later_stage, iteration)
-            queue = system.forward_queue(self.tid, consumer_tid)
+            queue = self._fw_out.get(consumer_tid)
+            if queue is None:
+                queue = self._fw_out[consumer_tid] = system.forward_queue(
+                    self.tid, consumer_tid
+                )
+            produce = queue.produce
             for entry, targets in self.pending_forwards:
                 if targets is None or later_stage in targets:
-                    yield from queue.produce(entry)
-            yield from queue.produce((END_SUBTX, iteration, self.stage_index))
+                    events = produce(entry)
+                    if events:
+                        yield from events
+            yield from produce((END_SUBTX, iteration, self.stage_index))
             yield from queue.flush_pending()
         # Access log to the try-commit unit (reads + writes)...
-        tclog = system.tclog_queue(self.tid)
+        tclog = self._tclog_queue()
+        produce = tclog.produce
         for entry in self.current_log:
-            yield from tclog.produce(entry)
-        yield from tclog.produce((END_SUBTX, iteration, self.stage_index))
+            events = produce(entry)
+            if events:
+                yield from events
+        yield from produce((END_SUBTX, iteration, self.stage_index))
         # ... and writes to the commit unit.
-        clog = system.clog_queue(self.tid)
+        clog = self._clog_queue()
+        produce = clog.produce
         for entry in self.current_log:
             if entry[0] == WRITE:
-                yield from clog.produce(entry)
-        yield from clog.produce((END_SUBTX, iteration, self.stage_index))
+                events = produce(entry)
+                if events:
+                    yield from events
+        yield from produce((END_SUBTX, iteration, self.stage_index))
         self.current_log = []
         self.pending_forwards = []
         if obs is not None:
@@ -217,10 +249,22 @@ class Worker:
             # the validation/commit units promptly.
             yield from self._flush_log_queues()
 
+    def _tclog_queue(self):
+        queue = self._tclog
+        if queue is None:
+            queue = self._tclog = self.system.tclog_queue(self.tid)
+        return queue
+
+    def _clog_queue(self):
+        queue = self._clog
+        if queue is None:
+            queue = self._clog = self.system.clog_queue(self.tid)
+        return queue
+
     def _flush_log_queues(self) -> Generator[Event, Any, None]:
         """Push out partial log batches (end of assigned work)."""
-        yield from self.system.tclog_queue(self.tid).flush_pending()
-        yield from self.system.clog_queue(self.tid).flush_pending()
+        yield from self._tclog_queue().flush_pending()
+        yield from self._clog_queue().flush_pending()
 
     def _report_misspec(self, misspec: MisspeculationDetected) -> Generator[Event, Any, None]:
         """Notify the commit unit (``mtx_misspec``).

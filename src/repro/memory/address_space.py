@@ -22,7 +22,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, Tuple
 
 from repro.errors import ProtectionFault
-from repro.memory.layout import check_word_aligned, page_number, word_index
+from repro.memory.layout import (
+    PAGE_MASK,
+    PAGE_SHIFT,
+    WORD_MASK,
+    WORD_SHIFT,
+    check_word_aligned,
+)
 from repro.memory.page import Page
 from repro.obs.tracer import CAT_PAGE_FAULT, PID_RUNTIME
 
@@ -31,6 +37,16 @@ __all__ = ["AddressSpace"]
 
 class AddressSpace:
     """A page-table-backed, word-granular virtual memory."""
+
+    __slots__ = (
+        "name",
+        "faulting",
+        "pages",
+        "pages_installed",
+        "faults_taken",
+        "obs",
+        "owner_tid",
+    )
 
     def __init__(self, name: str, faulting: bool = False) -> None:
         self.name = name
@@ -53,12 +69,15 @@ class AddressSpace:
         In a faulting space, touching an uninstalled page raises
         :class:`ProtectionFault`.
         """
+        # Fast path: aligned access to an installed page is two dict
+        # lookups.  A word index derived from an aligned non-negative
+        # address is always in range, so the Page bounds check is skipped.
+        page = self.pages.get(address >> PAGE_SHIFT)
+        if page is not None and not address & WORD_MASK and address >= 0:
+            return page.words.get((address & PAGE_MASK) >> WORD_SHIFT, 0)
         check_word_aligned(address)
-        page_no = page_number(address)
-        page = self.pages.get(page_no)
-        if page is None:
-            page = self._page_miss(address, page_no)
-        return page.read(word_index(address))
+        page = self._page_miss(address, address >> PAGE_SHIFT)
+        return page.read((address & PAGE_MASK) >> WORD_SHIFT)
 
     def write(self, address: int, value: object) -> None:
         """Write ``value`` to the word at ``address``.
@@ -66,12 +85,14 @@ class AddressSpace:
         Stores also fault on protected pages: the OS access protections
         DSMTX installs trip on any first touch (section 4.2).
         """
+        page = self.pages.get(address >> PAGE_SHIFT)
+        if page is not None and not address & WORD_MASK and address >= 0:
+            page.words[(address & PAGE_MASK) >> WORD_SHIFT] = value
+            page.dirty = True
+            return
         check_word_aligned(address)
-        page_no = page_number(address)
-        page = self.pages.get(page_no)
-        if page is None:
-            page = self._page_miss(address, page_no)
-        page.write(word_index(address), value)
+        page = self._page_miss(address, address >> PAGE_SHIFT)
+        page.write((address & PAGE_MASK) >> WORD_SHIFT, value)
 
     def _page_miss(self, address: int, page_no: int) -> Page:
         if self.faulting:
@@ -139,14 +160,19 @@ class AddressSpace:
         location wins (paper section 3.1).  Bumps the version of every
         touched page so later COA snapshots are distinguishable.
         """
+        pages = self.pages
         touched: set[int] = set()
         for address, value in writes:
-            check_word_aligned(address)
-            page = self.get_page(page_number(address))
-            page.write(word_index(address), value)
-            touched.add(page.number)
+            page_no = address >> PAGE_SHIFT
+            page = pages.get(page_no)
+            if page is None or address & WORD_MASK or address < 0:
+                check_word_aligned(address)
+                page = self.get_page(page_no)
+            page.words[(address & PAGE_MASK) >> WORD_SHIFT] = value
+            page.dirty = True
+            touched.add(page_no)
         for page_no in touched:
-            self.pages[page_no].bump_version()
+            pages[page_no].bump_version()
 
     def iter_pages(self) -> Iterator[Page]:
         """All installed pages, in page-number order."""

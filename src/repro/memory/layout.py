@@ -19,6 +19,10 @@ __all__ = [
     "WORD_BYTES",
     "PAGE_BYTES",
     "WORDS_PER_PAGE",
+    "PAGE_SHIFT",
+    "PAGE_MASK",
+    "WORD_SHIFT",
+    "WORD_MASK",
     "REGION_BITS",
     "REGION_BYTES",
     "MAX_OWNERS",
@@ -37,6 +41,14 @@ PAGE_BYTES = 4096
 #: Words per page.
 WORDS_PER_PAGE = PAGE_BYTES // WORD_BYTES
 
+#: Shift/mask forms of the (power-of-two) granularities, for the memory
+#: hot path: ``address >> PAGE_SHIFT`` is the page number and
+#: ``(address & PAGE_MASK) >> WORD_SHIFT`` the word index.
+PAGE_SHIFT = PAGE_BYTES.bit_length() - 1
+PAGE_MASK = PAGE_BYTES - 1
+WORD_SHIFT = WORD_BYTES.bit_length() - 1
+WORD_MASK = WORD_BYTES - 1
+
 #: Bits of address space owned by each thread (16 GiB regions).
 REGION_BITS = 34
 #: Bytes in one ownership region.
@@ -49,23 +61,23 @@ def check_word_aligned(address: int) -> None:
     """Raise if ``address`` is not word-aligned or is negative."""
     if address < 0:
         raise UnmappedAddressError(f"negative address {address:#x}")
-    if address % WORD_BYTES:
+    if address & WORD_MASK:
         raise UnmappedAddressError(f"address {address:#x} is not {WORD_BYTES}-byte aligned")
 
 
 def page_number(address: int) -> int:
     """Page number containing ``address``."""
-    return address // PAGE_BYTES
+    return address >> PAGE_SHIFT
 
 
 def page_base(page_no: int) -> int:
     """First byte address of page ``page_no``."""
-    return page_no * PAGE_BYTES
+    return page_no << PAGE_SHIFT
 
 
 def word_index(address: int) -> int:
     """Index of the word within its page (0 .. WORDS_PER_PAGE-1)."""
-    return (address % PAGE_BYTES) // WORD_BYTES
+    return (address & PAGE_MASK) >> WORD_SHIFT
 
 
 def owner_of(address: int) -> int:

@@ -1,0 +1,295 @@
+"""Wall-clock benchmark harness for the simulation hot path.
+
+``repro perf`` times a fixed matrix of small, deterministic,
+observability-disabled configurations and reports how many simulator
+events per second of *host* time the engine sustains.  Results land in
+``BENCH_sim.json`` at the repository root; every run prints a
+comparison table against the previous file, so the trajectory of the
+hot path is visible PR over PR (see ``docs/PERFORMANCE.md``).
+
+Design constraints:
+
+* **Deterministic.**  Every config must process an identical event
+  count on every run (asserted across repeats) — wall seconds are the
+  only thing allowed to vary.
+* **Obs-disabled.**  The matrix measures the production fast path; the
+  cost of *enabled* instrumentation is measured separately by
+  ``tests/obs/test_overhead.py``.
+* **Small.**  The full matrix finishes in well under a minute so it can
+  run on every PR; ``--smoke`` shrinks it to a few seconds for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.sim import Environment, Resource, Store
+
+__all__ = [
+    "BENCH_JSON_NAME",
+    "MATRIX",
+    "BenchResult",
+    "cmd_perf",
+    "render_comparison",
+    "run_matrix",
+]
+
+#: Canonical results file, at the repository root.
+BENCH_JSON_NAME = "BENCH_sim.json"
+
+#: Schema version of the JSON file.
+SCHEMA = 1
+
+
+@dataclass
+class BenchResult:
+    """Timing of one matrix entry (best of ``repeats`` runs)."""
+
+    name: str
+    events: int
+    wall_seconds: float
+    sim_seconds: float
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "sim_seconds": self.sim_seconds,
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+
+
+# -- the matrix -----------------------------------------------------------------
+
+
+def _engine_micro(smoke: bool) -> tuple[int, float]:
+    """Pure-engine stress: timeout chains, store handoffs, resource
+    contention — no cluster layer, so this isolates the kernel cost."""
+    pairs = 4 if smoke else 16
+    rounds = 50 if smoke else 600
+    env = Environment()
+    cpu = Resource(env, capacity=max(2, pairs // 2))
+
+    def producer(store: Store, period: float) -> object:
+        for i in range(rounds):
+            yield env.timeout(period)
+            yield store.put(i)
+
+    def consumer(store: Store) -> object:
+        for _ in range(rounds):
+            item = yield store.get()
+            grant = cpu.request()
+            yield grant
+            yield env.timeout(1e-6 * (1 + item % 3))
+            cpu.release(grant)
+
+    for p in range(pairs):
+        store = Store(env, capacity=8)
+        env.process(producer(store, 1e-6 * (1 + p % 5)))
+        env.process(consumer(store))
+    env.run()
+    return env.events_processed, env.now
+
+
+def _system_bench(
+    factory: Callable, cores: int, scheme: str = "dsmtx", replicas: int = 0
+) -> Callable[[bool], tuple[int, float]]:
+    def run(smoke: bool) -> tuple[int, float]:
+        from repro.core import DSMTXSystem, SystemConfig
+
+        workload = factory(smoke)
+        plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+        config = SystemConfig(total_cores=cores, coa_replicas=replicas)
+        system = DSMTXSystem(plan, config)
+        result = system.run()
+        return system.env.events_processed, result.elapsed_seconds
+
+    return run
+
+
+def _crc32(iterations: int, smoke_iterations: int, misspec: Optional[set] = None):
+    def factory(smoke: bool):
+        from repro.workloads import Crc32
+
+        count = smoke_iterations if smoke else iterations
+        bad = {count // 2} if misspec else None
+        return Crc32(iterations=count, misspec_iterations=bad)
+
+    return factory
+
+
+def _blackscholes(iterations: int, smoke_iterations: int):
+    def factory(smoke: bool):
+        from repro.workloads import BlackScholes
+
+        return BlackScholes(iterations=smoke_iterations if smoke else iterations)
+
+    return factory
+
+
+#: The fixed benchmark matrix: name -> callable(smoke) -> (events, sim_seconds).
+#: Picked to cover the four hot-path layers: the engine itself
+#: (engine_micro), queue/endpoint traffic (crc32 pipelines), the
+#: batched-channel + interconnect path under misspeculation recovery,
+#: COA replica routing, and a TLS plan (sync queues).
+MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
+    "engine_micro": _engine_micro,
+    "crc32_dsmtx_8c": _system_bench(_crc32(48, 8), cores=8),
+    "crc32_misspec_8c": _system_bench(_crc32(32, 8, misspec=True), cores=8),
+    "crc32_tls_8c": _system_bench(_crc32(48, 8), cores=8, scheme="tls"),
+    "crc32_replicas_8c": _system_bench(_crc32(48, 8), cores=8, replicas=1),
+    "blackscholes_16c": _system_bench(_blackscholes(384, 16), cores=16),
+}
+
+
+# -- running ---------------------------------------------------------------------
+
+
+def run_matrix(smoke: bool = False, repeats: int = 3) -> list[BenchResult]:
+    """Time every matrix entry; best wall time of ``repeats`` runs.
+
+    Raises ``AssertionError`` if any entry's event count differs
+    between repeats — the matrix must be deterministic.
+    """
+    repeats = 1 if smoke else max(1, repeats)
+    results = []
+    for name, bench in MATRIX.items():
+        best = float("inf")
+        events = sim_seconds = None
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            got_events, got_sim = bench(smoke)
+            wall = time.perf_counter() - begin
+            if events is None:
+                events, sim_seconds = got_events, got_sim
+            else:
+                assert events == got_events, (
+                    f"{name}: non-deterministic event count "
+                    f"({events} != {got_events})"
+                )
+            best = min(best, wall)
+        results.append(
+            BenchResult(name=name, events=events, wall_seconds=best,
+                        sim_seconds=sim_seconds)
+        )
+        print(f"  {name:<20} {events:>9} events  {best:8.3f} s  "
+              f"{events / best:>12,.0f} ev/s", file=sys.stderr)
+    return results
+
+
+# -- persistence and comparison --------------------------------------------------
+
+
+def _totals(results: list[BenchResult]) -> dict:
+    events = sum(r.events for r in results)
+    wall = sum(r.wall_seconds for r in results)
+    return {
+        "events": events,
+        "wall_seconds": round(wall, 6),
+        "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+    }
+
+
+def results_payload(results: list[BenchResult], baseline: Optional[dict]) -> dict:
+    payload = {
+        "schema": SCHEMA,
+        "python": sys.version.split()[0],
+        "totals": _totals(results),
+        "benchmarks": {r.name: r.to_dict() for r in results},
+    }
+    if baseline is not None:
+        payload["baseline"] = {
+            "totals": baseline.get("totals"),
+            "benchmarks": baseline.get("benchmarks", {}),
+        }
+    return payload
+
+
+def load_previous(path: Path) -> Optional[dict]:
+    """The previous ``BENCH_sim.json``, if one exists and parses."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        return None
+    return data
+
+
+def render_comparison(results: list[BenchResult], previous: Optional[dict]) -> str:
+    """Baseline-vs-current table (previous JSON on the left)."""
+    from repro.analysis import render_table
+
+    prev_benchmarks = (previous or {}).get("benchmarks", {})
+    rows = []
+    for r in results:
+        old = prev_benchmarks.get(r.name)
+        if old and old.get("events_per_sec"):
+            old_rate = old["events_per_sec"]
+            ratio = f"{r.events_per_sec / old_rate:.2f}x"
+            old_text = f"{old_rate:,.0f}"
+        else:
+            old_text, ratio = "-", "-"
+        rows.append([
+            r.name, f"{r.events:,}", f"{r.wall_seconds:.3f}",
+            old_text, f"{r.events_per_sec:,.0f}", ratio,
+        ])
+    totals = _totals(results)
+    old_totals = (previous or {}).get("totals") or {}
+    if old_totals.get("events_per_sec"):
+        old_rate = old_totals["events_per_sec"]
+        ratio = f"{totals['events_per_sec'] / old_rate:.2f}x"
+        old_text = f"{old_rate:,.0f}"
+    else:
+        old_text, ratio = "-", "-"
+    rows.append([
+        "TOTAL", f"{totals['events']:,}", f"{totals['wall_seconds']:.3f}",
+        old_text, f"{totals['events_per_sec']:,.0f}", ratio,
+    ])
+    return render_table(
+        ["benchmark", "events", "wall s", "baseline ev/s", "current ev/s", "speedup"],
+        rows,
+        title="Hot-path throughput (wall clock, obs disabled)",
+    )
+
+
+def cmd_perf(args) -> int:
+    """``repro perf``: run the matrix, write BENCH_sim.json, compare."""
+    out = Path(args.out) if args.out else Path.cwd() / BENCH_JSON_NAME
+    previous = load_previous(out)
+    mode = "smoke" if args.smoke else f"full (best of {args.repeats})"
+    print(f"running perf matrix [{mode}] ...", file=sys.stderr)
+    results = run_matrix(smoke=args.smoke, repeats=args.repeats)
+    print()
+    print(render_comparison(results, previous))
+    # Smoke runs validate the harness; they must not overwrite real
+    # numbers with throwaway single-repeat timings of a tiny matrix.
+    if args.smoke and previous is not None and args.out is None:
+        print(f"\nsmoke run: leaving existing {out.name} untouched")
+        return 0
+    baseline = None
+    if previous is not None:
+        baseline = {
+            "totals": previous.get("totals"),
+            "benchmarks": previous.get("benchmarks", {}),
+        }
+    payload = results_payload(results, baseline)
+    if args.smoke:
+        payload["smoke"] = True
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {out}")
+    return 0

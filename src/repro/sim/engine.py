@@ -20,6 +20,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import (
@@ -34,6 +35,13 @@ __all__ = ["Environment", "Event", "Timeout", "Process", "PENDING"]
 #: Sentinel for an event value that has not been set yet.
 PENDING = object()
 
+#: Priority bias folded into the heap key.  A heap entry is
+#: ``(time, key, event)`` with ``key = eid`` for priority-0 events
+#: (interrupts) and ``key = eid + _P1`` for everything else — the exact
+#: lexicographic order of the old ``(time, priority, eid)`` key with one
+#: fewer tuple element to build and compare per event.
+_P1 = 1 << 62
+
 
 class Event:
     """An occurrence in simulated time that processes may wait for.
@@ -41,13 +49,24 @@ class Event:
     An event starts *pending*, is *triggered* exactly once (either
     :meth:`succeed` with a value or :meth:`fail` with an exception), and is
     *processed* when the environment has run its callbacks.
+
+    Events are the unit of work of the hot loop, so the class is slotted
+    and every state flag — including ``_defused`` — is a real attribute:
+    the step loop reads them without ``getattr`` fallbacks or property
+    descriptors.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+        #: A failed event raises out of the step loop unless some handler
+        #: marked the failure as taken care of.  True here means "nothing
+        #: to surface"; :meth:`fail` arms it.
+        self._defused = True
 
     # -- state ------------------------------------------------------------
 
@@ -77,16 +96,20 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._enqueue(self)
+        # Inlined Environment._enqueue: succeed() fires for every
+        # resource grant and store hand-off, so the extra call counts.
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, eid + _P1, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure; waiters will see it raised."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -116,25 +139,36 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after ``delay`` seconds."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Event.__init__ and Environment._enqueue inlined; timeouts are
+        # the most-constructed event kind of a run.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._enqueue(self, delay)
+        self._ok = True
+        self._defused = True
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, eid + _P1, self))
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        env._enqueue(self)
+        self._ok = True
+        self._defused = True
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, eid + _P1, self))
 
 
 class Process(Event):
@@ -142,6 +176,8 @@ class Process(Event):
     triggers when the generator returns (value = return value) or raises
     (failure).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         super().__init__(env)
@@ -165,9 +201,9 @@ class Process(Event):
         """Throw :class:`ProcessInterrupt` into the process at its current
         ``yield``.  Interrupting a finished process is an error.
         """
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError("cannot interrupt a finished process")
-        if self._target is self.env.active_process:
+        if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
@@ -198,7 +234,8 @@ class Process(Event):
             env._active = None
             self._ok = True
             self._value = stop.value
-            env._enqueue(self)
+            env._eid = eid = env._eid + 1
+            heappush(env._queue, (env._now, eid + _P1, self))
             return
         except BaseException as exc:
             env._active = None
@@ -208,12 +245,14 @@ class Process(Event):
             env._enqueue(self)
             return
         env._active = None
-        if not isinstance(next_event, Event):
+        try:
+            target_callbacks = next_event.callbacks
+        except AttributeError:
             raise SimulationError(
                 f"process yielded a non-event: {next_event!r} "
                 "(processes must yield Event instances)"
-            )
-        if next_event.callbacks is None:
+            ) from None
+        if target_callbacks is None:
             # Already processed: resume immediately at the current time.
             bridge = Event(env)
             bridge._ok = next_event._ok
@@ -224,7 +263,7 @@ class Process(Event):
             env._enqueue(bridge)
             self._target = bridge
         else:
-            next_event.callbacks.append(self._resume)
+            target_callbacks.append(self._resume)
             self._target = next_event
 
 
@@ -242,6 +281,8 @@ class Environment:
         self.obs = None
         #: Hooks invoked with each processed event (see ``repro.sim.trace``).
         self._step_listeners: list[Callable[[Event], None]] = []
+        #: Events processed so far (the ``repro perf`` throughput metric).
+        self.events_processed = 0
 
     # -- introspection ----------------------------------------------------
 
@@ -268,6 +309,28 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Timeout:
+        """Fast-path timeout: a bare delay with no value payload.
+
+        Semantically identical to ``timeout(delay)`` but built without
+        the :class:`Event` constructor chain — the cluster layer
+        schedules one of these for every compute burst and wire
+        serialization, which makes it the single most-allocated object
+        of a run.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        timeout = Timeout.__new__(Timeout)
+        timeout.env = self
+        timeout.callbacks = []
+        timeout._value = None
+        timeout._ok = True
+        timeout._defused = True
+        timeout.delay = delay
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, eid + _P1, timeout))
+        return timeout
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new process running ``generator``."""
@@ -333,8 +396,27 @@ class Environment:
     # -- scheduling / execution --------------------------------------------
 
     def _enqueue(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        if priority:
+            eid += _P1
+        heappush(self._queue, (self._now + delay, eid, event))
+
+    def triggered_event(self, value: Any = None) -> Event:
+        """A fresh event that is already triggered ok with ``value``.
+
+        Equivalent to ``Event(env).succeed(value)`` in one step — the
+        resources layer grants most requests immediately, so this path
+        runs per store hand-off and resource grant.
+        """
+        event = Event.__new__(Event)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = True
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now, eid + _P1, event))
+        return event
 
     def add_step_listener(self, listener: Callable[[Event], None]) -> None:
         """Register ``listener`` to observe every processed event."""
@@ -351,13 +433,14 @@ class Environment:
         """Process the single next event, advancing the clock."""
         if not self._queue:
             raise DeadlockError("event queue is empty")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _key, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", True):
+        if not event._ok and not event._defused:
             # A failed event that nobody handled: surface the error.
             raise event._value
         if self._step_listeners:
@@ -380,13 +463,74 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError(f"until={stop_time} is in the past (now={self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        # The fused step loop.  One iteration here is :meth:`step` with
+        # the per-event overhead stripped: the queue, heappop, and the
+        # listener list are locals, the stop checks read slots directly
+        # instead of going through properties, and the processed-event
+        # count is flushed once at exit.  Listener registration mutates
+        # ``_step_listeners`` in place, so the local alias stays live.
+        # The loop body is replicated per stop mode so the common modes
+        # (run to an event, run until the queue drains) pay no per-event
+        # checks for the stop conditions they cannot hit.
+        queue = self._queue
+        listeners = self._step_listeners
+        processed = 0
+        try:
+            if stop_time != float("inf"):
+                while queue:
+                    if stop_event is not None and stop_event.callbacks is None:
+                        break
+                    when = queue[0][0]
+                    if when > stop_time:
+                        self._now = stop_time
+                        return None
+                    event = heappop(queue)[2]
+                    self._now = when
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        # A failed event that nobody handled: surface it.
+                        raise event._value
+                    if listeners:
+                        for listener in listeners:
+                            listener(event)
+            elif stop_event is not None:
+                while queue:
+                    if stop_event.callbacks is None:
+                        break
+                    item = heappop(queue)
+                    self._now = item[0]
+                    event = item[2]
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if listeners:
+                        for listener in listeners:
+                            listener(event)
+            else:
+                while queue:
+                    item = heappop(queue)
+                    self._now = item[0]
+                    event = item[2]
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if listeners:
+                        for listener in listeners:
+                            listener(event)
+        finally:
+            self.events_processed += processed
 
         if stop_event is not None:
             if not stop_event.triggered:

@@ -54,28 +54,29 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that succeeds when a slot is granted."""
-        request = self.env.event()
         if len(self._users) < self.capacity:
+            request = self.env.triggered_event()
             self._users.add(request)
-            request.succeed()
         else:
+            request = Event(self.env)
             self._waiting.append(request)
         return request
 
     def release(self, request: Event) -> None:
         """Release the slot held by ``request``."""
-        if request in self._users:
-            self._users.remove(request)
-        else:
+        users = self._users
+        try:
+            users.remove(request)
+        except KeyError:
             # Releasing a never-granted (still waiting) request cancels it.
             try:
                 self._waiting.remove(request)
                 return
             except ValueError:
                 raise SimulationError("release of a request that holds no slot") from None
-        if self._waiting and len(self._users) < self.capacity:
+        if self._waiting and len(users) < self.capacity:
             nxt = self._waiting.popleft()
-            self._users.add(nxt)
+            users.add(nxt)
             nxt.succeed()
 
 
@@ -108,31 +109,46 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Return an event that succeeds once ``item`` is in the store."""
-        event = self.env.event()
         if self._getters:
             # Hand the item straight to the longest-waiting getter.
-            getter = self._getters.popleft()
-            getter.succeed(item)
-            event.succeed()
-        elif len(self.items) < self.capacity:
+            self._getters.popleft().succeed(item)
+            return self.env.triggered_event()
+        if len(self.items) < self.capacity:
             self.items.append(item)
-            event.succeed()
-        else:
-            self._putters.append((event, item))
+            return self.env.triggered_event()
+        event = Event(self.env)
+        self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
         """Return an event that succeeds with the next item."""
-        event = self.env.event()
         if self.items:
-            event.succeed(self.items.popleft())
+            event = self.env.triggered_event(self.items.popleft())
             if self._putters:
                 put_event, item = self._putters.popleft()
                 self.items.append(item)
                 put_event.succeed()
-        else:
-            self._getters.append(event)
+            return event
+        event = Event(self.env)
+        self._getters.append(event)
         return event
+
+    def put_nowait(self, item: Any) -> None:
+        """Deposit ``item`` without allocating a put-acknowledge event.
+
+        The fast path of the message-delivery layer: nobody ever waits
+        on a network delivery's put, so the ack event of :meth:`put`
+        (and its trip through the event queue) is pure overhead there.
+        Only valid when the store has room; a bounded store that is full
+        raises ``SimulationError`` rather than blocking.
+        """
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            self._getters.popleft().succeed(item)
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+        else:
+            raise SimulationError("put_nowait on a full store")
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking get: ``(True, item)`` or ``(False, None)``."""

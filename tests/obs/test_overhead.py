@@ -37,6 +37,7 @@ def _fingerprint(system):
         stats.queue_batches,
         stats.coa_pages_served,
         stats.words_committed,
+        system.env.events_processed,
         tuple((r.misspec_iteration, r.erm_seconds, r.flq_seconds, r.seq_seconds)
               for r in stats.recoveries),
     )
@@ -67,6 +68,40 @@ def test_instrumentation_is_timing_invariant():
     traced.run()
     assert _fingerprint(plain) == _fingerprint(traced)
     assert len(hub.tracer) > 0  # and it actually recorded something
+
+
+def test_fused_loop_reports_every_event_to_step_listeners():
+    # The fused run() loop keeps a local alias of the step-listener
+    # list; it must still observe every processed event — including the
+    # fast-path timeouts created by env.sleep() — when instrumentation
+    # is attached before the run.
+    system, _ = _build(instrumented=True)
+    seen = []
+    system.env.add_step_listener(lambda event: seen.append(event))
+    system.run()
+    assert len(seen) == system.env.events_processed
+
+
+def test_listener_attached_mid_run_sees_remaining_events():
+    # add/remove_step_listener mutate the list in place, so attaching a
+    # listener from inside a step takes effect within the fused loop.
+    from repro.sim import Environment
+
+    env = Environment()
+    seen = []
+
+    def late():
+        yield env.sleep(1.0)
+        env.add_step_listener(lambda event: seen.append(event))
+        yield env.sleep(1.0)
+        yield env.sleep(1.0)
+
+    env.process(late())
+    env.run()
+    # Listeners are notified after an event's callbacks run, so the
+    # attaching event itself is seen too: the sleep that attached, the
+    # two later sleeps, and the process-completion event.
+    assert len(seen) == 4
 
 
 def test_disabled_wall_clock_overhead_under_5_percent():

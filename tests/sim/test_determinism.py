@@ -1,0 +1,140 @@
+"""Golden-digest determinism suite.
+
+The hot-path refactor contract: optimizations may change how fast the
+simulator runs, never *what* it simulates.  This suite runs a small
+matrix of configurations — including one with injected misspeculation
+and one with COA read replicas — reduces every ``RunStats`` field that
+describes simulated behaviour (times, bytes, counts, per-phase recovery
+breakdowns) to a canonical string, hashes it, and compares against
+digests recorded from the pre-refactor engine
+(``tests/sim/golden_digests.json``).
+
+If a change to the kernel, queues, MPI layer, or memory system alters
+any simulated result, the digest moves and this suite fails.  To
+re-record after an *intentional* semantic change::
+
+    PYTHONPATH=src python tests/sim/test_determinism.py --regenerate
+
+and justify the new digests in the PR description.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_digests.json"
+
+
+def _crc32(iterations=24, misspec=None):
+    from repro.workloads import Crc32
+
+    return Crc32(iterations=iterations, misspec_iterations=misspec)
+
+
+def _blackscholes(iterations=64):
+    from repro.workloads import BlackScholes
+
+    return BlackScholes(iterations=iterations)
+
+
+#: name -> (workload factory, scheme, SystemConfig kwargs).
+CONFIGS = {
+    "crc32_dsmtx_8c": (lambda: _crc32(), "dsmtx", {"total_cores": 8}),
+    "crc32_misspec_8c": (lambda: _crc32(misspec={12}), "dsmtx", {"total_cores": 8}),
+    "crc32_replicas_8c": (lambda: _crc32(), "dsmtx",
+                          {"total_cores": 8, "coa_replicas": 1}),
+    "crc32_tls_8c": (lambda: _crc32(), "tls", {"total_cores": 8}),
+    "blackscholes_16c": (lambda: _blackscholes(), "dsmtx", {"total_cores": 16}),
+}
+
+
+def run_fingerprint(name: str) -> str:
+    """Canonical text of every simulated result of one config.
+
+    Floats are rendered with ``repr`` (shortest round-trip), so any
+    drift — even in the last ulp — changes the digest.
+    """
+    from repro.core import DSMTXSystem, SystemConfig
+
+    factory, scheme, kwargs = CONFIGS[name]
+    workload = factory()
+    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    system = DSMTXSystem(plan, SystemConfig(**kwargs))
+    result = system.run()
+    stats = result.stats
+    lines = [
+        f"elapsed_seconds={stats.elapsed_seconds!r}",
+        f"committed_mtxs={stats.committed_mtxs}",
+        f"misspeculations={stats.misspeculations}",
+        f"coa_pages_served={stats.coa_pages_served}",
+        f"coa_words_served={stats.coa_words_served}",
+        f"queue_bytes={stats.queue_bytes}",
+        f"queue_batches={stats.queue_batches}",
+        f"reads_checked={stats.reads_checked}",
+        f"words_committed={stats.words_committed}",
+    ]
+    for purpose in sorted(stats.queue_bytes_by_purpose):
+        lines.append(f"queue_bytes[{purpose}]={stats.queue_bytes_by_purpose[purpose]}")
+    for record in stats.recoveries:
+        lines.append(
+            "recovery("
+            f"iter={record.misspec_iteration}, "
+            f"detected_at={record.detected_at!r}, "
+            f"drain={record.drain_seconds!r}, "
+            f"erm={record.erm_seconds!r}, "
+            f"flq={record.flq_seconds!r}, "
+            f"seq={record.seq_seconds!r}, "
+            f"squashed={record.squashed_iterations}, "
+            f"reexecuted={record.reexecuted_iterations})"
+        )
+    return "\n".join(lines)
+
+
+def run_digest(name: str) -> str:
+    return hashlib.sha256(run_fingerprint(name).encode()).hexdigest()
+
+
+def _golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_matches_golden_digest(name):
+    golden = _golden()
+    assert name in golden, (
+        f"no golden digest recorded for {name!r}; run "
+        "'PYTHONPATH=src python tests/sim/test_determinism.py --regenerate'"
+    )
+    assert run_digest(name) == golden[name], (
+        f"simulated results of {name!r} changed: the refactor altered "
+        "behaviour, not just speed (see tests/sim/test_determinism.py)"
+    )
+
+
+def test_digest_is_repeatable():
+    """Two runs of the same config in one process agree exactly."""
+    name = "crc32_misspec_8c"
+    assert run_fingerprint(name) == run_fingerprint(name)
+
+
+def _regenerate() -> None:
+    digests = {}
+    for name in sorted(CONFIGS):
+        digests[name] = run_digest(name)
+        print(f"{name}: {digests[name]}")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(digests, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -170,6 +170,87 @@ def test_unhandled_failed_event_surfaces():
         env.run()
 
 
+def test_unhandled_failure_after_handled_one_still_surfaces():
+    # The _defused flag is per-event: one event with a handler must not
+    # defuse a different unhandled failure.
+    env = Environment()
+    handled = env.event()
+    unhandled = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield handled
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1.0)
+        handled.fail(ValueError("handled"))
+        unhandled.fail(ValueError("nobody catches me"))
+
+    env.process(waiter())
+    env.process(failer())
+    with pytest.raises(ValueError, match="nobody catches me"):
+        env.run()
+    assert caught == ["handled"]
+
+
+def test_sleep_fast_path_matches_timeout():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.sleep(3.0)
+        times.append(env.now)
+        yield env.sleep(0.0)
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [3.0, 3.0]
+
+
+def test_sleep_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.sleep(-0.5)
+
+
+def test_sleep_and_timeout_share_fifo_order():
+    # sleep() is an allocation fast path, not a different event kind:
+    # it must interleave with timeout() in strict creation order.
+    env = Environment()
+    order = []
+
+    def via_timeout(name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    def via_sleep(name):
+        yield env.sleep(1.0)
+        order.append(name)
+
+    env.process(via_timeout("a"))
+    env.process(via_sleep("b"))
+    env.process(via_timeout("c"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_events_processed_counts_every_event():
+    env = Environment()
+
+    def proc():
+        for _ in range(5):
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run()
+    # 1 Initialize + 5 timeouts + 1 process-completion event.
+    assert env.events_processed == 7
+
+
 def test_yield_non_event_is_error():
     env = Environment()
 
@@ -268,6 +349,47 @@ def test_interrupt_raises_inside_process():
     env.process(attacker(target))
     env.run()
     assert log == [(5.0, "misspec")]
+
+
+def test_process_cannot_interrupt_itself():
+    # Regression: the guard must compare the Process object itself, not
+    # its resume-target event — interrupting another process from inside
+    # a process is legal, interrupting yourself is not.
+    env = Environment()
+    errors = []
+
+    def selfish():
+        yield env.timeout(1.0)
+        try:
+            handle.interrupt(cause="oops")
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    handle = env.process(selfish())
+    env.run()
+    assert errors == ["a process cannot interrupt itself"]
+
+
+def test_process_can_interrupt_other_at_same_instant():
+    # Companion to the self-interrupt guard: a *different* process is
+    # interruptible even while the interrupter is the active process.
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except ProcessInterrupt as interrupt:
+            log.append(interrupt.cause)
+
+    def attacker(target):
+        yield env.timeout(1.0)
+        target.interrupt(cause="ok")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == ["ok"]
 
 
 def test_interrupt_finished_process_is_error():
