@@ -9,6 +9,12 @@ from repro.analysis.bandwidth import (
     bandwidth_series,
 )
 from repro.analysis.report import render_series, render_stacked_bars, render_table
+from repro.analysis.resilience import (
+    memory_fingerprint,
+    render_resilience_report,
+    run_digest,
+    run_fingerprint,
+)
 from repro.analysis.timeline import (
     attribution,
     render_attribution,
@@ -35,6 +41,10 @@ __all__ = [
     "attribution",
     "render_attribution",
     "render_timeline",
+    "memory_fingerprint",
+    "run_fingerprint",
+    "run_digest",
+    "render_resilience_report",
     "series_to_csv",
     "table_to_csv",
     "write_csv",

@@ -1,0 +1,182 @@
+"""Resilience reporting and byte-stable run digests.
+
+Two jobs:
+
+* **Digesting.**  A chaos run's claim to determinism is only testable if
+  the run's observable outcome can be reduced to one string.
+  :func:`run_fingerprint` renders everything that matters — elapsed
+  time, commit counts, committed master memory word-for-word, failure
+  and checkpoint records, transport and chaos counters — with ``repr``
+  floats (shortest round-trip), so a drift of one ulp or one retransmit
+  moves :func:`run_digest`.  Fault-tolerance and chaos lines appear only
+  when those features produced anything, so the fingerprint of a plain
+  run is unchanged by their existence.
+
+* **Reporting.**  :func:`render_resilience_report` turns the same
+  records into the human-readable summary ``repro chaos`` prints:
+  what failed and when, how long detection and the degraded-mode
+  restart took, how much speculative work was lost, and what the
+  reliable transport absorbed along the way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.analysis.report import render_table
+
+__all__ = [
+    "memory_fingerprint",
+    "run_fingerprint",
+    "run_digest",
+    "render_resilience_report",
+]
+
+
+def memory_fingerprint(space) -> list:
+    """Canonical (page, sorted word items) view of an address space.
+
+    The committed master memory reduced this way is the run's *result*:
+    two runs that agree here computed the same thing, whatever happened
+    to the cluster in between.
+    """
+    return [
+        (page.number, tuple(sorted(page.items())))
+        for page in space.iter_pages()
+    ]
+
+
+def run_fingerprint(stats, master=None, chaos=None) -> str:
+    """Canonical text of one run's observable outcome.
+
+    ``master`` is the commit unit's committed address space (included
+    word-for-word when given); ``chaos`` the
+    :class:`~repro.chaos.engine.ChaosEngine` that ran the plan, if any.
+    """
+    lines = [
+        f"elapsed_seconds={stats.elapsed_seconds!r}",
+        f"committed_mtxs={stats.committed_mtxs}",
+        f"misspeculations={stats.misspeculations}",
+        f"words_committed={stats.words_committed}",
+        f"queue_bytes={stats.queue_bytes}",
+    ]
+    if master is not None:
+        for number, items in memory_fingerprint(master):
+            lines.append(f"page[{number}]={items!r}")
+    # Conditional sections: absent features leave no trace, so digests
+    # of plain runs are comparable across versions that predate them.
+    ft_counters = (
+        ("heartbeats", stats.ft_heartbeats),
+        ("acks", stats.ft_acks),
+        ("retransmits", stats.ft_retransmits),
+        ("retransmit_giveups", stats.ft_retransmit_giveups),
+        ("duplicates_dropped", stats.ft_duplicates_dropped),
+        ("frames_reordered", stats.ft_frames_reordered),
+        ("frames_from_dead_dropped", stats.ft_frames_from_dead_dropped),
+    )
+    if any(value for _name, value in ft_counters):
+        lines.extend(f"ft.{name}={value}" for name, value in ft_counters)
+    for record in stats.failures:
+        lines.append(
+            "failure("
+            f"node={record.node}, "
+            f"dead_tids={record.dead_tids}, "
+            f"last_heard_at={record.last_heard_at!r}, "
+            f"detected_at={record.detected_at!r}, "
+            f"resumed_at={record.resumed_at!r}, "
+            f"restart_base={record.restart_base}, "
+            f"lost_iterations={record.lost_iterations}, "
+            f"surviving_workers={record.surviving_workers})"
+        )
+    for record in stats.checkpoints:
+        lines.append(
+            f"checkpoint(iteration={record.iteration}, "
+            f"words={record.words}, at={record.at!r})"
+        )
+    if chaos is not None:
+        summary = chaos.summary()
+        for node, at_s in summary["crashes"]:
+            lines.append(f"chaos.crash(node={node}, at={at_s!r})")
+        for name in ("messages_dropped", "messages_duplicated", "messages_delayed"):
+            lines.append(f"chaos.{name}={summary[name]}")
+    return "\n".join(lines)
+
+
+def run_digest(stats, master=None, chaos=None) -> str:
+    """sha256 of :func:`run_fingerprint`."""
+    return hashlib.sha256(
+        run_fingerprint(stats, master=master, chaos=chaos).encode()
+    ).hexdigest()
+
+
+def render_resilience_report(stats, chaos=None, reference=None) -> str:
+    """Human-readable resilience summary of one (usually chaotic) run.
+
+    ``reference`` is the fault-free :class:`RunStats` of the same
+    workload, if one was measured; the report then quotes the overhead
+    the faults and recovery added.
+    """
+    sections = []
+
+    if chaos is not None:
+        summary = chaos.summary()
+        rows = [[f"node {node}", f"{at_s * 1e3:.3f} ms"]
+                for node, at_s in summary["crashes"]]
+        if rows:
+            sections.append(render_table(["crashed", "at"], rows,
+                                         title="Injected crashes"))
+        sections.append(
+            "wire faults: "
+            f"{summary['messages_dropped']} dropped, "
+            f"{summary['messages_duplicated']} duplicated, "
+            f"{summary['messages_delayed']} delayed"
+        )
+
+    if stats.failures:
+        rows = []
+        for record in stats.failures:
+            rows.append([
+                f"node {record.node}",
+                f"{record.detected_at * 1e3:.3f} ms",
+                f"{(record.detected_at - record.last_heard_at) * 1e6:.0f} us",
+                f"{record.recovery_seconds * 1e6:.0f} us",
+                str(record.lost_iterations),
+                str(record.surviving_workers),
+            ])
+        sections.append(render_table(
+            ["failure", "detected", "detection lag", "restart", "lost MTXs",
+             "survivors"],
+            rows, title="Failovers (degraded-mode restarts)",
+        ))
+
+    ft_lines = []
+    if stats.ft_heartbeats:
+        ft_lines.append(
+            f"transport: {stats.ft_acks} acks, {stats.ft_retransmits} "
+            f"retransmits ({stats.ft_retransmit_giveups} give-ups), "
+            f"{stats.ft_duplicates_dropped} duplicates dropped, "
+            f"{stats.ft_frames_reordered} reordered, "
+            f"{stats.ft_frames_from_dead_dropped} from dead nodes dropped"
+        )
+        ft_lines.append(f"heartbeats: {stats.ft_heartbeats}")
+    if stats.checkpoints:
+        words = sum(record.words for record in stats.checkpoints)
+        ft_lines.append(
+            f"checkpoints: {len(stats.checkpoints)} ({words} words)"
+        )
+    if ft_lines:
+        sections.append("\n".join(ft_lines))
+
+    outcome = (
+        f"outcome: {stats.committed_mtxs} MTXs committed in "
+        f"{stats.elapsed_seconds * 1e3:.3f} ms simulated"
+    )
+    if reference is not None and reference.elapsed_seconds > 0:
+        overhead = stats.elapsed_seconds / reference.elapsed_seconds - 1.0
+        outcome += (
+            f" ({overhead * 100.0:+.1f}% vs fault-free "
+            f"{reference.elapsed_seconds * 1e3:.3f} ms)"
+        )
+    sections.append(outcome)
+    return "\n\n".join(sections)

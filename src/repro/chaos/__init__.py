@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the simulated cluster.
+
+``repro.chaos`` turns failure handling from a hoped-for property into a
+tested one: a seeded :class:`FaultPlan` describes node crashes, link
+degradation windows, probabilistic message loss/duplication, and
+transient stalls, and a :class:`ChaosEngine` executes the plan against a
+run with bit-for-bit reproducibility — the simulated clock is virtual
+and all randomness flows from the plan's seed in simulation order.
+
+Typical use (see ``docs/RESILIENCE.md``)::
+
+    from repro.chaos import ChaosEngine, FaultPlan, NodeCrash
+
+    plan = FaultPlan(faults=(NodeCrash(node=1, at_s=0.005),), seed=7)
+    system = DSMTXSystem(workload, config)        # fault_tolerance=True
+    ChaosEngine(plan).attach(system.env)
+    result = system.run()                          # crashes, recovers
+"""
+
+from repro.chaos.engine import DELIVER, DROP, DUPLICATE, ChaosEngine
+from repro.chaos.plan import (
+    FaultPlan,
+    LinkDegrade,
+    MessageDuplication,
+    MessageLoss,
+    NodeCrash,
+    NodeStall,
+)
+
+__all__ = [
+    "ChaosEngine",
+    "FaultPlan",
+    "NodeCrash",
+    "LinkDegrade",
+    "NodeStall",
+    "MessageLoss",
+    "MessageDuplication",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+]

@@ -1,0 +1,204 @@
+"""Deterministic execution of a :class:`~repro.chaos.plan.FaultPlan`.
+
+The engine attaches to a simulation :class:`~repro.sim.Environment` as
+``env.chaos`` and intervenes at exactly two kinds of points:
+
+* **the wire** — the interconnect's inter-node send paths consult
+  :meth:`ChaosEngine.on_wire` once per inter-node message, in simulation
+  order, and obey the verdict: deliver (possibly with degraded wire
+  parameters), drop, or duplicate.  Intra-node traffic is never touched
+  — faults here model the *cluster fabric*, not shared memory.
+* **the clock** — node crashes are scheduled as bare simulation
+  callbacks at their plan time; executing one interrupts every process
+  registered on the node and marks the node dead, which in turn drops
+  all of its in-flight and future wire traffic.
+
+Determinism: the only randomness (per-message loss/duplication draws)
+comes from one ``random.Random(plan.seed)`` consumed in the simulation's
+deterministic message order, and the simulated clock is virtual, so the
+same (workload, config, plan) triple always produces the same run —
+crash timing, retransmit counts, recovery latency and all.
+
+When no engine is attached, ``env.chaos`` is ``None`` and every hook
+site pays one is-None check (the obs-layer pattern).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Optional
+
+from repro.chaos.plan import (
+    FaultPlan,
+    LinkDegrade,
+    MessageDuplication,
+    MessageLoss,
+    NodeCrash,
+    NodeStall,
+)
+from repro.errors import ChaosError, ClusterFailedError, NodeCrashed
+
+__all__ = ["ChaosEngine", "DELIVER", "DROP", "DUPLICATE"]
+
+#: :meth:`ChaosEngine.on_wire` verdicts.
+DELIVER = 0
+DROP = 1
+DUPLICATE = 2
+
+
+class ChaosEngine:
+    """Executes one fault plan against one simulated run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = Random(plan.seed)
+        self.env = None
+        self._system = None
+        self._commit_node: Optional[int] = None
+        #: Nodes killed so far, in crash order.
+        self.dead_nodes: set[int] = set()
+        #: (node, at_s) of executed crashes.
+        self.crash_log: list[tuple[int, float]] = []
+        # Counters (mirrored into RunStats when bound to a system).
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_delayed = 0
+        # Pre-split fault schedule for the hot path.
+        faults = plan.faults
+        self._crashes = sorted(
+            (f for f in faults if isinstance(f, NodeCrash)),
+            key=lambda f: (f.at_s, f.node),
+        )
+        self._degrades = tuple(f for f in faults if isinstance(f, LinkDegrade))
+        self._stalls = tuple(f for f in faults if isinstance(f, NodeStall))
+        self._losses = tuple(f for f in faults if isinstance(f, MessageLoss))
+        self._dups = tuple(f for f in faults if isinstance(f, MessageDuplication))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, env) -> "ChaosEngine":
+        """Install on ``env`` and schedule the plan's crashes."""
+        if self.env is not None:
+            raise ChaosError("a ChaosEngine executes exactly one run; make a new one")
+        if env.chaos is not None:
+            raise ChaosError("environment already has a chaos engine attached")
+        self.env = env
+        env.chaos = self
+        for fault in self._crashes:
+            if fault.at_s < env.now:
+                raise ChaosError(
+                    f"crash scheduled in the past ({fault.at_s} < now={env.now})"
+                )
+            env.sleep(fault.at_s - env.now).callbacks.append(
+                lambda _event, f=fault: self._execute_crash(f)
+            )
+        return self
+
+    def bind_system(self, system) -> None:
+        """Called by :meth:`DSMTXSystem.run`: learn the unit layout so
+        crashes can be targeted, and validate survivability."""
+        self._system = system
+        self._commit_node = system.cluster.node_of_core(
+            system._core_indices[system.commit_tid]
+        )
+        if self._crashes and not system.config.fault_tolerance:
+            raise ChaosError(
+                "the plan crashes nodes but SystemConfig.fault_tolerance is off; "
+                "the runtime would hang waiting for the dead units"
+            )
+
+    # -- the clock: node crashes ---------------------------------------------
+
+    def _execute_crash(self, fault: NodeCrash) -> None:
+        node = fault.node
+        if node in self.dead_nodes:
+            return
+        self.dead_nodes.add(node)
+        self.crash_log.append((node, self.env.now))
+        system = self._system
+        if system is None:
+            return  # wire-only chaos on a bare environment
+        if node == self._commit_node:
+            # The commit unit holds the only copy of committed master
+            # memory — and the failure detector lives with it, so
+            # nothing is left to even declare the failure.  Fail the
+            # run at the point of impact instead of hanging.
+            raise ClusterFailedError(
+                f"node {node} hosted the commit unit (master memory); "
+                f"the cluster cannot recover"
+            )
+        if system.obs is not None:
+            from repro.obs.tracer import CAT_CHAOS, PID_CLUSTER
+
+            system.obs.tracer.instant(
+                CAT_CHAOS, f"crash:node{node}", PID_CLUSTER,
+                system.cluster.cores_per_node * node, node=node,
+            )
+            system.obs.metrics.counter("chaos.crashes").inc()
+        cause = NodeCrashed(node)
+        for process in system.processes_on_node(node):
+            if process.is_alive:
+                process.interrupt(cause)
+
+    def is_dead_node(self, node: int) -> bool:
+        return node in self.dead_nodes
+
+    # -- the wire ------------------------------------------------------------
+
+    def on_wire(
+        self, src_node: int, dst_node: int, latency: float, bandwidth: float
+    ) -> tuple[int, float, float]:
+        """Adjudicate one inter-node message about to enter the wire.
+
+        Returns ``(verdict, latency, bandwidth)``; the send path obeys
+        the verdict and uses the (possibly degraded) wire parameters.
+        Called in simulation order, which is what keeps the per-message
+        random draws reproducible.
+        """
+        dead = self.dead_nodes
+        if dead and (src_node in dead or dst_node in dead):
+            self.messages_dropped += 1
+            return DROP, latency, bandwidth
+        now = self.env.now
+        for window in self._degrades:
+            if window.at_s <= now < window.at_s + window.duration_s:
+                latency *= window.latency_factor
+                bandwidth /= window.bandwidth_factor
+                self.messages_delayed += 1
+        for stall in self._stalls:
+            end = stall.at_s + stall.duration_s
+            if stall.at_s <= now < end and (
+                src_node == stall.node or dst_node == stall.node
+            ):
+                # Held in a stalled NIC until the window closes.
+                latency += end - now
+                self.messages_delayed += 1
+        for loss in self._losses:
+            if loss.start_s <= now < loss.end_s:
+                if self._rng.random() < loss.probability:
+                    self.messages_dropped += 1
+                    return DROP, latency, bandwidth
+        for dup in self._dups:
+            if dup.start_s <= now < dup.end_s:
+                if self._rng.random() < dup.probability:
+                    self.messages_duplicated += 1
+                    return DUPLICATE, latency, bandwidth
+        return DELIVER, latency, bandwidth
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Counters of what the engine actually did this run."""
+        return {
+            "crashes": list(self.crash_log),
+            "dead_nodes": sorted(self.dead_nodes),
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ChaosEngine dead={sorted(self.dead_nodes)} "
+            f"dropped={self.messages_dropped} duplicated={self.messages_duplicated}>"
+        )

@@ -1,0 +1,222 @@
+"""Declarative fault plans for deterministic fault injection.
+
+A :class:`FaultPlan` is an immutable description of *what goes wrong
+and when* during a simulated run: node crashes, link-quality windows,
+probabilistic message loss/duplication, and transient node stalls.
+Because the simulation clock is virtual and the plan's randomness comes
+from one seeded generator drawn in simulation order, the same plan
+against the same workload produces byte-identical runs — fault
+scenarios are reproducible test cases, not flaky ones.
+
+Plans are either written explicitly (pinned regression scenarios) or
+generated from a seed with :meth:`FaultPlan.random` (fuzzing sweeps).
+The :class:`~repro.chaos.engine.ChaosEngine` executes a plan against an
+:class:`~repro.sim.Environment`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Sequence
+
+from repro.errors import ChaosError
+
+__all__ = [
+    "NodeCrash",
+    "LinkDegrade",
+    "NodeStall",
+    "MessageLoss",
+    "MessageDuplication",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of one node at ``at_s``.
+
+    Every process hosted on the node stops mid-instruction, and all
+    traffic to or from the node is dropped from that instant on —
+    including messages already in flight (they reach a dead NIC).
+    Requires the failure-aware runtime
+    (``SystemConfig.fault_tolerance``) to be survivable.
+    """
+
+    node: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Inter-node fabric degradation window.
+
+    While active, every inter-node message pays ``latency_factor``
+    times the latency and ``1/bandwidth_factor`` of the bandwidth —
+    a congested or renegotiated-down link, not a partition.
+    """
+
+    at_s: float
+    duration_s: float
+    latency_factor: float = 4.0
+    bandwidth_factor: float = 4.0
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """Transient stall of one node's fabric connectivity.
+
+    Messages to or from the node during the window are held back until
+    the window closes (a GC-style or switch-buffer pause: nothing is
+    lost, everything is late).  Shorter than the failure detector's
+    suspicion timeout, this exercises the retransmit path without a
+    failover; longer, it still does not kill the node — heartbeats are
+    management-path traffic — so it models exactly the gray failure a
+    lease-based detector must *not* misclassify.
+    """
+
+    node: int
+    at_s: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Drop each inter-node message with ``probability`` inside the
+    window (default: the whole run).  Sender-side costs are still paid
+    — the packets leave the NIC and die on the wire."""
+
+    probability: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+
+@dataclass(frozen=True)
+class MessageDuplication:
+    """Deliver each inter-node message twice with ``probability``
+    inside the window (a retransmit-happy fabric or a misbehaving
+    switch)."""
+
+    probability: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+
+_WINDOW_KINDS = (LinkDegrade, NodeStall)
+_PROBABILISTIC_KINDS = (MessageLoss, MessageDuplication)
+_ALL_KINDS = (NodeCrash,) + _WINDOW_KINDS + _PROBABILISTIC_KINDS
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of faults."""
+
+    faults: tuple = ()
+    #: Seed of the per-message random draws (loss/duplication).  Two
+    #: runs of the same plan share every draw, in simulation order.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, _ALL_KINDS):
+                raise ChaosError(f"not a fault: {fault!r}")
+            if isinstance(fault, NodeCrash):
+                if fault.at_s < 0 or fault.node < 0:
+                    raise ChaosError(f"invalid crash: {fault!r}")
+            elif isinstance(fault, _WINDOW_KINDS):
+                if fault.at_s < 0 or fault.duration_s <= 0:
+                    raise ChaosError(f"invalid fault window: {fault!r}")
+                if isinstance(fault, LinkDegrade) and (
+                    fault.latency_factor < 1.0 or fault.bandwidth_factor < 1.0
+                ):
+                    raise ChaosError(
+                        f"degrade factors must be >= 1 (it is a *degradation*): {fault!r}"
+                    )
+            else:
+                if not 0.0 <= fault.probability <= 1.0:
+                    raise ChaosError(f"probability outside [0, 1]: {fault!r}")
+                if fault.start_s < 0 or fault.end_s <= fault.start_s:
+                    raise ChaosError(f"empty fault window: {fault!r}")
+
+    @property
+    def crashes(self) -> tuple:
+        return tuple(f for f in self.faults if isinstance(f, NodeCrash))
+
+    @property
+    def needs_random_draws(self) -> bool:
+        """True if the plan consumes per-message random draws."""
+        return any(isinstance(f, _PROBABILISTIC_KINDS) for f in self.faults)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        nodes: int,
+        horizon_s: float,
+        crashes: int = 1,
+        degrade_windows: int = 0,
+        stalls: int = 0,
+        loss: float = 0.0,
+        duplication: float = 0.0,
+        crashable_nodes: Optional[Sequence[int]] = None,
+    ) -> "FaultPlan":
+        """Seeded pseudo-random plan over a ``horizon_s`` run estimate.
+
+        Crash times land in the middle [20%, 70%] of the horizon so the
+        run is neither trivially fault-free nor dead on arrival.
+        ``crashable_nodes`` restricts the crash victims (by default
+        every node but node 0, which conventionally hosts the commit
+        unit under the pack placement).
+        """
+        if nodes < 2:
+            raise ChaosError("a fault plan needs at least two nodes to be interesting")
+        if horizon_s <= 0:
+            raise ChaosError(f"horizon must be positive, got {horizon_s}")
+        rng = Random(seed)
+        faults: list = []
+        pool = list(
+            crashable_nodes if crashable_nodes is not None else range(1, nodes)
+        )
+        for _ in range(crashes):
+            if not pool:
+                break
+            node = pool.pop(rng.randrange(len(pool)))
+            faults.append(
+                NodeCrash(node=node, at_s=rng.uniform(0.2, 0.7) * horizon_s)
+            )
+        for _ in range(degrade_windows):
+            faults.append(
+                LinkDegrade(
+                    at_s=rng.uniform(0.0, 0.8) * horizon_s,
+                    duration_s=rng.uniform(0.05, 0.2) * horizon_s,
+                    latency_factor=rng.uniform(2.0, 8.0),
+                    bandwidth_factor=rng.uniform(2.0, 8.0),
+                )
+            )
+        for _ in range(stalls):
+            faults.append(
+                NodeStall(
+                    node=rng.randrange(nodes),
+                    at_s=rng.uniform(0.0, 0.8) * horizon_s,
+                    duration_s=rng.uniform(0.02, 0.1) * horizon_s,
+                )
+            )
+        if loss:
+            faults.append(MessageLoss(probability=loss))
+        if duplication:
+            faults.append(MessageDuplication(probability=duplication))
+        return cls(faults=tuple(faults), seed=seed)
+
+    def describe(self) -> str:
+        """One line per fault, in schedule order."""
+        if not self.faults:
+            return "fault-free"
+        lines = []
+        for fault in sorted(
+            self.faults, key=lambda f: getattr(f, "at_s", getattr(f, "start_s", 0.0))
+        ):
+            lines.append(repr(fault))
+        return "\n".join(lines)

@@ -7,6 +7,7 @@ Run benchmarks and inspect the suite without writing code::
     python -m repro sweep blackscholes           # Figure 4 panel
     python -m repro bandwidth                    # Figure 5(a)
     python -m repro trace crc32 --out t.json     # Perfetto trace of one run
+    python -m repro chaos --crash-node 0         # fault injection + recovery
     python -m repro perf                         # wall-clock hot-path harness
 
 All runs execute on the simulated cluster; times reported are simulated
@@ -179,6 +180,83 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run one benchmark under a seeded fault plan and prove recovery.
+
+    Executes a fault-free reference run, then the same workload in
+    fault-tolerant mode under the plan, and checks the chaotic run
+    committed the same results (docs/RESILIENCE.md).  ``--digest-only``
+    prints nothing but the outcome digest — run it twice and compare to
+    verify byte-determinism (the CI chaos-smoke job does exactly this).
+    """
+    from repro.analysis import render_resilience_report, run_digest
+    from repro.analysis.resilience import memory_fingerprint
+    from repro.chaos import (
+        ChaosEngine,
+        FaultPlan,
+        LinkDegrade,
+        MessageDuplication,
+        MessageLoss,
+        NodeCrash,
+    )
+
+    factory = _factory(args.benchmark)
+    kwargs = {}
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+
+    faults = []
+    if args.crash_node >= 0:
+        faults.append(NodeCrash(node=args.crash_node, at_s=args.crash_at * 1e-3))
+    if args.degrade:
+        faults.append(LinkDegrade(at_s=0.0, duration_s=1.0,
+                                  latency_factor=args.degrade,
+                                  bandwidth_factor=args.degrade))
+    if args.drop:
+        faults.append(MessageLoss(probability=args.drop))
+    if args.dup:
+        faults.append(MessageDuplication(probability=args.dup))
+    plan = FaultPlan(faults=tuple(faults), seed=args.seed)
+
+    def build(fault_tolerance):
+        workload = factory(**kwargs)
+        return DSMTXSystem(
+            workload.dsmtx_plan(),
+            SystemConfig(total_cores=args.cores, fault_tolerance=fault_tolerance),
+        )
+
+    reference = build(fault_tolerance=False)
+    ref_result = reference.run()
+
+    system = build(fault_tolerance=True)
+    engine = ChaosEngine(plan).attach(system.env)
+    result = system.run()
+
+    digest = run_digest(result.stats, master=system.commit.master, chaos=engine)
+    if args.digest_only:
+        print(digest)
+        return 0
+
+    print(f"{args.benchmark} on {args.cores} cores, fault plan (seed {args.seed}):")
+    print("  " + plan.describe().replace("\n", "\n  "))
+    print()
+    print(render_resilience_report(result.stats, chaos=engine,
+                                   reference=ref_result.stats))
+    print()
+    same_memory = (memory_fingerprint(system.commit.master)
+                   == memory_fingerprint(reference.commit.master))
+    same_count = result.stats.committed_mtxs == ref_result.stats.committed_mtxs
+    print(f"committed memory matches fault-free run: {same_memory}")
+    print(f"committed MTX count matches: {same_count} "
+          f"({result.stats.committed_mtxs})")
+    print(f"outcome digest: {digest}")
+    if not (same_memory and same_count):
+        print("FAILED: the chaotic run did not reproduce the fault-free "
+              "results", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _core_list(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -226,6 +304,32 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-misspec", action="store_true",
                        help="do not inject the default mid-run misspeculation")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run under a seeded fault plan; verify recovery reproduces "
+             "the fault-free results (docs/RESILIENCE.md)",
+    )
+    chaos.add_argument("benchmark", nargs="?", default="crc32")
+    chaos.add_argument("--cores", type=int, default=8)
+    chaos.add_argument("--iterations", type=int, default=24,
+                       help="override the workload's iteration count")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seed of the per-message fault draws")
+    chaos.add_argument("--crash-node", type=int, default=0,
+                       help="node to crash (the commit unit's node is not "
+                            "survivable); negative disables the crash")
+    chaos.add_argument("--crash-at", type=float, default=5.0,
+                       help="crash time in simulated milliseconds")
+    chaos.add_argument("--drop", type=float, default=0.0,
+                       help="per-message loss probability")
+    chaos.add_argument("--dup", type=float, default=0.0,
+                       help="per-message duplication probability")
+    chaos.add_argument("--degrade", type=float, default=0.0,
+                       help="degrade the fabric the whole run by this factor")
+    chaos.add_argument("--digest-only", action="store_true",
+                       help="print only the sha256 outcome digest "
+                            "(CI determinism check)")
+
     perf = sub.add_parser(
         "perf",
         help="time the simulation hot path; write BENCH_sim.json "
@@ -250,6 +354,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "geomean": cmd_geomean,
         "bandwidth": cmd_bandwidth,
         "trace": cmd_trace,
+        "chaos": cmd_chaos,
         "perf": cmd_perf,
     }
     return handlers[args.command](args)

@@ -179,9 +179,19 @@ class Interconnect:
         stats.total_messages += 1
         # Transmit phase, inlined (this is _transmit_phase without the
         # extra generator frame and spec lookups).
+        verdict = 0  # chaos verdicts: 0 deliver, 1 drop, 2 duplicate
         if inter_node:
             stats.inter_node_bytes += nbytes
             latency, bandwidth = self._inter
+            chaos = self.env.chaos
+            if chaos is not None:
+                # Fault injection adjudicates inter-node traffic only;
+                # the sender-side costs below are paid regardless (the
+                # packets leave the NIC even if they die on the wire).
+                verdict, latency, bandwidth = chaos.on_wire(
+                    node_index_of[src_core], node_index_of[dst_core],
+                    latency, bandwidth,
+                )
             src_node = self._node_of[src_core]
             src_node.bytes_sent += nbytes
             tx = src_node.nic_tx.request()
@@ -201,7 +211,10 @@ class Interconnect:
             if serialization > 0:
                 yield self.env.sleep(serialization)
             dst_node = None
-        _Delivery(self.env, dst_node, nbytes, latency, bandwidth, mailbox, payload, deliver)
+        if verdict != 1:
+            _Delivery(self.env, dst_node, nbytes, latency, bandwidth, mailbox, payload, deliver)
+            if verdict == 2:
+                _Delivery(self.env, dst_node, nbytes, latency, bandwidth, mailbox, payload, deliver)
 
     def send_blocking(
         self,

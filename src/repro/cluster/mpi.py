@@ -102,9 +102,19 @@ class MPI:
         stats = ic.stats
         stats.total_bytes += wire_bytes
         stats.total_messages += 1
+        verdict = 0  # chaos verdicts: 0 deliver, 1 drop, 2 duplicate
         if inter_node:
             stats.inter_node_bytes += wire_bytes
             latency, bandwidth = ic._inter
+            chaos = self.env.chaos
+            if chaos is not None:
+                # Fault injection adjudicates inter-node traffic only;
+                # the sender-side costs below are paid regardless (the
+                # packets leave the NIC even if they die on the wire).
+                verdict, latency, bandwidth = chaos.on_wire(
+                    node_index_of[src_rank], node_index_of[dst_rank],
+                    latency, bandwidth,
+                )
             src_node = ic._node_of[src_rank]
             src_node.bytes_sent += wire_bytes
             tx = src_node.nic_tx.request()
@@ -124,7 +134,10 @@ class MPI:
             if serialization > 0:
                 yield self.env.sleep(serialization)
             dst_node = None
-        _Delivery(self.env, dst_node, wire_bytes, latency, bandwidth, box, payload, None)
+        if verdict != 1:
+            _Delivery(self.env, dst_node, wire_bytes, latency, bandwidth, box, payload, None)
+            if verdict == 2:
+                _Delivery(self.env, dst_node, wire_bytes, latency, bandwidth, box, payload, None)
         if obs is not None:
             obs.tracer.complete(
                 CAT_MPI_SEND, variant.value, PID_CLUSTER, src_rank, start,

@@ -94,6 +94,29 @@ class ClusterSpec:
     #: Size of one forwarded (address, value) tuple on the wire.
     word_bytes: int = 8
 
+    # -- fault-tolerance knobs (only read when SystemConfig enables the
+    # failure-aware runtime; see docs/RESILIENCE.md) ------------------------
+
+    #: Period between heartbeats from each node to the commit unit.
+    heartbeat_period_s: float = 50e-6
+    #: Silence after which the failure detector declares a node dead.
+    #: Several heartbeat periods plus wire latency, so a healthy node is
+    #: never suspected (the detector is a perfect-link eventual detector).
+    suspicion_timeout_s: float = 250e-6
+    #: Initial retransmit timeout of the reliable transport.
+    retransmit_timeout_s: float = 150e-6
+    #: Exponential backoff factor applied per retransmission.
+    retransmit_backoff: float = 2.0
+    #: Ceiling on the backed-off retransmit timeout.
+    retransmit_timeout_cap_s: float = 2e-3
+    #: Retransmissions before the sender gives up on a frame (by then
+    #: the failure detector has long declared the destination dead).
+    max_retransmits: int = 16
+    #: Wire size of one cumulative acknowledgement frame.
+    ack_bytes: int = 16
+    #: Wire size of one heartbeat frame.
+    heartbeat_bytes: int = 32
+
     def __post_init__(self) -> None:
         if self.nodes < 1 or self.cores_per_node < 1:
             raise ConfigurationError(

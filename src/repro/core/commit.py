@@ -26,17 +26,19 @@ from repro.core.messages import (
     CTL_COA_REQUEST,
     CTL_COA_RESPONSE,
     CTL_MISSPEC,
+    CTL_NODE_FAILED,
     CTL_VALIDATED,
     CTL_WORKER_DONE,
     END_SUBTX,
     VALIDATED,
     WRITE,
 )
-from repro.core.stats import RecoveryRecord
+from repro.core.stats import CheckpointRecord, FailureRecord, RecoveryRecord
 from repro.errors import RecoveryError
 from repro.memory import AddressSpace
 from repro.obs.tracer import (
     CAT_COMMIT,
+    CAT_FT_CHECKPOINT,
     CAT_PAGE_FAULT,
     CAT_RECOVERY_DRAIN,
     CAT_RECOVERY_ERM,
@@ -64,6 +66,10 @@ class CommitUnit:
         self.master = AddressSpace(f"commit{tid}", faulting=False)
         #: Next iteration to commit (everything below is committed).
         self.next_commit = 0
+        #: Epoch checkpointing (fault-tolerant mode only).
+        self._ft = system.config.fault_tolerance
+        self._last_checkpoint_iteration = 0
+        self._words_since_checkpoint = 0
         self._reset_buffers()
 
     def _reset_buffers(self) -> None:
@@ -82,6 +88,13 @@ class CommitUnit:
         system = self.system
         while self.next_commit < system.total_iterations:
             state = system.state
+            if state.failover_pending:
+                # A node failure supersedes everything, including an
+                # in-progress drain: the failover rolls speculative
+                # state back to the commit frontier anyway, and a
+                # surviving misspeculating worker re-reports afterwards.
+                yield from self._orchestrate_failover(state.failover_pending.pop(0))
+                continue
             if state.draining and self.next_commit >= state.pause_target:
                 # Drained: every MTX before the misspeculation has
                 # committed; now roll back and re-execute just the
@@ -109,6 +122,11 @@ class CommitUnit:
         elif kind == CTL_MISSPEC:
             self._begin_or_extend_draining(envelope.payload)
         elif kind == CTL_WORKER_DONE:
+            pass
+        elif kind == CTL_NODE_FAILED:
+            # Wake-up ping from the failure detector; the authoritative
+            # signal (state.failover_pending) is handled at the top of
+            # the run loop.
             pass
         else:  # pragma: no cover - defensive
             raise RecoveryError(f"commit unit got unexpected control {kind!r}")
@@ -200,6 +218,8 @@ class CommitUnit:
             committed += 1
             committed_words += words
             self.next_commit += 1
+        if committed and self._ft:
+            self._maybe_checkpoint(committed_words)
         yield from self.core.drain()
         if obs is not None and committed:
             obs.tracer.complete(
@@ -213,6 +233,44 @@ class CommitUnit:
             obs.metrics.histogram(
                 "commit.words_per_round", buckets=(1, 4, 16, 64, 256, 1024, 4096)
             ).observe(committed_words)
+
+    def _maybe_checkpoint(self, committed_words: int) -> None:
+        """Epoch checkpointing (fault-tolerant mode): every
+        ``checkpoint_interval_mtxs`` commits, persist the words written
+        since the previous checkpoint plus the commit frontier.
+
+        Master memory is already a consistent sequential prefix by
+        construction (only in-order validated MTXs touch it), so the
+        checkpoint is an incremental flush, not a stop-the-world
+        snapshot — its cost scales with the delta, charged to the
+        commit core like any other commit work.
+        """
+        config = self.system.config
+        self._words_since_checkpoint += committed_words
+        if (
+            self.next_commit - self._last_checkpoint_iteration
+            < config.checkpoint_interval_mtxs
+        ):
+            return
+        words = self._words_since_checkpoint
+        self.core.charge_instructions(
+            config.checkpoint_base_instructions
+            + words * config.checkpoint_word_instructions
+        )
+        self.system.stats.checkpoints.append(
+            CheckpointRecord(
+                iteration=self.next_commit, words=words, at=self.system.env.now
+            )
+        )
+        self._last_checkpoint_iteration = self.next_commit
+        self._words_since_checkpoint = 0
+        obs = self.system.obs
+        if obs is not None:
+            obs.tracer.instant(
+                CAT_FT_CHECKPOINT, f"checkpoint:{self.next_commit}",
+                PID_RUNTIME, self.tid, iteration=self.next_commit, words=words,
+            )
+            obs.metrics.counter("ft.checkpoints").inc()
 
     def _check_read_only(self, writes) -> None:
         """COA replicas rely on read-only pages never being committed
@@ -273,7 +331,7 @@ class CommitUnit:
         self.endpoint.clear()
         # ERM barrier.
         yield from system.recovery._barrier_cost(self)
-        yield system.recovery.erm_barrier.wait()
+        yield system.recovery.erm_barrier.wait(self.tid)
         erm_done = env.now
         # FLQ: flush every queue; our own buffers too.
         discarded = 0
@@ -284,7 +342,7 @@ class CommitUnit:
             discarded * system.cluster.queue_op_instructions
         )
         yield from system.recovery._barrier_cost(self)
-        yield system.recovery.flq_barrier.wait()
+        yield system.recovery.flq_barrier.wait(self.tid)
         flq_done = env.now
         # SEQ: single-threaded re-execution of [next_commit .. misspec].
         reexecuted = 0
@@ -300,7 +358,7 @@ class CommitUnit:
         # Resume: bump the epoch, set the new restart base, release all.
         system.state.resume(restart_base=self.next_commit)
         yield from system.recovery._barrier_cost(self)
-        yield system.recovery.resume_barrier.wait()
+        yield system.recovery.resume_barrier.wait(self.tid)
         obs = system.obs
         if obs is not None:
             tracer = obs.tracer
@@ -336,6 +394,85 @@ class CommitUnit:
                 reexecuted_iterations=reexecuted,
             )
         )
+
+    # -- failover orchestration (fault-tolerant mode) ----------------------------------------
+
+    def _orchestrate_failover(self, request) -> Generator[Event, Any, None]:
+        """Degraded-mode restart after a node failure.
+
+        Reuses the section 4.3 recovery machinery — the barriers shrank
+        to the survivor count when the failure detector deregistered the
+        dead units — but with two differences from a misspeculation
+        rollback: there is nothing to drain (in-flight work involving
+        the dead node is unrecoverable, so the restart base is simply
+        the commit frontier), and there is no SEQ phase (master memory
+        is already a consistent sequential prefix by construction, the
+        same observation behind :meth:`_maybe_checkpoint`).
+        """
+        system = self.system
+        env = system.env
+        state = system.state
+        node, dead_tids, detected_at, last_heard_at = request
+        # Speculative run-ahead past the commit frontier is lost work.
+        lost = sum(1 for i in self.ends_by_iteration if i >= self.next_commit)
+        state.begin_recovery(self.next_commit)
+        # Wake every survivor: release flow-control credits and flush
+        # inboxes; blocked units funnel into recovery.participate.
+        for queue in system.all_queues():
+            queue.release_all_credits()
+        system.flush_all_inboxes()
+        self.endpoint.clear()
+        # ERM: quiesce the survivors.
+        yield from system.recovery._barrier_cost(self)
+        yield system.recovery.erm_barrier.wait(self.tid)
+        erm_done = env.now
+        # FLQ: drop all speculative state (ours and every queue's).
+        discarded = 0
+        for queue in system.all_queues():
+            discarded += queue.discard()
+        self._reset_buffers()
+        self.core.charge_instructions(
+            discarded * system.cluster.queue_op_instructions
+        )
+        yield from system.recovery._barrier_cost(self)
+        yield system.recovery.flq_barrier.wait(self.tid)
+        flq_done = env.now
+        # Re-partition the iteration space onto the survivors, then
+        # resume from the commit frontier.
+        system.apply_node_failure(node, dead_tids)
+        state.resume(restart_base=self.next_commit)
+        yield from system.recovery._barrier_cost(self)
+        yield system.recovery.resume_barrier.wait(self.tid)
+        record = FailureRecord(
+            node=node,
+            dead_tids=tuple(dead_tids),
+            last_heard_at=last_heard_at,
+            detected_at=detected_at,
+            resumed_at=env.now,
+            restart_base=self.next_commit,
+            lost_iterations=lost,
+            surviving_workers=sum(len(live) for live in system.live_by_stage),
+        )
+        system.stats.failures.append(record)
+        obs = system.obs
+        if obs is not None:
+            from repro.obs.tracer import CAT_FT_FAILOVER
+
+            obs.tracer.complete(
+                CAT_FT_FAILOVER, f"failover:node{node}", PID_RUNTIME, self.tid,
+                detected_at, node=node, lost_iterations=lost,
+                restart_base=self.next_commit,
+            )
+            obs.tracer.complete(
+                CAT_RECOVERY_ERM, "failover.erm", PID_RUNTIME, self.tid,
+                detected_at, end_s=erm_done,
+            )
+            obs.tracer.complete(
+                CAT_RECOVERY_FLQ, "failover.flq", PID_RUNTIME, self.tid,
+                erm_done, end_s=flq_done, discarded=discarded,
+            )
+            obs.metrics.counter("ft.failovers").inc()
+            obs.metrics.counter("ft.lost_iterations").inc(lost)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CommitUnit tid={self.tid} next_commit={self.next_commit}>"

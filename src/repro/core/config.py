@@ -153,6 +153,18 @@ class SystemConfig:
     barrier_instructions: int = 400
     #: Instructions to reinstate protection on one page during recovery.
     reprotect_instructions_per_page: int = 150
+    #: Enable the failure-aware runtime: heartbeat failure detection,
+    #: sequence-numbered ack/retransmit on unit traffic, epoch
+    #: checkpointing, and degraded-mode restart after a node crash
+    #: (docs/RESILIENCE.md).  Off by default — the fault-free fast path
+    #: is byte-identical with this disabled.
+    fault_tolerance: bool = False
+    #: Commits between epoch checkpoints of the commit unit's state.
+    checkpoint_interval_mtxs: int = 64
+    #: Fixed instructions per checkpoint (metadata + fsync analogue).
+    checkpoint_base_instructions: int = 5000
+    #: Instructions per word written since the previous checkpoint.
+    checkpoint_word_instructions: int = 4
 
     def __post_init__(self) -> None:
         if self.total_cores < 3:
@@ -167,6 +179,8 @@ class SystemConfig:
             )
         if self.max_inflight_batches < 1:
             raise ConfigurationError("max_inflight_batches must be >= 1")
+        if self.checkpoint_interval_mtxs < 1:
+            raise ConfigurationError("checkpoint_interval_mtxs must be >= 1")
 
     def with_cores(self, total_cores: int) -> "SystemConfig":
         """A copy of this config at a different core count."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator
 
-from repro.core.messages import BatchEnvelope, ControlEnvelope
+from repro.core.messages import FRAME_HEADER_BYTES, BatchEnvelope, ControlEnvelope
 from repro.errors import RecoveryAbort
 from repro.obs.tracer import CAT_MPI_RECV, PID_RUNTIME
 from repro.sim import Event, Store
@@ -45,6 +45,8 @@ class Endpoint:
         self._recv_blocked_cycles = cluster.mpi_recv_instructions / ipc
         self._state = system.state
         self._mpi_variant = system.config.mpi_variant
+        #: Reliable transport (fault-tolerant mode) or ``None``.
+        self._transport = system.transport
         #: Per-destination (core index, tag, inbox) for send_ctl, filled
         #: on first use — all three are fixed for the life of the system.
         self._ctl_dst: dict[int, tuple] = {}
@@ -162,17 +164,24 @@ class Endpoint:
             sender_tid=self.tid,
             payload=payload,
         )
+        transport = self._transport
         dst = self._ctl_dst.get(dst_tid)
         if dst is None:
             dst = self._ctl_dst[dst_tid] = (
                 self.system.core_of(dst_tid).index,
                 ("inbox", dst_tid),
-                self.system.inbox_of(dst_tid),
+                self.system.inbox_of(dst_tid)
+                if transport is None
+                else transport.ingest_box(dst_tid),
             )
+        payload_out = envelope
+        if transport is not None:
+            nbytes += FRAME_HEADER_BYTES
+            payload_out = transport.stamp(self.tid, dst_tid, envelope, nbytes)
         yield from self.system.mpi.send(
             self._core.index,
             dst[0],
-            envelope,
+            payload_out,
             nbytes,
             dst[1],
             self._mpi_variant,

@@ -1,0 +1,141 @@
+"""Heartbeat-based failure detection (fault-tolerant mode).
+
+Every node that hosts runtime units runs a lightweight *heartbeat
+emitter* that pings the commit node every
+:attr:`ClusterSpec.heartbeat_period_s`.  The :class:`FailureDetector`,
+co-located with the commit unit, sweeps the per-node last-heard times;
+a node silent for longer than :attr:`ClusterSpec.suspicion_timeout_s`
+is declared dead:
+
+1. the declaration is queued on ``SystemState.failover_pending`` (the
+   authoritative signal the commit unit's run loop consumes);
+2. the dead node's worker tids are *deregistered* from the recovery
+   barriers, so a rollback already in flight completes with the
+   survivors instead of deadlocking on parties that will never arrive;
+3. a ``CTL_NODE_FAILED`` control envelope is injected locally into the
+   commit unit's inbox as a wake-up ping, in case the commit unit is
+   blocked on an empty inbox.
+
+Heartbeats travel the management path (the dedicated low-volume control
+network alongside the data fabric), so they cost neither core time nor
+NIC serialization; their overhead is pure accounting.  The suspicion
+timeout budgets several heartbeat periods plus wire latency, so a
+healthy node is never suspected: transient link faults only delay data
+traffic (absorbed by the reliable transport) and never trigger a
+spurious failover.
+
+A crash of the commit node or try-commit node is not survivable —
+committed master memory and the validation pipeline have no replica —
+and raises :class:`~repro.errors.ClusterFailedError` (the paper's
+recovery protocol assumes the non-speculative units persist).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.messages import CTL_NODE_FAILED, ControlEnvelope
+from repro.errors import ClusterFailedError, NodeCrashed, ProcessInterrupt
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Per-node heartbeat emitters plus the commit-side sweep process."""
+
+    def __init__(self, system: "DSMTXSystem") -> None:  # noqa: F821
+        self.system = system
+        spec = system.cluster
+        self.period = spec.heartbeat_period_s
+        self.suspicion_timeout = spec.suspicion_timeout_s
+        #: Node hosting the commit unit (the detector's home; it cannot
+        #: declare itself dead).
+        self.commit_node = spec.node_of_core(
+            system._core_indices[system.commit_tid]
+        )
+        #: tids hosted on each monitored node.
+        self.tids_by_node: dict[int, list[int]] = {}
+        for tid in range(system.num_units):
+            node = spec.node_of_core(system._core_indices[tid])
+            self.tids_by_node.setdefault(node, []).append(tid)
+        self.last_heard: dict[int, float] = {}
+        self.declared: set[int] = set()
+
+    def start(self) -> None:
+        """Spawn the emitters and the sweep as detached processes.
+
+        Called by :meth:`DSMTXSystem.run` after unit processes exist, so
+        emitters can be registered for chaos-engine crash targeting.
+        """
+        system = self.system
+        env = system.env
+        now = env.now
+        for node in self.tids_by_node:
+            self.last_heard[node] = now
+            if node != self.commit_node:
+                process = env.process(
+                    self._emit(node), name=f"heartbeat[node{node}]"
+                )
+                system.register_node_process(node, process)
+        env.process(self._sweep(), name="failure-detector")
+
+    def _emit(self, node: int) -> Generator:
+        """Heartbeat emitter hosted on ``node``; dies with the node.
+
+        The beat is recorded at send time: the suspicion timeout already
+        budgets the (microsecond-scale) management-path delay, so
+        modelling the flight adds nothing but allocations.
+        """
+        system = self.system
+        env = system.env
+        period = self.period
+        try:
+            while not system.state.done:
+                yield env.sleep(period)
+                self.last_heard[node] = env.now
+                system.stats.ft_heartbeats += 1
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                return  # the emitter dies with its node; silence is the signal
+            raise
+
+    def _sweep(self) -> Generator:
+        system = self.system
+        env = system.env
+        period = self.period
+        while not system.state.done:
+            yield env.sleep(period)
+            now = env.now
+            for node, heard in self.last_heard.items():
+                if node in self.declared or node == self.commit_node:
+                    continue
+                if now - heard > self.suspicion_timeout:
+                    self._declare(node)
+
+    def _declare(self, node: int) -> None:
+        """Declare ``node`` dead and hand the failover to the runtime."""
+        system = self.system
+        self.declared.add(node)
+        dead_tids = tuple(self.tids_by_node[node])
+        if system.commit_tid in dead_tids or system.trycommit_tid in dead_tids:
+            raise ClusterFailedError(
+                f"node {node} hosted the "
+                f"{'commit' if system.commit_tid in dead_tids else 'try-commit'}"
+                f" unit; committed state is unrecoverable"
+            )
+        system.state.request_failover(
+            node, dead_tids, system.env.now, self.last_heard[node]
+        )
+        # Survivors must not wait for the dead at recovery barriers —
+        # this also un-wedges a rollback already in progress.
+        system.recovery.deregister(
+            [tid for tid in dead_tids if tid < system.num_workers]
+        )
+        # Wake the commit unit if it is blocked on an empty inbox; the
+        # run-loop top consumes state.failover_pending, this envelope is
+        # only the ping.
+        system.inbox_of(system.commit_tid).put_nowait(
+            ControlEnvelope(
+                CTL_NODE_FAILED, system.state.epoch, -1, node
+            )
+        )

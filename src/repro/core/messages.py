@@ -29,8 +29,12 @@ __all__ = [
     "CTL_MISSPEC",
     "CTL_VALIDATED",
     "CTL_WORKER_DONE",
+    "CTL_NODE_FAILED",
     "BatchEnvelope",
     "ControlEnvelope",
+    "Frame",
+    "Ack",
+    "FRAME_HEADER_BYTES",
     "entry_bytes",
 ]
 
@@ -61,6 +65,11 @@ CTL_MISSPEC = "misspec"
 CTL_VALIDATED = "validated"
 #: Worker -> commit: finished all assigned iterations.  Payload: tid.
 CTL_WORKER_DONE = "worker_done"
+#: Failure detector -> commit: a node stopped heartbeating.  Payload:
+#: node index.  Injected locally at the commit unit (the detector runs
+#: on the commit node), so it is a wake-up ping, not wire traffic; the
+#: authoritative signal is ``SystemState.failover_pending``.
+CTL_NODE_FAILED = "node_failed"
 
 
 class BatchEnvelope(NamedTuple):
@@ -81,6 +90,30 @@ class ControlEnvelope(NamedTuple):
     sender_tid: int
     payload: Any
 
+
+class Frame(NamedTuple):
+    """Reliable-transport framing around an envelope (fault-tolerant
+    mode only): a per-(src, dst) sequence number the receiver uses to
+    deduplicate, reorder, and cumulatively acknowledge unit traffic.
+    """
+
+    src_tid: int
+    dst_tid: int
+    seq: int
+    payload: Any
+
+
+class Ack(NamedTuple):
+    """Cumulative acknowledgement: every frame with ``seq <= upto`` on
+    the (src, dst) link has been ingested at the destination."""
+
+    src_tid: int
+    dst_tid: int
+    upto: int
+
+
+#: Extra wire bytes the reliable transport adds per framed envelope.
+FRAME_HEADER_BYTES = 8
 
 #: Wire size of one log entry: an (address, value) pair of words.
 ENTRY_BYTES = 16

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
-from repro.core.messages import BatchEnvelope, entry_bytes
+from repro.core.messages import FRAME_HEADER_BYTES, BatchEnvelope, entry_bytes
 from repro.obs.tracer import CAT_QUEUE, PID_RUNTIME
 from repro.sim import Event, Resource
 
@@ -74,7 +74,12 @@ class RuntimeQueue:
         # inbox and tag never change for the life of the queue.
         self._src_index = self._src_core.index
         self._dst_index = system.core_of(dst_tid).index
-        self._dst_inbox = system.inbox_of(dst_tid)
+        self._transport = system.transport
+        self._dst_inbox = (
+            system.inbox_of(dst_tid)
+            if self._transport is None
+            else self._transport.ingest_box(dst_tid)
+        )
         self._tag = ("inbox", dst_tid)
         self._mpi_variant = config.mpi_variant
 
@@ -147,10 +152,16 @@ class RuntimeQueue:
             entries=entries,
             nbytes=nbytes,
         )
+        payload = envelope
+        if self._transport is not None:
+            nbytes += FRAME_HEADER_BYTES
+            payload = self._transport.stamp(
+                self.src_tid, self.dst_tid, envelope, nbytes
+            )
         yield from self.system.mpi.send(
             self._src_index,
             self._dst_index,
-            envelope,
+            payload,
             nbytes,
             self._tag,
             self._mpi_variant,

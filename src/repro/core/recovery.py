@@ -49,6 +49,26 @@ class RecoveryCoordinator:
         self.erm_barrier = Barrier(env, parties)
         self.flq_barrier = Barrier(env, parties)
         self.resume_barrier = Barrier(env, parties)
+        self._deregistered: set[int] = set()
+
+    def deregister(self, dead_tids) -> None:
+        """Remove dead units from the barrier protocol (failure detector).
+
+        Called at declaration time, *before* the commit unit orchestrates
+        the failover: a rollback already in progress must complete with
+        the survivors instead of deadlocking on parties that will never
+        arrive.  Shrinks every barrier and withdraws any arrival the dead
+        unit already made (it may have died waiting at a barrier).
+        """
+        fresh = [tid for tid in dead_tids if tid not in self._deregistered]
+        if not fresh:
+            return
+        self._deregistered.update(fresh)
+        self.parties -= len(fresh)
+        for barrier in (self.erm_barrier, self.flq_barrier, self.resume_barrier):
+            for tid in fresh:
+                barrier.drop(tid)
+            barrier.set_parties(self.parties)
 
     def _barrier_cost(self, unit) -> Generator[Event, Any, None]:
         """Software + wire cost of one barrier round for one unit."""
@@ -65,6 +85,13 @@ class RecoveryCoordinator:
         entered = env.now if obs is not None else 0.0
         # Wait for the commit unit to actually enter recovery mode; the
         # inbox flush it performs will wake us if we block meanwhile.
+        # Termination is re-checked on *every* pass: the commit unit may
+        # decide the run is done (rather than entering recovery) while
+        # this unit sits in this loop — e.g. when a drain was requested
+        # but every remaining iteration commits cleanly, or when the
+        # terminating inbox flush itself raised the error that brought
+        # us here.  Joining the ERM barrier after termination would
+        # strand this unit (nobody else will ever arrive).
         while not system.state.in_recovery:
             if system.state.done:
                 return
@@ -75,7 +102,7 @@ class RecoveryCoordinator:
                 continue
         # ERM: synchronize into recovery mode.
         yield from self._barrier_cost(unit)
-        yield self.erm_barrier.wait()
+        yield self.erm_barrier.wait(unit.tid)
         if obs is not None:
             obs.tracer.complete(
                 CAT_RECOVERY_ERM, "erm", PID_RUNTIME, unit.tid, entered
@@ -87,7 +114,7 @@ class RecoveryCoordinator:
             dropped_pages * system.config.reprotect_instructions_per_page
         )
         yield from self._barrier_cost(unit)
-        yield self.flq_barrier.wait()
+        yield self.flq_barrier.wait(unit.tid)
         if obs is not None:
             obs.tracer.complete(
                 CAT_RECOVERY_FLQ, "flq", PID_RUNTIME, unit.tid, erm_done,
@@ -96,7 +123,7 @@ class RecoveryCoordinator:
             flq_done = env.now
         # SEQ runs at the commit unit; we wait for the resume barrier.
         yield from self._barrier_cost(unit)
-        yield self.resume_barrier.wait()
+        yield self.resume_barrier.wait(unit.tid)
         # Propagation of the resume notification.
         yield system.env.timeout(2 * system.cluster.inter_node_latency_s)
         if obs is not None:

@@ -24,7 +24,12 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.core.messages import CTL_COA_REQUEST, CTL_COA_RESPONSE
-from repro.errors import ChannelFlushedError, RecoveryAbort
+from repro.errors import (
+    ChannelFlushedError,
+    NodeCrashed,
+    ProcessInterrupt,
+    RecoveryAbort,
+)
 from repro.memory import Page
 from repro.sim import Event
 
@@ -51,16 +56,25 @@ class CoaReplica:
 
     def run(self) -> Generator[Event, Any, None]:
         system = self.system
-        while not system.state.done:
-            try:
-                request = yield from self.endpoint.wait_ctl(
-                    CTL_COA_REQUEST, check_state=False
-                )
-                yield from self._serve(request.payload)
-            except (ChannelFlushedError, RecoveryAbort):
-                # A rollback interrupted us; any in-flight requester has
-                # aborted its wait and will re-fault after the resume.
-                continue
+        try:
+            while not system.state.done:
+                try:
+                    request = yield from self.endpoint.wait_ctl(
+                        CTL_COA_REQUEST, check_state=False
+                    )
+                    yield from self._serve(request.payload)
+                except (ChannelFlushedError, RecoveryAbort):
+                    # A rollback interrupted us; any in-flight requester
+                    # has aborted its wait and will re-fault after the
+                    # resume.
+                    continue
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # Node crash under fault injection: requests re-route to
+                # the surviving replicas (or the commit unit) after the
+                # degraded-mode restart.
+                return
+            raise
 
     def _serve(self, payload) -> Generator[Event, Any, None]:
         page_no, requester_tid, _word_index = payload

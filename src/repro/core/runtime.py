@@ -22,13 +22,15 @@ from repro.core.commit import CommitUnit
 from repro.core.replica import CoaReplica
 from repro.core.config import PipelineConfig, SystemConfig
 from repro.core.endpoint import Endpoint
+from repro.core.failure import FailureDetector
 from repro.core.queues import RuntimeQueue
 from repro.core.recovery import RecoveryCoordinator
 from repro.core.state import SystemState
 from repro.core.stats import RunStats
+from repro.core.transport import ReliableTransport
 from repro.core.try_commit import TryCommitUnit
 from repro.core.worker import Worker
-from repro.errors import ConfigurationError
+from repro.errors import ClusterFailedError, ConfigurationError
 from repro.memory import UnifiedVirtualAddressSpace
 from repro.sim import Environment
 
@@ -84,6 +86,8 @@ class DSMTXSystem:
         self.replica_tids = [
             self.num_workers + 2 + index for index in range(config.coa_replicas)
         ]
+        #: Replicas still alive (node failures remove entries).
+        self.live_replica_tids = list(self.replica_tids)
         self.num_units = self.num_workers + 2 + config.coa_replicas
         #: First worker tid of each stage.
         self.stage_base_tid: list[int] = []
@@ -91,8 +95,21 @@ class DSMTXSystem:
         for count in self.replicas:
             self.stage_base_tid.append(base)
             base += count
+        #: Live worker tids per stage.  Identical to the static layout
+        #: until a node failure; degraded-mode restart removes the dead
+        #: tids and survivors re-partition the iteration space over
+        #: these lists (relative to the new restart base).
+        self.live_by_stage: list[list[int]] = [
+            list(range(b, b + count))
+            for b, count in zip(self.stage_base_tid, self.replicas)
+        ]
+        #: Units lost to node failures so far.
+        self.dead_tids: set[int] = set()
 
         self._core_indices = place_units(self.cluster, self.num_units, config.placement)
+        #: Reliable ack/retransmit transport; ``None`` keeps the
+        #: fault-free fast path untouched (a single is-None check).
+        self.transport = ReliableTransport(self) if config.fault_tolerance else None
         self._endpoints = [Endpoint(self, tid) for tid in range(self.num_units)]
         self.uva = UnifiedVirtualAddressSpace(owners=self.num_units)
 
@@ -106,6 +123,15 @@ class DSMTXSystem:
         self.coa_replicas = [CoaReplica(self, tid) for tid in self.replica_tids]
         # Replicas hold no speculative state: they are not barrier parties.
         self.recovery = RecoveryCoordinator(self, parties=self.num_workers + 2)
+
+        #: Heartbeat failure detection; ``None`` outside fault-tolerant
+        #: mode.  Started by :meth:`run` once unit processes exist.
+        self.failure_detector = (
+            FailureDetector(self) if config.fault_tolerance else None
+        )
+        #: Simulation processes hosted on each node (unit main loops,
+        #: heartbeat emitters): the kill set of a node-crash fault.
+        self._node_processes: dict[int, list] = {}
 
         self._queues: dict[str, RuntimeQueue] = {}
         self.total_iterations = 0
@@ -123,12 +149,13 @@ class DSMTXSystem:
     def worker_tid_for(self, stage_index: int, iteration: int) -> int:
         """Tid of the worker executing ``iteration``'s subTX of a stage.
 
-        Round-robin relative to the current epoch's restart base, so the
-        mapping stays consistent across rollbacks.
+        Round-robin over the stage's *live* replicas, relative to the
+        current epoch's restart base, so the mapping stays consistent
+        across rollbacks and re-partitions itself after a node failure
+        (every failover bumps the epoch and resets the base).
         """
-        replicas = self.replicas[stage_index]
-        offset = (iteration - self.state.restart_base) % replicas
-        return self.stage_base_tid[stage_index] + offset
+        live = self.live_by_stage[stage_index]
+        return live[(iteration - self.state.restart_base) % len(live)]
 
     def core_of(self, tid: int):
         return self.machine.core(self._core_indices[tid])
@@ -143,8 +170,9 @@ class DSMTXSystem:
         requester so each worker sticks to one cache); everything else
         goes to the commit unit, the owner of mutable committed state.
         """
-        if self.replica_tids and self.uva.page_is_read_only(page_no):
-            return self.replica_tids[requester_tid % len(self.replica_tids)]
+        live = self.live_replica_tids
+        if live and self.uva.page_is_read_only(page_no):
+            return live[requester_tid % len(live)]
         return self.commit_tid
 
     def inbox_of(self, tid: int):
@@ -206,6 +234,40 @@ class DSMTXSystem:
         for endpoint in self._endpoints:
             endpoint.inbox.flush()
 
+    # -- node failure -----------------------------------------------------------------------
+
+    def register_node_process(self, node: int, process) -> None:
+        """Track a simulation process as hosted on ``node`` so a
+        node-crash fault kills it along with the node."""
+        self._node_processes.setdefault(node, []).append(process)
+
+    def processes_on_node(self, node: int) -> list:
+        """Every registered simulation process hosted on ``node``."""
+        return list(self._node_processes.get(node, ()))
+
+    def apply_node_failure(self, node: int, dead_tids) -> None:
+        """Re-partition onto the survivors (degraded-mode restart).
+
+        Removes the dead tids from the live scheduling lists.  A stage
+        whose every replica died is unrecoverable — the lost subTX logs
+        cannot be regenerated by anyone — as is (checked earlier, at
+        declaration) the loss of the commit or try-commit unit.
+        """
+        self.dead_tids.update(dead_tids)
+        for stage_index, live in enumerate(self.live_by_stage):
+            survivors = [tid for tid in live if tid not in self.dead_tids]
+            if not survivors:
+                raise ClusterFailedError(
+                    f"node {node} took stage {stage_index}'s last worker "
+                    f"replica; the pipeline cannot be re-partitioned"
+                )
+            self.live_by_stage[stage_index] = survivors
+        self.live_replica_tids = [
+            tid for tid in self.live_replica_tids if tid not in self.dead_tids
+        ]
+        if self.transport is not None:
+            self.transport.forget_units(dead_tids)
+
     # -- workload access ---------------------------------------------------------------------
 
     def workload_stage_body(self, stage_index: int) -> Callable:
@@ -262,6 +324,14 @@ class DSMTXSystem:
         summary["commit"] = per_unit["commit"]
         return summary
 
+    def _spawn_unit(self, tid: int, generator, label: str):
+        """Start one unit's main process, registered to its host node."""
+        process = self.env.process(generator, name=label)
+        self.register_node_process(
+            self.cluster.node_of_core(self._core_indices[tid]), process
+        )
+        return process
+
     def run(self, iterations: Optional[int] = None) -> RunResult:
         """Execute the workload's parallel region to completion."""
         self.total_iterations = (
@@ -271,12 +341,27 @@ class DSMTXSystem:
             raise ConfigurationError("need at least one iteration")
         self.workload.setup(self)
         start = self.env.now
-        processes = [self.env.process(worker.run()) for worker in self.workers]
-        processes.append(self.env.process(self.try_commit.run()))
-        processes.append(self.env.process(self.commit.run()))
-        processes.extend(
-            self.env.process(replica.run()) for replica in self.coa_replicas
+        processes = [
+            self._spawn_unit(
+                worker.tid, worker.run(),
+                f"worker[{worker.stage_index}.{worker.replica}]",
+            )
+            for worker in self.workers
+        ]
+        processes.append(
+            self._spawn_unit(self.trycommit_tid, self.try_commit.run(), "try-commit")
         )
+        processes.append(
+            self._spawn_unit(self.commit_tid, self.commit.run(), "commit")
+        )
+        processes.extend(
+            self._spawn_unit(replica.tid, replica.run(), f"coa-replica[{index}]")
+            for index, replica in enumerate(self.coa_replicas)
+        )
+        if self.failure_detector is not None:
+            self.failure_detector.start()
+        if self.env.chaos is not None:
+            self.env.chaos.bind_system(self)
         self.env.run(until=self.env.all_of(processes))
         elapsed = self.env.now - start
         self.stats.elapsed_seconds = elapsed

@@ -46,6 +46,15 @@ class SystemState:
         self.draining = False
         #: First doomed iteration (the earliest reported misspeculation).
         self.pause_target: int | None = None
+        #: Pending node-failure declarations from the failure detector:
+        #: ``(node, dead_tids, detected_at, last_heard_at)`` tuples.
+        #: Appended by the detector, popped by the commit unit at the
+        #: top of its run loop (one failover at a time); authoritative
+        #: over the CTL_NODE_FAILED wake-up ping (which may be filtered
+        #: or arrive late).
+        self.failover_pending: list = []
+        #: Nodes declared dead so far (grows monotonically).
+        self.failed_nodes: set[int] = set()
 
     @property
     def in_recovery(self) -> bool:
@@ -67,6 +76,20 @@ class SystemState:
         if not self.draining:
             raise RecoveryError("lower_pause_target outside draining")
         self.pause_target = min(self.pause_target, misspec_iteration)
+
+    def request_failover(
+        self, node: int, dead_tids: tuple, detected_at: float, last_heard_at: float
+    ) -> None:
+        """Record a node-failure declaration (failure detector only).
+
+        Only the first declaration per node sticks; the commit unit
+        pops declarations one at a time and re-checks the queue at its
+        loop top, so back-to-back failures serialize naturally.
+        """
+        if self.mode == RunMode.DONE or node in self.failed_nodes:
+            return
+        self.failed_nodes.add(node)
+        self.failover_pending.append((node, dead_tids, detected_at, last_heard_at))
 
     def begin_recovery(self, misspec_iteration: int) -> None:
         """Enter recovery mode proper (commit unit only)."""

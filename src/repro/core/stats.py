@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RecoveryRecord", "RunStats"]
+__all__ = ["RecoveryRecord", "FailureRecord", "CheckpointRecord", "RunStats"]
 
 
 @dataclass
@@ -47,6 +47,51 @@ class RecoveryRecord:
 
 
 @dataclass
+class FailureRecord:
+    """One node failure and the degraded-mode restart it triggered."""
+
+    #: Node declared dead by the failure detector.
+    node: int
+    #: Units (tids) hosted on the dead node.
+    dead_tids: tuple = ()
+    #: Simulated time of the node's last heartbeat heard.
+    last_heard_at: float = 0.0
+    #: Simulated time at which the detector declared the node dead.
+    detected_at: float = 0.0
+    #: Simulated time at which survivors resumed in degraded mode.
+    resumed_at: float = 0.0
+    #: Iteration the survivors restarted from (the commit frontier).
+    restart_base: int = 0
+    #: Speculative iterations in flight past the restart base that were
+    #: thrown away — the lost work of the failure.
+    lost_iterations: int = 0
+    #: Surviving worker count after re-partitioning.
+    surviving_workers: int = 0
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Detection-to-resume latency of the degraded-mode restart."""
+        return self.resumed_at - self.detected_at
+
+    @property
+    def outage_seconds(self) -> float:
+        """Last-heartbeat-to-resume window (includes detection lag)."""
+        return self.resumed_at - self.last_heard_at
+
+
+@dataclass
+class CheckpointRecord:
+    """One epoch checkpoint taken by the commit unit."""
+
+    #: Commit frontier (first uncommitted iteration) at checkpoint time.
+    iteration: int
+    #: Words committed since the previous checkpoint (checkpoint size).
+    words: int
+    #: Simulated time the checkpoint completed.
+    at: float = 0.0
+
+
+@dataclass
 class RunStats:
     """Aggregated statistics for one parallel run."""
 
@@ -70,6 +115,25 @@ class RunStats:
     words_committed: int = 0
     #: Per-episode recovery records, in detection order.
     recoveries: list = field(default_factory=list)
+    #: Node failures survived (degraded-mode restarts), in order.
+    failures: list = field(default_factory=list)
+    #: Epoch checkpoints taken by the commit unit (fault-tolerant mode).
+    checkpoints: list = field(default_factory=list)
+    #: Heartbeats sent by node heartbeat emitters (fault-tolerant mode).
+    ft_heartbeats: int = 0
+    #: Cumulative acks sent by reliable-transport ingest boxes.
+    ft_acks: int = 0
+    #: Frames re-sent after a retransmit timeout.
+    ft_retransmits: int = 0
+    #: Frames abandoned after ``max_retransmits`` attempts.
+    ft_retransmit_giveups: int = 0
+    #: Duplicate frames discarded by ingest-box sequence filtering.
+    ft_duplicates_dropped: int = 0
+    #: Frames that arrived ahead of sequence and were parked for reorder.
+    ft_frames_reordered: int = 0
+    #: Frames discarded because their source or destination unit was on
+    #: a node already declared dead.
+    ft_frames_from_dead_dropped: int = 0
     #: Wall-clock (simulated) duration of the parallel region.
     elapsed_seconds: float = 0.0
     #: Observability hub (:class:`repro.obs.Observability`) mirroring the
@@ -96,6 +160,16 @@ class RunStats:
     @property
     def seq_seconds(self) -> float:
         return sum(r.seq_seconds for r in self.recoveries)
+
+    @property
+    def lost_iterations(self) -> int:
+        """Speculative iterations thrown away across all node failures."""
+        return sum(f.lost_iterations for f in self.failures)
+
+    @property
+    def failure_recovery_seconds(self) -> float:
+        """Total detection-to-resume latency across all node failures."""
+        return sum(f.recovery_seconds for f in self.failures)
 
     def bandwidth_bps(self) -> float:
         """Application bandwidth: bytes through DSMTX over run time

@@ -33,7 +33,13 @@ from repro.core.messages import (
     VALIDATED,
     WRITE,
 )
-from repro.errors import ChannelFlushedError, ProtectionFault, RecoveryAbort
+from repro.errors import (
+    ChannelFlushedError,
+    NodeCrashed,
+    ProcessInterrupt,
+    ProtectionFault,
+    RecoveryAbort,
+)
 from repro.memory import AddressSpace
 from repro.sim import Event
 
@@ -58,15 +64,23 @@ class TryCommitUnit:
     # -- main process ---------------------------------------------------------------------
 
     def run(self) -> Generator[Event, Any, None]:
-        while True:
-            if self.system.state.done:
+        try:
+            while True:
+                if self.system.state.done:
+                    return
+                try:
+                    yield from self._validate_epoch()
+                    yield from self._park()
+                    return
+                except (RecoveryAbort, ChannelFlushedError):
+                    yield from self.system.recovery.participate(self)
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # Node crash under fault injection.  The failure
+                # detector will declare this node and raise
+                # ClusterFailedError — validation has no replica.
                 return
-            try:
-                yield from self._validate_epoch()
-                yield from self._park()
-                return
-            except (RecoveryAbort, ChannelFlushedError):
-                yield from self.system.recovery.participate(self)
+            raise
 
     #: Validation notices are flushed to the commit unit at least every
     #: this many MTXs (they also go out whenever the batch fills).

@@ -36,6 +36,8 @@ from repro.core.messages import (
 from repro.errors import (
     ChannelFlushedError,
     MisspeculationDetected,
+    NodeCrashed,
+    ProcessInterrupt,
     ProtectionFault,
     RecoveryAbort,
 )
@@ -86,23 +88,33 @@ class Worker:
 
     def run(self) -> Generator[Event, Any, None]:
         """The worker's top-level process."""
-        while True:
-            if self.system.state.done:
+        try:
+            while True:
+                if self.system.state.done:
+                    return
+                try:
+                    yield from self._run_epoch()
+                    yield from self._park()
+                    return
+                except (RecoveryAbort, ChannelFlushedError):
+                    yield from self.system.recovery.participate(self)
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # Our node died under us (fault injection): stop
+                # silently; the failure detector handles the cluster
+                # side, and in-flight state dies with this unit.
                 return
-            try:
-                yield from self._run_epoch()
-                yield from self._park()
-                return
-            except (RecoveryAbort, ChannelFlushedError):
-                yield from self.system.recovery.participate(self)
+            raise
 
     def _run_epoch(self) -> Generator[Event, Any, None]:
         """Execute all iterations assigned to this replica in the
-        current epoch (restart base)."""
+        current epoch (restart base), round-robin over the stage's
+        live replicas."""
         system = self.system
         base = system.state.restart_base
-        replicas = system.replicas_of_stage(self.stage_index)
-        iteration = base + self.replica
+        live = system.live_by_stage[self.stage_index]
+        replicas = len(live)
+        iteration = base + live.index(self.tid)
         first = True
         while iteration < system.total_iterations:
             state = system.state

@@ -44,7 +44,12 @@ class ProcessInterrupt(SimulationError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while processes were still waiting."""
+    """The event queue drained while processes were still waiting.
+
+    The message names every live process and what it is blocked on (see
+    :meth:`Environment.blocked_report`), which is what makes hangs
+    introduced by dropped or misrouted messages debuggable.
+    """
 
 
 # --------------------------------------------------------------------------
@@ -54,6 +59,36 @@ class DeadlockError(SimulationError):
 
 class ClusterError(ReproError):
     """Base class for cluster-substrate errors."""
+
+
+class ChaosError(ClusterError):
+    """An invalid fault plan or chaos-engine misuse (not an injected
+    fault: injected faults manifest as the substrate misbehaving, never
+    as exceptions in application code)."""
+
+
+class ClusterFailedError(ClusterError):
+    """The cluster lost capacity the runtime cannot recover from: the
+    commit or try-commit node crashed, or a pipeline stage lost every
+    replica.  Degraded-mode restart handles everything short of this."""
+
+
+class NodeCrashed:
+    """Interrupt *cause* attached when the chaos engine crashes a node.
+
+    Delivered as ``ProcessInterrupt.cause`` into every process pinned to
+    the node; unit main loops recognize it and terminate silently (a
+    crashed core executes nothing, including exception handlers — the
+    catch here is simulator bookkeeping, not modeled computation).
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NodeCrashed(node={self.node})"
 
 
 class PlacementError(ClusterError):

@@ -69,6 +69,20 @@ class Observability:
             m.gauge(f"run.recovery.{phase}_seconds").set(
                 getattr(stats, f"{phase}_seconds")
             )
+        if stats.ft_heartbeats:  # fault-tolerant mode ran
+            for name, value in (
+                ("run.ft.heartbeats", stats.ft_heartbeats),
+                ("run.ft.acks", stats.ft_acks),
+                ("run.ft.retransmits", stats.ft_retransmits),
+                ("run.ft.retransmit_giveups", stats.ft_retransmit_giveups),
+                ("run.ft.duplicates_dropped", stats.ft_duplicates_dropped),
+                ("run.ft.frames_reordered", stats.ft_frames_reordered),
+                ("run.ft.failures", len(stats.failures)),
+                ("run.ft.checkpoints", len(stats.checkpoints)),
+                ("run.ft.lost_iterations", stats.lost_iterations),
+                ("run.ft.recovery_seconds", stats.failure_recovery_seconds),
+            ):
+                m.gauge(name).set(value)
         for label, fraction in system.utilization().items():
             m.gauge(f"util.{label}").set(fraction)
 

@@ -29,6 +29,10 @@ category            meaning
 ``recovery.flq``    flush-queues / reinstate-protections phase
 ``recovery.seq``    sequential re-execution (participants: waiting for it)
 ``worker.compute``  a worker executing one subTX body
+``ft.failover``     node-failure declaration and degraded-mode restart
+                    (fault-tolerant mode)
+``ft.checkpoint``   epoch checkpoints of committed state (commit unit)
+``chaos``           injected faults: crashes, drops, duplications, windows
 ==================  ==========================================================
 
 Tracks: runtime units trace under ``pid == PID_RUNTIME`` with their unit
@@ -61,6 +65,9 @@ __all__ = [
     "CAT_RECOVERY_FLQ",
     "CAT_RECOVERY_SEQ",
     "CAT_COMPUTE",
+    "CAT_FT_FAILOVER",
+    "CAT_FT_CHECKPOINT",
+    "CAT_CHAOS",
     "ALL_CATEGORIES",
 ]
 
@@ -79,6 +86,9 @@ CAT_RECOVERY_ERM = "recovery.erm"
 CAT_RECOVERY_FLQ = "recovery.flq"
 CAT_RECOVERY_SEQ = "recovery.seq"
 CAT_COMPUTE = "worker.compute"
+CAT_FT_FAILOVER = "ft.failover"
+CAT_FT_CHECKPOINT = "ft.checkpoint"
+CAT_CHAOS = "chaos"
 
 ALL_CATEGORIES = (
     CAT_MPI_SEND,
@@ -91,6 +101,9 @@ ALL_CATEGORIES = (
     CAT_RECOVERY_FLQ,
     CAT_RECOVERY_SEQ,
     CAT_COMPUTE,
+    CAT_FT_FAILOVER,
+    CAT_FT_CHECKPOINT,
+    CAT_CHAOS,
 )
 
 _SECONDS_TO_US = 1e6

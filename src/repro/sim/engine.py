@@ -177,14 +177,22 @@ class Process(Event):
     (failure).
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
         super().__init__(env)
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         self._generator = generator
         self._target: Optional[Event] = None
+        #: Optional label used by deadlock diagnostics.
+        self.name = name
+        env._processes[self] = None
         Initialize(env, self)
 
     @property
@@ -232,6 +240,7 @@ class Process(Event):
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
             env._active = None
+            env._processes.pop(self, None)
             self._ok = True
             self._value = stop.value
             env._eid = eid = env._eid + 1
@@ -239,6 +248,7 @@ class Process(Event):
             return
         except BaseException as exc:
             env._active = None
+            env._processes.pop(self, None)
             self._ok = False
             self._value = exc
             self._defused = False
@@ -279,6 +289,13 @@ class Environment:
         #: attached; instrumentation hooks across the cluster layer read
         #: this and do nothing while it is ``None``.
         self.obs = None
+        #: Chaos fault-injection engine (:class:`repro.chaos.ChaosEngine`)
+        #: if one is attached; the wire-level hooks in the cluster layer
+        #: read this and do nothing while it is ``None`` — the same
+        #: zero-cost-when-disabled pattern as ``obs``.
+        self.chaos = None
+        #: Live processes, in creation order (deadlock diagnostics).
+        self._processes: dict[Process, None] = {}
         #: Hooks invoked with each processed event (see ``repro.sim.trace``).
         self._step_listeners: list[Callable[[Event], None]] = []
         #: Events processed so far (the ``repro perf`` throughput metric).
@@ -332,9 +349,51 @@ class Environment:
         heappush(self._queue, (self._now + delay, eid + _P1, timeout))
         return timeout
 
-    def process(self, generator: Generator[Event, Any, Any]) -> Process:
-        """Start a new process running ``generator``."""
-        return Process(self, generator)
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process running ``generator``.
+
+        ``name`` labels the process in deadlock diagnostics.
+        """
+        return Process(self, generator, name)
+
+    def blocked_report(self, limit: int = 16) -> str:
+        """One line per live process: who it is, where its generator is
+        suspended, and what event it waits on.  Empty string if no
+        process is alive — the substance of every :class:`DeadlockError`
+        this environment raises."""
+        lines = []
+        for process in self._processes:
+            if len(lines) >= limit:
+                lines.append(f"  ... and {len(self._processes) - limit} more")
+                break
+            label = process.name or process._generator.gi_code.co_name
+            # Walk the yield-from chain to the innermost suspended frame:
+            # that is where the process is actually blocked.
+            gen = process._generator
+            while getattr(gen, "gi_yieldfrom", None) is not None and hasattr(
+                gen.gi_yieldfrom, "gi_frame"
+            ):
+                gen = gen.gi_yieldfrom
+            frame = getattr(gen, "gi_frame", None)
+            if frame is not None:
+                where = f"{gen.gi_code.co_name}:{frame.f_lineno}"
+            else:
+                where = "<not started>"
+            target = process._target
+            waiting = "nothing (never resumed)" if target is None else repr(target)
+            lines.append(f"  {label} suspended at {where}, waiting on {waiting}")
+        return "\n".join(lines)
+
+    def _deadlock(self, headline: str) -> DeadlockError:
+        detail = self.blocked_report()
+        if detail:
+            return DeadlockError(
+                f"{headline}; {len(self._processes)} process(es) still "
+                f"blocked:\n{detail}"
+            )
+        return DeadlockError(headline)
 
     def all_of(self, events: Iterable[Event]) -> Event:
         """Event that succeeds when every event in ``events`` has succeeded.
@@ -432,7 +491,7 @@ class Environment:
     def step(self) -> None:
         """Process the single next event, advancing the clock."""
         if not self._queue:
-            raise DeadlockError("event queue is empty")
+            raise self._deadlock("event queue is empty")
         when, _key, event = heapq.heappop(self._queue)
         self._now = when
         self.events_processed += 1
@@ -534,7 +593,7 @@ class Environment:
 
         if stop_event is not None:
             if not stop_event.triggered:
-                raise DeadlockError(
+                raise self._deadlock(
                     "simulation ended but the awaited event never triggered"
                 )
             if not stop_event._ok:

@@ -170,12 +170,16 @@ class Store:
         self.items.clear()
         while self._getters:
             getter = self._getters.popleft()
-            if not getter.triggered:
+            # An event with no callbacks is an orphan: its process was
+            # interrupted (or killed by a node crash) and detached after
+            # blocking here.  Failing it would raise unhandled out of
+            # the engine loop, so orphans are silently dropped.
+            if not getter.triggered and getter.callbacks:
                 getter.fail(ChannelFlushedError("store flushed"))
         while self._putters:
             put_event, _item = self._putters.popleft()
             discarded += 1
-            if not put_event.triggered:
+            if not put_event.triggered and put_event.callbacks:
                 put_event.fail(ChannelFlushedError("store flushed"))
         return discarded
 
@@ -194,21 +198,46 @@ class Barrier:
         self.env = env
         self.parties = parties
         self.generation = 0
-        self._waiting: list[Event] = []
+        self._waiting: list[tuple[Event, Any]] = []
 
     @property
     def arrived(self) -> int:
         """Number of parties currently waiting at the barrier."""
         return len(self._waiting)
 
-    def wait(self) -> Event:
-        """Arrive at the barrier; returns an event for the release."""
+    def wait(self, owner: Any = None) -> Event:
+        """Arrive at the barrier; returns an event for the release.
+
+        ``owner`` identifies the arriving party so a failed party's
+        arrival can later be withdrawn with :meth:`drop`.
+        """
         event = self.env.event()
-        self._waiting.append(event)
+        self._waiting.append((event, owner))
+        self._maybe_release()
+        return event
+
+    def drop(self, owner: Any) -> bool:
+        """Withdraw ``owner``'s pending arrival (the party died at the
+        barrier).  Returns True if an arrival was removed.  Does not
+        change ``parties`` — pair with :meth:`set_parties`."""
+        for i, (_event, waiting_owner) in enumerate(self._waiting):
+            if waiting_owner is not None and waiting_owner == owner:
+                del self._waiting[i]
+                return True
+        return False
+
+    def set_parties(self, parties: int) -> None:
+        """Resize the barrier (degraded-mode restart after a node loss);
+        releases immediately if the survivors have all arrived."""
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.parties = parties
+        self._maybe_release()
+
+    def _maybe_release(self) -> None:
         if len(self._waiting) >= self.parties:
             generation = self.generation
             self.generation += 1
             waiting, self._waiting = self._waiting, []
-            for waiter in waiting:
+            for waiter, _owner in waiting:
                 waiter.succeed(generation)
-        return event

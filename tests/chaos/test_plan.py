@@ -1,0 +1,102 @@
+"""FaultPlan construction, validation, and seeded generation."""
+
+import pytest
+
+from repro.chaos import (
+    FaultPlan,
+    LinkDegrade,
+    MessageDuplication,
+    MessageLoss,
+    NodeCrash,
+    NodeStall,
+)
+from repro.errors import ChaosError
+
+
+def test_empty_plan_is_fault_free():
+    plan = FaultPlan()
+    assert plan.faults == ()
+    assert plan.crashes == ()
+    assert not plan.needs_random_draws
+    assert plan.describe() == "fault-free"
+
+
+def test_faults_are_normalized_to_a_tuple():
+    plan = FaultPlan(faults=[NodeCrash(node=1, at_s=0.01)])
+    assert isinstance(plan.faults, tuple)
+    assert plan.crashes == plan.faults
+
+
+def test_probabilistic_faults_need_draws():
+    assert FaultPlan(faults=(MessageLoss(probability=0.1),)).needs_random_draws
+    assert FaultPlan(
+        faults=(MessageDuplication(probability=0.1),)
+    ).needs_random_draws
+    assert not FaultPlan(faults=(NodeCrash(node=1, at_s=0.01),)).needs_random_draws
+
+
+@pytest.mark.parametrize("bad", [
+    NodeCrash(node=-1, at_s=0.01),
+    NodeCrash(node=0, at_s=-1.0),
+    LinkDegrade(at_s=-1.0, duration_s=0.1),
+    LinkDegrade(at_s=0.0, duration_s=0.0),
+    LinkDegrade(at_s=0.0, duration_s=0.1, latency_factor=0.5),
+    LinkDegrade(at_s=0.0, duration_s=0.1, bandwidth_factor=0.9),
+    NodeStall(node=0, at_s=0.0, duration_s=-0.1),
+    MessageLoss(probability=1.5),
+    MessageLoss(probability=-0.1),
+    MessageLoss(probability=0.5, start_s=0.2, end_s=0.1),
+    MessageDuplication(probability=2.0),
+    "not a fault",
+])
+def test_invalid_faults_are_rejected(bad):
+    with pytest.raises(ChaosError):
+        FaultPlan(faults=(bad,))
+
+
+def test_random_plan_is_seed_deterministic():
+    a = FaultPlan.random(42, nodes=4, horizon_s=0.02, crashes=2,
+                         degrade_windows=1, stalls=1, loss=0.01, duplication=0.01)
+    b = FaultPlan.random(42, nodes=4, horizon_s=0.02, crashes=2,
+                         degrade_windows=1, stalls=1, loss=0.01, duplication=0.01)
+    assert a == b
+    c = FaultPlan.random(43, nodes=4, horizon_s=0.02, crashes=2)
+    assert c.crashes != a.crashes
+
+
+def test_random_plan_spares_node_zero_by_default():
+    # Node 0 conventionally hosts the commit unit under pack placement.
+    for seed in range(8):
+        plan = FaultPlan.random(seed, nodes=3, horizon_s=0.01, crashes=2)
+        assert all(crash.node != 0 for crash in plan.crashes)
+
+
+def test_random_plan_respects_crashable_nodes():
+    plan = FaultPlan.random(1, nodes=8, horizon_s=0.01, crashes=3,
+                            crashable_nodes=[5])
+    assert [crash.node for crash in plan.crashes] == [5]
+
+
+def test_random_plan_crash_times_land_mid_run():
+    plan = FaultPlan.random(3, nodes=4, horizon_s=1.0, crashes=3)
+    for crash in plan.crashes:
+        assert 0.2 <= crash.at_s <= 0.7
+
+
+def test_random_plan_rejects_degenerate_inputs():
+    with pytest.raises(ChaosError):
+        FaultPlan.random(0, nodes=1, horizon_s=1.0)
+    with pytest.raises(ChaosError):
+        FaultPlan.random(0, nodes=4, horizon_s=0.0)
+
+
+def test_describe_lists_faults_in_schedule_order():
+    plan = FaultPlan(faults=(
+        NodeCrash(node=2, at_s=0.02),
+        LinkDegrade(at_s=0.001, duration_s=0.002),
+        MessageLoss(probability=0.1, start_s=0.005, end_s=0.01),
+    ))
+    lines = plan.describe().splitlines()
+    assert "LinkDegrade" in lines[0]
+    assert "MessageLoss" in lines[1]
+    assert "NodeCrash" in lines[2]

@@ -39,7 +39,16 @@ def _blackscholes(iterations=64):
     return BlackScholes(iterations=iterations)
 
 
-#: name -> (workload factory, scheme, SystemConfig kwargs).
+def _crash_node0_plan():
+    from repro.chaos import FaultPlan, NodeCrash
+
+    return FaultPlan(faults=(NodeCrash(node=0, at_s=0.005),), seed=7)
+
+
+#: name -> (workload factory, scheme, SystemConfig kwargs).  The extra
+#: ``chaos_plan`` key (popped before SystemConfig sees it) attaches a
+#: fault-injection plan: the failover episode itself must be
+#: byte-reproducible, so it is pinned here like any other config.
 CONFIGS = {
     "crc32_dsmtx_8c": (lambda: _crc32(), "dsmtx", {"total_cores": 8}),
     "crc32_misspec_8c": (lambda: _crc32(misspec={12}), "dsmtx", {"total_cores": 8}),
@@ -47,6 +56,9 @@ CONFIGS = {
                           {"total_cores": 8, "coa_replicas": 1}),
     "crc32_tls_8c": (lambda: _crc32(), "tls", {"total_cores": 8}),
     "blackscholes_16c": (lambda: _blackscholes(), "dsmtx", {"total_cores": 16}),
+    "crc32_chaos_crash_8c": (lambda: _crc32(), "dsmtx",
+                             {"total_cores": 8, "fault_tolerance": True,
+                              "chaos_plan": _crash_node0_plan}),
 }
 
 
@@ -61,7 +73,13 @@ def run_fingerprint(name: str) -> str:
     factory, scheme, kwargs = CONFIGS[name]
     workload = factory()
     plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    kwargs = dict(kwargs)
+    chaos_factory = kwargs.pop("chaos_plan", None)
     system = DSMTXSystem(plan, SystemConfig(**kwargs))
+    if chaos_factory is not None:
+        from repro.chaos import ChaosEngine
+
+        ChaosEngine(chaos_factory()).attach(system.env)
     result = system.run()
     stats = result.stats
     lines = [
@@ -88,6 +106,31 @@ def run_fingerprint(name: str) -> str:
             f"seq={record.seq_seconds!r}, "
             f"squashed={record.squashed_iterations}, "
             f"reexecuted={record.reexecuted_iterations})"
+        )
+    # Fault-tolerance lines appear only when the machinery ran, so the
+    # fingerprints (and golden digests) of plain configs are unchanged.
+    if stats.ft_heartbeats or stats.failures:
+        lines.append(f"ft_heartbeats={stats.ft_heartbeats}")
+        lines.append(f"ft_acks={stats.ft_acks}")
+        lines.append(f"ft_retransmits={stats.ft_retransmits}")
+        lines.append(f"ft_duplicates_dropped={stats.ft_duplicates_dropped}")
+        lines.append(f"ft_frames_reordered={stats.ft_frames_reordered}")
+    for record in stats.failures:
+        lines.append(
+            "failure("
+            f"node={record.node}, "
+            f"dead_tids={record.dead_tids}, "
+            f"last_heard_at={record.last_heard_at!r}, "
+            f"detected_at={record.detected_at!r}, "
+            f"resumed_at={record.resumed_at!r}, "
+            f"restart_base={record.restart_base}, "
+            f"lost={record.lost_iterations}, "
+            f"survivors={record.surviving_workers})"
+        )
+    for record in stats.checkpoints:
+        lines.append(
+            f"checkpoint(iter={record.iteration}, words={record.words}, "
+            f"at={record.at!r})"
         )
     return "\n".join(lines)
 

@@ -470,3 +470,61 @@ def test_peek_reports_next_event_time():
 def test_peek_empty_is_infinite():
     env = Environment()
     assert env.peek() == float("inf")
+
+
+def test_deadlock_error_names_blocked_processes():
+    """The deadlock report names every live process, where its generator
+    is suspended, and what it waits on — the debuggability contract for
+    hangs introduced by dropped or misrouted messages."""
+    env = Environment()
+    never = env.event()
+
+    def consumer():
+        yield never
+
+    def idler():
+        yield env.timeout(1.0)
+        yield env.event()
+
+    env.process(consumer(), name="commit-inbox-reader")
+    env.process(idler())  # unnamed: falls back to the generator name
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run(until=env.event())  # "run to completion" that never comes
+    message = str(excinfo.value)
+    assert "2 process(es) still blocked" in message
+    assert "commit-inbox-reader" in message
+    assert "idler" in message  # generator-name fallback
+    assert "waiting on" in message
+    assert "consumer:" in message  # suspension site of the named process
+
+
+def test_deadlock_report_walks_into_nested_generators():
+    env = Environment()
+
+    def inner():
+        yield env.event()
+
+    def outer():
+        yield from inner()
+
+    env.process(outer(), name="outer-unit")
+    with pytest.raises(DeadlockError) as excinfo:
+        env.run(until=env.event())
+    # The innermost suspended frame is reported, not the delegating one.
+    assert "inner:" in str(excinfo.value)
+
+
+def test_deadlock_report_caps_its_length():
+    env = Environment()
+
+    def blocked():
+        yield env.event()
+
+    for index in range(20):
+        env.process(blocked(), name=f"p{index}")
+    report = env.blocked_report(limit=16)
+    assert "... and 4 more" in report
+
+
+def test_blocked_report_is_empty_without_processes():
+    assert Environment().blocked_report() == ""

@@ -49,3 +49,20 @@ def test_parser_requires_command():
 def test_core_list_parsing():
     args = build_parser().parse_args(["sweep", "crc32", "--cores", "8,32,64"])
     assert args.cores == [8, 32, 64]
+
+
+def test_chaos_crash_scenario(capsys):
+    assert main(["chaos", "--crash-node", "0", "--iterations", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "NodeCrash" in out
+    assert "identical" in out.lower() or "match" in out.lower()
+
+
+def test_chaos_digest_only_is_stable(capsys):
+    argv = ["chaos", "--crash-node", "0", "--iterations", "16", "--digest-only"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out.strip()
+    assert main(argv) == 0
+    second = capsys.readouterr().out.strip()
+    assert first == second
+    assert len(first) == 64  # a sha256 hex digest, nothing else
