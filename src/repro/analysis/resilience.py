@@ -40,10 +40,16 @@ def memory_fingerprint(space) -> list:
     The committed master memory reduced this way is the run's *result*:
     two runs that agree here computed the same thing, whatever happened
     to the cluster in between.
+
+    Pages with no written words are skipped: a master page materializes
+    on first *read* (an artifact of the sparse page table, not program
+    state) and reads back all-zero either way, so an untouched-but-
+    materialized page and an absent one are the same memory.
     """
     return [
-        (page.number, tuple(sorted(page.items())))
+        (page.number, items)
         for page in space.iter_pages()
+        if (items := tuple(sorted(page.items())))
     ]
 
 
@@ -77,8 +83,16 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
     )
     if any(value for _name, value in ft_counters):
         lines.extend(f"ft.{name}={value}" for name, value in ft_counters)
+    repl_counters = (
+        ("repl_words", stats.ft_repl_words),
+        ("repl_folded_words", stats.ft_repl_folded_words),
+        ("promotions", stats.ft_promotions),
+        ("replayed_words", stats.ft_replayed_words),
+    )
+    if any(value for _name, value in repl_counters):
+        lines.extend(f"ft.{name}={value}" for name, value in repl_counters)
     for record in stats.failures:
-        lines.append(
+        line = (
             "failure("
             f"node={record.node}, "
             f"dead_tids={record.dead_tids}, "
@@ -87,8 +101,16 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
             f"resumed_at={record.resumed_at!r}, "
             f"restart_base={record.restart_base}, "
             f"lost_iterations={record.lost_iterations}, "
-            f"surviving_workers={record.surviving_workers})"
+            f"surviving_workers={record.surviving_workers}"
         )
+        if record.promoted_tid >= 0:
+            line += (
+                f", promoted_tid={record.promoted_tid}"
+                f", promotion_seconds={record.promotion_seconds!r}"
+                f", replayed_words={record.replayed_words}"
+                f", recommitted_iterations={record.recommitted_iterations}"
+            )
+        lines.append(line + ")")
     for record in stats.checkpoints:
         lines.append(
             f"checkpoint(iteration={record.iteration}, "
@@ -150,6 +172,21 @@ def render_resilience_report(stats, chaos=None, reference=None) -> str:
             rows, title="Failovers (degraded-mode restarts)",
         ))
 
+    promoted = [r for r in stats.failures if r.promoted_tid >= 0]
+    if promoted:
+        rows = [[
+            f"node {record.node}",
+            f"tid {record.promoted_tid}",
+            f"{record.promotion_seconds * 1e6:.2f} us",
+            str(record.replayed_words),
+            str(record.recommitted_iterations),
+        ] for record in promoted]
+        sections.append(render_table(
+            ["failure", "promoted standby", "promotion", "replayed words",
+             "recommitted MTXs"],
+            rows, title="Commit-unit failovers (standby promotions)",
+        ))
+
     ft_lines = []
     if stats.ft_heartbeats:
         ft_lines.append(
@@ -164,6 +201,11 @@ def render_resilience_report(stats, chaos=None, reference=None) -> str:
         words = sum(record.words for record in stats.checkpoints)
         ft_lines.append(
             f"checkpoints: {len(stats.checkpoints)} ({words} words)"
+        )
+    if stats.ft_repl_words:
+        ft_lines.append(
+            f"replication: {stats.ft_repl_words} words streamed to the "
+            f"standby, {stats.ft_repl_folded_words} folded into its image"
         )
     if ft_lines:
         sections.append("\n".join(ft_lines))

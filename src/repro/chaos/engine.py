@@ -118,14 +118,22 @@ class ChaosEngine:
         system = self._system
         if system is None:
             return  # wire-only chaos on a bare environment
-        if node == self._commit_node:
+        # Resolved at crash time, not bind time: a standby promotion
+        # moves the commit unit to a different node mid-run.
+        commit_node = system.cluster.node_of_core(
+            system._core_indices[system.commit_tid]
+        )
+        if node == commit_node and not self._standby_survives():
             # The commit unit holds the only copy of committed master
             # memory — and the failure detector lives with it, so
             # nothing is left to even declare the failure.  Fail the
-            # run at the point of impact instead of hanging.
+            # run at the point of impact instead of hanging.  With a
+            # live hot standby (commit replication) the crash proceeds
+            # normally: the standby-side watcher declares it and the
+            # standby is promoted.
             raise ClusterFailedError(
                 f"node {node} hosted the commit unit (master memory); "
-                f"the cluster cannot recover"
+                f"the cluster cannot recover without a live commit standby"
             )
         if system.obs is not None:
             from repro.obs.tracer import CAT_CHAOS, PID_CLUSTER
@@ -139,6 +147,18 @@ class ChaosEngine:
         for process in system.processes_on_node(node):
             if process.is_alive:
                 process.interrupt(cause)
+
+    def _standby_survives(self) -> bool:
+        """True when a hot commit standby exists and its node is alive
+        (the commit-node crash is then survivable via promotion)."""
+        system = self._system
+        standby_tid = system.standby_tid
+        if standby_tid is None or standby_tid in system.dead_tids:
+            return False
+        standby_node = system.cluster.node_of_core(
+            system._core_indices[standby_tid]
+        )
+        return standby_node not in self.dead_nodes
 
     def is_dead_node(self, node: int) -> bool:
         return node in self.dead_nodes

@@ -103,6 +103,11 @@ class MessageDuplication:
     end_s: float = math.inf
 
 
+def _is_finite_time(value: float) -> bool:
+    """A usable schedule time: finite and non-negative (NaN fails)."""
+    return math.isfinite(value) and value >= 0
+
+
 _WINDOW_KINDS = (LinkDegrade, NodeStall)
 _PROBABILISTIC_KINDS = (MessageLoss, MessageDuplication)
 _ALL_KINDS = (NodeCrash,) + _WINDOW_KINDS + _PROBABILISTIC_KINDS
@@ -123,13 +128,23 @@ class FaultPlan:
             if not isinstance(fault, _ALL_KINDS):
                 raise ChaosError(f"not a fault: {fault!r}")
             if isinstance(fault, NodeCrash):
-                if fault.at_s < 0 or fault.node < 0:
+                if not _is_finite_time(fault.at_s) or fault.node < 0:
                     raise ChaosError(f"invalid crash: {fault!r}")
             elif isinstance(fault, _WINDOW_KINDS):
-                if fault.at_s < 0 or fault.duration_s <= 0:
-                    raise ChaosError(f"invalid fault window: {fault!r}")
-                if isinstance(fault, LinkDegrade) and (
-                    fault.latency_factor < 1.0 or fault.bandwidth_factor < 1.0
+                # NaN fails every comparison, so each bound is stated as
+                # a *requirement* — a NaN-carrying window is rejected
+                # instead of slipping past an inverted check.
+                if not (
+                    _is_finite_time(fault.at_s)
+                    and math.isfinite(fault.duration_s)
+                    and fault.duration_s > 0
+                ):
+                    raise ChaosError(
+                        f"fault window needs a finite start and a positive "
+                        f"finite duration: {fault!r}"
+                    )
+                if isinstance(fault, LinkDegrade) and not (
+                    fault.latency_factor >= 1.0 and fault.bandwidth_factor >= 1.0
                 ):
                     raise ChaosError(
                         f"degrade factors must be >= 1 (it is a *degradation*): {fault!r}"
@@ -137,8 +152,27 @@ class FaultPlan:
             else:
                 if not 0.0 <= fault.probability <= 1.0:
                     raise ChaosError(f"probability outside [0, 1]: {fault!r}")
-                if fault.start_s < 0 or fault.end_s <= fault.start_s:
+                if not (_is_finite_time(fault.start_s) and fault.end_s > fault.start_s):
                     raise ChaosError(f"empty fault window: {fault!r}")
+        self._reject_overlapping_degrades()
+
+    def _reject_overlapping_degrades(self) -> None:
+        """Overlapping degradation windows on the same fabric compound
+        their factors in engine-iteration order — an effect nobody asked
+        for, and one that silently changes when the plan is reordered.
+        Sequential (even back-to-back) windows are fine; overlap is a
+        plan bug."""
+        windows = sorted(
+            (f for f in self.faults if isinstance(f, LinkDegrade)),
+            key=lambda f: (f.at_s, f.duration_s),
+        )
+        for earlier, later in zip(windows, windows[1:]):
+            if later.at_s < earlier.at_s + earlier.duration_s:
+                raise ChaosError(
+                    f"overlapping link-degradation windows: {earlier!r} is "
+                    f"still active when {later!r} starts; merge them into "
+                    f"one window with the intended combined factors"
+                )
 
     @property
     def crashes(self) -> tuple:
@@ -187,13 +221,27 @@ class FaultPlan:
             faults.append(
                 NodeCrash(node=node, at_s=rng.uniform(0.2, 0.7) * horizon_s)
             )
-        for _ in range(degrade_windows):
+        degrades = sorted(
+            (
+                rng.uniform(0.0, 0.8) * horizon_s,
+                rng.uniform(0.05, 0.2) * horizon_s,
+                rng.uniform(2.0, 8.0),
+                rng.uniform(2.0, 8.0),
+            )
+            for _ in range(degrade_windows)
+        )
+        cursor = 0.0
+        for at_s, duration_s, latency_factor, bandwidth_factor in degrades:
+            # Overlapping windows are a plan error (factors would
+            # compound); push each window past the previous one's end.
+            at_s = max(at_s, cursor)
+            cursor = at_s + duration_s
             faults.append(
                 LinkDegrade(
-                    at_s=rng.uniform(0.0, 0.8) * horizon_s,
-                    duration_s=rng.uniform(0.05, 0.2) * horizon_s,
-                    latency_factor=rng.uniform(2.0, 8.0),
-                    bandwidth_factor=rng.uniform(2.0, 8.0),
+                    at_s=at_s,
+                    duration_s=duration_s,
+                    latency_factor=latency_factor,
+                    bandwidth_factor=bandwidth_factor,
                 )
             )
         for _ in range(stalls):

@@ -180,19 +180,30 @@ def cmd_trace(args) -> int:
     return 0
 
 
-def cmd_chaos(args) -> int:
-    """Run one benchmark under a seeded fault plan and prove recovery.
+def _chaos_build(args, factory, kwargs, fault_tolerance):
+    """One system under the chaos command's configuration.
 
-    Executes a fault-free reference run, then the same workload in
-    fault-tolerant mode under the plan, and checks the chaotic run
-    committed the same results (docs/RESILIENCE.md).  ``--digest-only``
-    prints nothing but the outcome digest — run it twice and compare to
-    verify byte-determinism (the CI chaos-smoke job does exactly this).
+    ``--replicate-commit`` implies fault tolerance even for the
+    reference run: workload addresses derive from the unit layout (the
+    standby reserves a unit slot), so the fault-free reference must be
+    layout-identical to be byte-comparable.
     """
-    from repro.analysis import render_resilience_report, run_digest
-    from repro.analysis.resilience import memory_fingerprint
+    workload = factory(**kwargs)
+    config_kwargs = dict(
+        total_cores=args.cores,
+        fault_tolerance=fault_tolerance or args.replicate_commit,
+        commit_replication=args.replicate_commit,
+        placement=args.placement,
+    )
+    if args.batch_bytes:
+        config_kwargs["batch_bytes"] = args.batch_bytes
+    return DSMTXSystem(workload.dsmtx_plan(), SystemConfig(**config_kwargs))
+
+
+def _chaos_plan(args, system, seed, crash_at_s):
+    """The fault plan for one chaos run, resolved against ``system``
+    (``--crash-commit`` targets whatever node hosts the commit unit)."""
     from repro.chaos import (
-        ChaosEngine,
         FaultPlan,
         LinkDegrade,
         MessageDuplication,
@@ -200,14 +211,14 @@ def cmd_chaos(args) -> int:
         NodeCrash,
     )
 
-    factory = _factory(args.benchmark)
-    kwargs = {}
-    if args.iterations is not None:
-        kwargs["iterations"] = args.iterations
-
     faults = []
-    if args.crash_node >= 0:
-        faults.append(NodeCrash(node=args.crash_node, at_s=args.crash_at * 1e-3))
+    crash_node = args.crash_node
+    if args.crash_commit:
+        crash_node = system.cluster.node_of_core(
+            system._core_indices[system.commit_tid]
+        )
+    if crash_node >= 0:
+        faults.append(NodeCrash(node=crash_node, at_s=crash_at_s))
     if args.degrade:
         faults.append(LinkDegrade(at_s=0.0, duration_s=1.0,
                                   latency_factor=args.degrade,
@@ -216,19 +227,94 @@ def cmd_chaos(args) -> int:
         faults.append(MessageLoss(probability=args.drop))
     if args.dup:
         faults.append(MessageDuplication(probability=args.dup))
-    plan = FaultPlan(faults=tuple(faults), seed=args.seed)
+    return FaultPlan(faults=tuple(faults), seed=seed)
 
-    def build(fault_tolerance):
-        workload = factory(**kwargs)
-        return DSMTXSystem(
-            workload.dsmtx_plan(),
-            SystemConfig(total_cores=args.cores, fault_tolerance=fault_tolerance),
+
+def _chaos_seed_sweep(args, factory, kwargs, reference) -> int:
+    """``--seed-sweep N``: N seeded chaos runs with staggered crash
+    times; aggregate the recovery-latency and lost-work distributions
+    and check every run against the fault-free reference."""
+    from repro.analysis.resilience import memory_fingerprint
+    from repro.chaos import ChaosEngine
+
+    ref_fingerprint = memory_fingerprint(reference.commit.master)
+    ref_stats = reference.stats
+    base_at = args.crash_at * 1e-3
+    n = args.seed_sweep
+    recoveries, losses, promotions, failed = [], [], 0, []
+    for index in range(n):
+        seed = args.seed + index
+        # Stagger the crash across the middle of the run so the sweep
+        # samples different frontiers, not one instant N times.
+        crash_at_s = base_at * (0.4 + 0.4 * index / max(1, n - 1))
+        system = _chaos_build(args, factory, kwargs, fault_tolerance=True)
+        plan = _chaos_plan(args, system, seed, crash_at_s)
+        ChaosEngine(plan).attach(system.env)
+        result = system.run()
+        ok = (
+            result.stats.committed_mtxs == ref_stats.committed_mtxs
+            and memory_fingerprint(system.commit.master) == ref_fingerprint
         )
+        if not ok:
+            failed.append(seed)
+        for record in result.stats.failures:
+            recoveries.append(record.recovery_seconds)
+            losses.append(record.lost_iterations)
+            if record.promoted_tid >= 0:
+                promotions += 1
+        status = "ok" if ok else "MISMATCH"
+        print(f"seed {seed}: crash at {crash_at_s * 1e3:.3f} ms, "
+              f"{result.stats.committed_mtxs} MTXs, {status}")
 
-    reference = build(fault_tolerance=False)
+    def spread(values, scale, unit):
+        if not values:
+            return "n/a"
+        ordered = sorted(values)
+        return (f"min {ordered[0] * scale:g}{unit}, "
+                f"median {ordered[len(ordered) // 2] * scale:g}{unit}, "
+                f"max {ordered[-1] * scale:g}{unit}")
+
+    print()
+    print(f"{n} seeds, {len(recoveries)} failover(s), "
+          f"{promotions} standby promotion(s)")
+    print(f"recovery latency: {spread(recoveries, 1e6, ' us')}")
+    print(f"lost iterations:  {spread(losses, 1, '')}")
+    if failed:
+        print(f"FAILED seeds (results differ from fault-free run): {failed}",
+              file=sys.stderr)
+        return 1
+    print("all seeds reproduced the fault-free results")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run one benchmark under a seeded fault plan and prove recovery.
+
+    Executes a fault-free reference run, then the same workload in
+    fault-tolerant mode under the plan, and checks the chaotic run
+    committed the same results (docs/RESILIENCE.md).  ``--digest-only``
+    prints nothing but the outcome digest — run it twice and compare to
+    verify byte-determinism (the CI chaos-smoke job does exactly this).
+    ``--seed-sweep N`` repeats the scenario across N seeds with
+    staggered crash times and aggregates the recovery distributions.
+    """
+    from repro.analysis import render_resilience_report, run_digest
+    from repro.analysis.resilience import memory_fingerprint
+    from repro.chaos import ChaosEngine
+
+    factory = _factory(args.benchmark)
+    kwargs = {}
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+
+    reference = _chaos_build(args, factory, kwargs, fault_tolerance=False)
     ref_result = reference.run()
 
-    system = build(fault_tolerance=True)
+    if args.seed_sweep:
+        return _chaos_seed_sweep(args, factory, kwargs, reference)
+
+    system = _chaos_build(args, factory, kwargs, fault_tolerance=True)
+    plan = _chaos_plan(args, system, args.seed, args.crash_at * 1e-3)
     engine = ChaosEngine(plan).attach(system.env)
     result = system.run()
 
@@ -316,8 +402,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=7,
                        help="seed of the per-message fault draws")
     chaos.add_argument("--crash-node", type=int, default=0,
-                       help="node to crash (the commit unit's node is not "
-                            "survivable); negative disables the crash")
+                       help="node to crash (the commit unit's node is only "
+                            "survivable with --replicate-commit); negative "
+                            "disables the crash")
+    chaos.add_argument("--crash-commit", action="store_true",
+                       help="crash whatever node hosts the commit unit "
+                            "(overrides --crash-node; pair with "
+                            "--replicate-commit to survive it)")
+    chaos.add_argument("--replicate-commit", action="store_true",
+                       help="run a hot-standby commit replica; a commit-node "
+                            "crash promotes it (docs/RESILIENCE.md)")
+    chaos.add_argument("--placement", choices=("pack", "spread"),
+                       default="pack",
+                       help="unit-to-node placement; spread isolates each "
+                            "unit on its own node so single-node crashes "
+                            "take out exactly one unit")
+    chaos.add_argument("--seed-sweep", type=int, default=0, metavar="N",
+                       help="run the scenario across N seeds with staggered "
+                            "crash times; aggregate recovery latency and "
+                            "lost-work distributions")
     chaos.add_argument("--crash-at", type=float, default=5.0,
                        help="crash time in simulated milliseconds")
     chaos.add_argument("--drop", type=float, default=0.0,
@@ -326,6 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-message duplication probability")
     chaos.add_argument("--degrade", type=float, default=0.0,
                        help="degrade the fabric the whole run by this factor")
+    chaos.add_argument("--batch-bytes", type=int, default=0,
+                       help="override the queue batch size; small batches "
+                            "make commits (and the replication stream) "
+                            "progressive instead of one terminal round")
     chaos.add_argument("--digest-only", action="store_true",
                        help="print only the sha256 outcome digest "
                             "(CI determinism check)")

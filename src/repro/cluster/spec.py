@@ -116,8 +116,18 @@ class ClusterSpec:
     ack_bytes: int = 16
     #: Wire size of one heartbeat frame.
     heartbeat_bytes: int = 32
+    #: Fraction of the *other* monitored nodes the standby-side watcher
+    #: must have heard from recently before it may declare the primary
+    #: dead (quorum-of-survivors suspicion: a standby that has itself
+    #: been partitioned away hears from nobody and must stay quiet
+    #: rather than promote a second commit unit).
+    quorum_fraction: float = 0.5
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.quorum_fraction <= 1.0:
+            raise ConfigurationError(
+                f"quorum_fraction must be within [0, 1], got {self.quorum_fraction}"
+            )
         if self.nodes < 1 or self.cores_per_node < 1:
             raise ConfigurationError(
                 f"cluster must have at least one core: nodes={self.nodes}, "

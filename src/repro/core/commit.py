@@ -27,14 +27,18 @@ from repro.core.messages import (
     CTL_COA_RESPONSE,
     CTL_MISSPEC,
     CTL_NODE_FAILED,
+    CTL_PROMOTE,
     CTL_VALIDATED,
     CTL_WORKER_DONE,
     END_SUBTX,
+    MARKER_BYTES,
+    REPL_CHECKPOINT,
+    REPL_FRONTIER,
     VALIDATED,
     WRITE,
 )
 from repro.core.stats import CheckpointRecord, FailureRecord, RecoveryRecord
-from repro.errors import RecoveryError
+from repro.errors import NodeCrashed, ProcessInterrupt, RecoveryError
 from repro.memory import AddressSpace
 from repro.obs.tracer import (
     CAT_COMMIT,
@@ -70,6 +74,23 @@ class CommitUnit:
         self._ft = system.config.fault_tolerance
         self._last_checkpoint_iteration = 0
         self._words_since_checkpoint = 0
+        #: Replication stream to the hot standby (commit replication);
+        #: ``None`` without a standby — and on a *promoted* unit, which
+        #: runs without a second standby (tid != commit_tid at its
+        #: construction, which happens before the layout swap).
+        self._repl = (
+            system.repl_queue()
+            if self._ft
+            and system.standby_tid is not None
+            and tid == system.commit_tid
+            else None
+        )
+        #: Promotion provenance, set on a promoted unit:
+        #: (standby_tid, promotion_seconds, replayed_words, recommitted).
+        self._promotion = None
+        #: Iterations the dead primary had committed past the replicated
+        #: frontier (set at promotion; re-executed by the survivors).
+        self._recommitted = 0
         self._reset_buffers()
 
     def _reset_buffers(self) -> None:
@@ -85,6 +106,21 @@ class CommitUnit:
     # -- main process --------------------------------------------------------------------------
 
     def run(self) -> Generator[Event, Any, None]:
+        """Main loop, absorbing a crash of our own node.
+
+        Without commit replication the chaos engine refuses to crash the
+        commit node (it raises :class:`ClusterFailedError` instead), so
+        the interrupt below can only reach a *replicated* primary — the
+        standby takes over, and this process simply stops.
+        """
+        try:
+            yield from self._run()
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                return
+            raise
+
+    def _run(self) -> Generator[Event, Any, None]:
         system = self.system
         while self.next_commit < system.total_iterations:
             state = system.state
@@ -123,10 +159,12 @@ class CommitUnit:
             self._begin_or_extend_draining(envelope.payload)
         elif kind == CTL_WORKER_DONE:
             pass
-        elif kind == CTL_NODE_FAILED:
-            # Wake-up ping from the failure detector; the authoritative
-            # signal (state.failover_pending) is handled at the top of
-            # the run loop.
+        elif kind == CTL_NODE_FAILED or kind == CTL_PROMOTE:
+            # Wake-up pings from the failure detector / standby watcher;
+            # the authoritative signals (state.failover_pending,
+            # state.promote_pending) are handled at the run-loop top.  A
+            # promoted unit may find a leftover CTL_PROMOTE ping in the
+            # endpoint it inherited from its standby life.
             pass
         else:  # pragma: no cover - defensive
             raise RecoveryError(f"commit unit got unexpected control {kind!r}")
@@ -195,6 +233,7 @@ class CommitUnit:
         system = self.system
         obs = system.obs
         start = system.env.now if obs is not None else 0.0
+        repl = self._repl
         committed, committed_words = 0, 0
         while (
             self.next_commit < system.total_iterations
@@ -212,14 +251,30 @@ class CommitUnit:
                 if system.config.coa_replicas:
                     self._check_read_only(writes)
                 self.master.apply_writes(writes)
+                if repl is not None:
+                    # Stream in the exact apply order so the standby's
+                    # replay reproduces master memory word for word.
+                    for address, value in writes:
+                        yield from repl.produce((WRITE, address, value))
             self.core.charge_instructions(words * system.config.commit_instructions)
             system.stats.words_committed += words
             system.stats.committed_mtxs += 1
             committed += 1
             committed_words += words
             self.next_commit += 1
+            if repl is not None:
+                yield from repl.produce(
+                    (REPL_FRONTIER, self.next_commit), nbytes=MARKER_BYTES
+                )
         if committed and self._ft:
-            self._maybe_checkpoint(committed_words)
+            if self._maybe_checkpoint(committed_words) and repl is not None:
+                yield from repl.produce(
+                    (REPL_CHECKPOINT, self.next_commit), nbytes=MARKER_BYTES
+                )
+            if repl is not None:
+                # Bound replication lag to one group-commit round: the
+                # standby's frontier is at most a round behind.
+                yield from repl.flush_pending()
         yield from self.core.drain()
         if obs is not None and committed:
             obs.tracer.complete(
@@ -234,7 +289,7 @@ class CommitUnit:
                 "commit.words_per_round", buckets=(1, 4, 16, 64, 256, 1024, 4096)
             ).observe(committed_words)
 
-    def _maybe_checkpoint(self, committed_words: int) -> None:
+    def _maybe_checkpoint(self, committed_words: int) -> bool:
         """Epoch checkpointing (fault-tolerant mode): every
         ``checkpoint_interval_mtxs`` commits, persist the words written
         since the previous checkpoint plus the commit frontier.
@@ -244,6 +299,9 @@ class CommitUnit:
         checkpoint is an incremental flush, not a stop-the-world
         snapshot — its cost scales with the delta, charged to the
         commit core like any other commit work.
+
+        Returns True when a checkpoint was taken (the caller then
+        mirrors it to the standby with a ``REPL_CHECKPOINT`` marker).
         """
         config = self.system.config
         self._words_since_checkpoint += committed_words
@@ -251,7 +309,7 @@ class CommitUnit:
             self.next_commit - self._last_checkpoint_iteration
             < config.checkpoint_interval_mtxs
         ):
-            return
+            return False
         words = self._words_since_checkpoint
         self.core.charge_instructions(
             config.checkpoint_base_instructions
@@ -271,6 +329,7 @@ class CommitUnit:
                 PID_RUNTIME, self.tid, iteration=self.next_commit, words=words,
             )
             obs.metrics.counter("ft.checkpoints").inc()
+        return True
 
     def _check_read_only(self, writes) -> None:
         """COA replicas rely on read-only pages never being committed
@@ -346,7 +405,9 @@ class CommitUnit:
         flq_done = env.now
         # SEQ: single-threaded re-execution of [next_commit .. misspec].
         reexecuted = 0
-        context = MasterContext(system, self.master, self.core)
+        context = MasterContext(
+            system, self.master, self.core, record_writes=self._repl is not None
+        )
         for iteration in range(self.next_commit, misspec_iteration + 1):
             context.begin_iteration(iteration)
             yield from system.workload_sequential_body()(context)
@@ -355,6 +416,15 @@ class CommitUnit:
         seq_done = env.now
         system.stats.committed_mtxs += reexecuted
         self.next_commit = misspec_iteration + 1
+        if self._repl is not None:
+            # SEQ wrote master memory directly; the standby needs those
+            # words too, under the advanced frontier.
+            for address, value in context.written:
+                yield from self._repl.produce((WRITE, address, value))
+            yield from self._repl.produce(
+                (REPL_FRONTIER, self.next_commit), nbytes=MARKER_BYTES
+            )
+            yield from self._repl.flush_pending()
         # Resume: bump the epoch, set the new restart base, release all.
         system.state.resume(restart_base=self.next_commit)
         yield from system.recovery._barrier_cost(self)
@@ -440,9 +510,15 @@ class CommitUnit:
         # Re-partition the iteration space onto the survivors, then
         # resume from the commit frontier.
         system.apply_node_failure(node, dead_tids)
+        if self._repl is not None and system.standby_tid in system.dead_tids:
+            # The failure took the *standby*: stop streaming — a second
+            # commit-node loss is now unrecoverable again.
+            self._repl = None
         state.resume(restart_base=self.next_commit)
         yield from system.recovery._barrier_cost(self)
         yield system.recovery.resume_barrier.wait(self.tid)
+        promotion = self._promotion
+        self._promotion = None
         record = FailureRecord(
             node=node,
             dead_tids=tuple(dead_tids),
@@ -452,6 +528,10 @@ class CommitUnit:
             restart_base=self.next_commit,
             lost_iterations=lost,
             surviving_workers=sum(len(live) for live in system.live_by_stage),
+            promoted_tid=promotion[0] if promotion else -1,
+            promotion_seconds=promotion[1] if promotion else 0.0,
+            replayed_words=promotion[2] if promotion else 0,
+            recommitted_iterations=promotion[3] if promotion else 0,
         )
         system.stats.failures.append(record)
         obs = system.obs

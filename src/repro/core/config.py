@@ -165,6 +165,17 @@ class SystemConfig:
     checkpoint_base_instructions: int = 5000
     #: Instructions per word written since the previous checkpoint.
     checkpoint_word_instructions: int = 4
+    #: Run a hot-standby replica of the commit unit on a survivor node,
+    #: kept current by epoch checkpoints plus streaming replication of
+    #: committed write logs, and promoted when the failure detector
+    #: declares the primary's node dead (docs/RESILIENCE.md).  Requires
+    #: ``fault_tolerance``; takes one core off the worker budget.
+    commit_replication: bool = False
+    #: Node hosting the standby.  ``None`` picks deterministically: the
+    #: standby keeps its placement-policy seat when that already lands
+    #: off the commit node, otherwise the first node (preferring empty
+    #: ones) other than the commit unit's with a free core.
+    standby_node: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.total_cores < 3:
@@ -181,6 +192,27 @@ class SystemConfig:
             raise ConfigurationError("max_inflight_batches must be >= 1")
         if self.checkpoint_interval_mtxs < 1:
             raise ConfigurationError("checkpoint_interval_mtxs must be >= 1")
+        if self.commit_replication and not self.fault_tolerance:
+            raise ConfigurationError(
+                "commit_replication needs the failure-aware runtime: "
+                "set fault_tolerance=True"
+            )
+        if self.standby_node is not None:
+            if not self.commit_replication:
+                raise ConfigurationError(
+                    "standby_node is meaningless without commit_replication"
+                )
+            if not 0 <= self.standby_node < self.cluster.nodes:
+                raise ConfigurationError(
+                    f"standby_node {self.standby_node} outside the cluster's "
+                    f"{self.cluster.nodes} nodes"
+                )
+
+    @property
+    def reserved_units(self) -> int:
+        """Cores reserved off the worker budget: try-commit + commit,
+        the COA replicas, and the commit standby when replicated."""
+        return 2 + self.coa_replicas + (1 if self.commit_replication else 0)
 
     def with_cores(self, total_cores: int) -> "SystemConfig":
         """A copy of this config at a different core count."""

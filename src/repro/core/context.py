@@ -268,10 +268,21 @@ class MTXContext:
 class MasterContext:
     """Non-speculative execution directly against master memory."""
 
-    def __init__(self, system: "DSMTXSystem", space: AddressSpace, core: "Core") -> None:  # noqa: F821
+    def __init__(
+        self,
+        system: "DSMTXSystem",
+        space: AddressSpace,
+        core: "Core",  # noqa: F821
+        record_writes: bool = False,
+    ) -> None:
         self._system = system
         self._space = space
         self._core = core
+        self._record = record_writes
+        #: (address, value) pairs stored, in program order, when
+        #: ``record_writes`` — the commit unit replays SEQ-phase writes
+        #: to its hot standby from this list.
+        self.written: list = []
         self.iteration = -1
         self.incoming: dict[str, list] = {}
         #: Sequential execution has no per-worker one-time setup.
@@ -292,6 +303,8 @@ class MasterContext:
               nbytes: Optional[int] = None) -> Generator[Event, Any, None]:
         self._core.charge_instructions(self._system.config.access_instructions)
         self._space.write(address, value)
+        if self._record:
+            self.written.append((address, value))
         return
         yield  # pragma: no cover - makes this a generator
 

@@ -24,17 +24,33 @@ healthy node is never suspected: transient link faults only delay data
 traffic (absorbed by the reliable transport) and never trigger a
 spurious failover.
 
-A crash of the commit node or try-commit node is not survivable —
-committed master memory and the validation pipeline have no replica —
-and raises :class:`~repro.errors.ClusterFailedError` (the paper's
-recovery protocol assumes the non-speculative units persist).
+A crash of the try-commit node is not survivable — the validation
+pipeline has no replica — and raises
+:class:`~repro.errors.ClusterFailedError`.  The same goes for the
+commit node, *unless* commit replication is on
+(``SystemConfig.commit_replication``): then the detection duty for the
+primary moves to a **standby-side watcher** co-located with the hot
+standby, because the commit-side sweep dies with the primary.  The
+watcher declares the primary dead only when
+
+* the primary has been silent past the suspicion timeout, **and**
+* a quorum of the *other* monitored nodes has been heard recently
+  (:attr:`ClusterSpec.quorum_fraction` — a watcher that has itself been
+  partitioned away hears from nobody and stays quiet rather than
+  promote a second commit unit), **and**
+* its own node is the lowest-numbered surviving standby host (the
+  deterministic promotion winner; trivial with a single standby).
+
+The declaration queues the failover, passes the primary's barrier seat
+to the standby, and sets ``SystemState.promote_pending`` — the signal
+the standby's run loop turns into a promotion.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
-from repro.core.messages import CTL_NODE_FAILED, ControlEnvelope
+from repro.core.messages import CTL_NODE_FAILED, CTL_PROMOTE, ControlEnvelope
 from repro.errors import ClusterFailedError, NodeCrashed, ProcessInterrupt
 
 __all__ = ["FailureDetector"]
@@ -48,10 +64,18 @@ class FailureDetector:
         spec = system.cluster
         self.period = spec.heartbeat_period_s
         self.suspicion_timeout = spec.suspicion_timeout_s
-        #: Node hosting the commit unit (the detector's home; it cannot
-        #: declare itself dead).
+        #: Node hosting the commit unit (the sweep's home; the sweep
+        #: cannot declare its own node dead).  Reassigned to the standby
+        #: node at promotion, when the watcher takes over sweep duty.
         self.commit_node = spec.node_of_core(
             system._core_indices[system.commit_tid]
+        )
+        #: Node hosting the commit standby; ``None`` without commit
+        #: replication.
+        self.standby_node = (
+            spec.node_of_core(system._core_indices[system.standby_tid])
+            if system.standby_tid is not None
+            else None
         )
         #: tids hosted on each monitored node.
         self.tids_by_node: dict[int, list[int]] = {}
@@ -60,6 +84,10 @@ class FailureDetector:
             self.tids_by_node.setdefault(node, []).append(tid)
         self.last_heard: dict[int, float] = {}
         self.declared: set[int] = set()
+
+    @property
+    def replicated(self) -> bool:
+        return self.standby_node is not None
 
     def start(self) -> None:
         """Spawn the emitters and the sweep as detached processes.
@@ -72,12 +100,20 @@ class FailureDetector:
         now = env.now
         for node in self.tids_by_node:
             self.last_heard[node] = now
-            if node != self.commit_node:
+            # With commit replication the commit node beats too: its
+            # silence is what the standby-side watcher detects.
+            if node != self.commit_node or self.replicated:
                 process = env.process(
                     self._emit(node), name=f"heartbeat[node{node}]"
                 )
                 system.register_node_process(node, process)
-        env.process(self._sweep(), name="failure-detector")
+        sweep = env.process(self._sweep(), name="failure-detector")
+        if self.replicated:
+            # The sweep is co-located with the commit unit: it dies with
+            # the primary, and the watcher below takes over its duty.
+            system.register_node_process(self.commit_node, sweep)
+            watcher = env.process(self._watch_primary(), name="standby-watcher")
+            system.register_node_process(self.standby_node, watcher)
 
     def _emit(self, node: int) -> Generator:
         """Heartbeat emitter hosted on ``node``; dies with the node.
@@ -103,26 +139,106 @@ class FailureDetector:
         system = self.system
         env = system.env
         period = self.period
-        while not system.state.done:
-            yield env.sleep(period)
-            now = env.now
-            for node, heard in self.last_heard.items():
-                if node in self.declared or node == self.commit_node:
+        try:
+            while not system.state.done:
+                yield env.sleep(period)
+                self._sweep_round(env.now)
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # Commit replication only: the sweep shares the primary's
+                # node and dies with it; the standby-side watcher is the
+                # detector from here on.
+                return
+            raise
+
+    def _sweep_round(self, now: float) -> None:
+        for node, heard in self.last_heard.items():
+            if node in self.declared or node == self.commit_node:
+                continue
+            if now - heard > self.suspicion_timeout:
+                self._declare(node)
+
+    def _watch_primary(self) -> Generator:
+        """Standby-side watcher (commit replication only).
+
+        Monitors the primary's heartbeats; after promotion — when
+        :attr:`commit_node` has become this watcher's own node — it
+        takes over the ordinary sweep duty from the dead primary's
+        sweep.
+        """
+        system = self.system
+        env = system.env
+        period = self.period
+        try:
+            while not system.state.done:
+                yield env.sleep(period)
+                now = env.now
+                if self.commit_node == self.standby_node:
+                    # Promoted: this process is the survivors' sweep now.
+                    self._sweep_round(now)
                     continue
-                if now - heard > self.suspicion_timeout:
-                    self._declare(node)
+                if self.commit_node in self.declared:
+                    continue
+                if now - self.last_heard[self.commit_node] <= self.suspicion_timeout:
+                    continue
+                if not self._quorum_agrees(now):
+                    continue
+                if not self._is_lowest_standby_survivor():
+                    continue
+                self._declare(self.commit_node)
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # Our own node died; the commit-side sweep declares it.
+                return
+            raise
+
+    def _quorum_agrees(self, now: float) -> bool:
+        """Majority-of-survivors gate on declaring the primary.
+
+        Count the *other* monitored nodes (not the primary's, not our
+        own, not already declared) heard within the suspicion timeout;
+        require at least ``quorum_fraction`` of them.  A watcher that
+        itself fell off the network hears from nobody and stays quiet
+        instead of promoting a second commit unit.
+        """
+        others = [
+            node
+            for node in self.last_heard
+            if node not in (self.commit_node, self.standby_node)
+            and node not in self.declared
+        ]
+        if not others:
+            return True
+        heard = sum(
+            1
+            for node in others
+            if now - self.last_heard[node] <= self.suspicion_timeout
+        )
+        return heard >= len(others) * self.system.cluster.quorum_fraction
+
+    def _is_lowest_standby_survivor(self) -> bool:
+        """Deterministic promotion winner: the lowest-numbered surviving
+        standby host declares and promotes.  Trivially true with a
+        single standby; the check pins the protocol's tie-break rule.
+        """
+        candidates = [
+            self.standby_node
+        ]  # single-standby deployment; lowest node id wins
+        return self.standby_node == min(candidates)
 
     def _declare(self, node: int) -> None:
         """Declare ``node`` dead and hand the failover to the runtime."""
         system = self.system
         self.declared.add(node)
         dead_tids = tuple(self.tids_by_node[node])
-        if system.commit_tid in dead_tids or system.trycommit_tid in dead_tids:
+        if system.trycommit_tid in dead_tids:
             raise ClusterFailedError(
-                f"node {node} hosted the "
-                f"{'commit' if system.commit_tid in dead_tids else 'try-commit'}"
-                f" unit; committed state is unrecoverable"
+                f"node {node} hosted the try-commit unit; the validation "
+                f"pipeline has no replica and its loss is unrecoverable"
             )
+        if system.commit_tid in dead_tids:
+            self._declare_primary(node, dead_tids)
+            return
         system.state.request_failover(
             node, dead_tids, system.env.now, self.last_heard[node]
         )
@@ -131,6 +247,15 @@ class FailureDetector:
         system.recovery.deregister(
             [tid for tid in dead_tids if tid < system.num_workers]
         )
+        if system.standby_tid in dead_tids:
+            # The replication consumer died: retire the stream *now* so
+            # a primary blocked on its flow control wakes up (a dead
+            # standby can never return credits).  The run degrades to
+            # unreplicated; the primary drops its stream handle when it
+            # orchestrates the failover.
+            repl = system._queues.get("repl")
+            if repl is not None:
+                repl.retire()
         # Wake the commit unit if it is blocked on an empty inbox; the
         # run-loop top consumes state.failover_pending, this envelope is
         # only the ping.
@@ -138,4 +263,38 @@ class FailureDetector:
             ControlEnvelope(
                 CTL_NODE_FAILED, system.state.epoch, -1, node
             )
+        )
+
+    def _declare_primary(self, node: int, dead_tids: tuple) -> None:
+        """The primary's node died: queue the failover *and* the
+        promotion (standby-side watcher, commit replication)."""
+        system = self.system
+        standby_tid = system.standby_tid
+        if (
+            standby_tid is None
+            or standby_tid in system.dead_tids
+            or standby_tid in dead_tids
+        ):
+            raise ClusterFailedError(
+                f"node {node} hosted the commit unit; committed state is "
+                f"unrecoverable without a live replicated standby"
+            )
+        detected_at = system.env.now
+        last_heard_at = self.last_heard[node]
+        system.state.request_failover(node, dead_tids, detected_at, last_heard_at)
+        system.state.promote_pending = (
+            node, dead_tids, detected_at, last_heard_at
+        )
+        system.recovery.deregister(
+            [tid for tid in dead_tids if tid < system.num_workers]
+        )
+        # The dead primary's barrier seat passes to the standby: the
+        # promoted unit orchestrates the failover under its own tid.
+        system.recovery.substitute(system.commit_tid, standby_tid)
+        # From here on this watcher's own node is the primary's.
+        self.commit_node = self.standby_node
+        # Wake the standby if it is blocked on an empty inbox; the
+        # authoritative signal is state.promote_pending.
+        system.inbox_of(standby_tid).put_nowait(
+            ControlEnvelope(CTL_PROMOTE, system.state.epoch, -1, node)
         )

@@ -24,12 +24,15 @@ __all__ = [
     "END_SUBTX",
     "DATA",
     "VALIDATED",
+    "REPL_FRONTIER",
+    "REPL_CHECKPOINT",
     "CTL_COA_REQUEST",
     "CTL_COA_RESPONSE",
     "CTL_MISSPEC",
     "CTL_VALIDATED",
     "CTL_WORKER_DONE",
     "CTL_NODE_FAILED",
+    "CTL_PROMOTE",
     "BatchEnvelope",
     "ControlEnvelope",
     "Frame",
@@ -52,6 +55,15 @@ DATA = "DATA"
 #: Batched on a queue rather than sent per MTX, so the commit unit's
 #: receive overhead amortizes across many validations.
 VALIDATED = "VAL"
+#: Replication frontier marker on the commit -> standby stream:
+#: ("RF", frontier).  Every committed write of iterations below
+#: ``frontier`` precedes this marker on the stream, so the standby's
+#: replay log is a consistent sequential prefix at each marker.
+REPL_FRONTIER = "RF"
+#: Replication checkpoint marker: ("RC", frontier).  The primary just
+#: took an epoch checkpoint; the standby folds its replay log into its
+#: base image (mirroring the checkpoint) and starts a fresh log.
+REPL_CHECKPOINT = "RC"
 
 # -- control message kinds ------------------------------------------------------
 
@@ -70,6 +82,11 @@ CTL_WORKER_DONE = "worker_done"
 #: on the commit node), so it is a wake-up ping, not wire traffic; the
 #: authoritative signal is ``SystemState.failover_pending``.
 CTL_NODE_FAILED = "node_failed"
+#: Standby watcher -> commit standby: the primary's node died, promote.
+#: Payload: node index.  Like ``CTL_NODE_FAILED``, a local wake-up ping
+#: (watcher and standby share a node); the authoritative signal is
+#: ``SystemState.promote_pending``.
+CTL_PROMOTE = "promote"
 
 
 class BatchEnvelope(NamedTuple):

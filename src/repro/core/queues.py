@@ -41,12 +41,21 @@ class RuntimeQueue:
         src_tid: int,
         dst_tid: int,
         flush_each_subtx: bool,
+        durable: bool = False,
     ) -> None:
         self.system = system
         self.name = name
         self.purpose = purpose
         self.src_tid = src_tid
         self.dst_tid = dst_tid
+        #: Durable queues carry *committed* state (the commit-standby
+        #: replication stream): their batches survive epoch fences and
+        #: FLQ flushes — rolling back speculation must never lose data
+        #: that has already committed.
+        self.durable = durable
+        #: A retired queue drops everything still in flight (set when
+        #: the replication stream's producer died at promotion).
+        self.retired = False
         #: Whether the producer must flush at every subTX boundary
         #: (worker-to-worker forwarding and dataflow: yes; logs to the
         #: validation/commit units: no, they may lag by whole batches,
@@ -103,6 +112,10 @@ class RuntimeQueue:
         baseline) every entry pays one full MPI send instead of a
         ring-buffer write.
         """
+        if self.retired:
+            # The consumer is gone (dead standby): producing would burn
+            # credits nobody returns and block the producer forever.
+            return ()
         size = entry_bytes(entry) if nbytes is None else nbytes
         self._buffer.append(entry)
         buffered = self._buffer_bytes + size
@@ -126,7 +139,7 @@ class RuntimeQueue:
 
     def flush_pending(self) -> Iterable[Event]:
         """Push a partial batch (subTX boundary / termination)."""
-        if self._buffer:
+        if self._buffer and not self.retired:
             return self._push_batch()
         return ()
 
@@ -138,6 +151,11 @@ class RuntimeQueue:
         start = self.system.env.now if obs is not None else 0.0
         credit = self._credits.request()
         yield credit
+        if self.retired:
+            # Retired while blocked on flow control (the declaration of
+            # the consumer's death released the credits): wake and drop.
+            self._credits.release(credit)
+            return
         credit_id = self._next_credit_id
         self._next_credit_id += 1
         self._outstanding_credits[credit_id] = credit
@@ -192,7 +210,9 @@ class RuntimeQueue:
         credit = self._outstanding_credits.pop(envelope.credit_id, None)
         if credit is not None:
             self._credits.release(credit)
-        if envelope.epoch != self.system.state.epoch:
+        if self.retired:
+            return False
+        if not self.durable and envelope.epoch != self.system.state.epoch:
             return False
         self.delivered.extend(envelope.entries)
         return True
@@ -220,10 +240,44 @@ class RuntimeQueue:
         """Drop producer and consumer buffers; release all credits.
 
         Returns the number of entries discarded locally (FLQ cost).
+        Durable queues keep their data — they carry committed state
+        that a speculative rollback must not touch — and only release
+        credits.
         """
+        if self.durable and not self.retired:
+            self.release_all_credits()
+            return 0
         discarded = len(self._buffer) + len(self.delivered)
         self._buffer.clear()
         self._buffer_bytes = 0
         self.delivered.clear()
         self.release_all_credits()
         return discarded
+
+    # -- failover ----------------------------------------------------------------------
+
+    def redirect(self, new_dst_tid: int) -> None:
+        """Re-point this queue at a different consumer unit (commit
+        standby promotion): future batches go to the new unit's inbox
+        on a fresh transport link; frames still in flight to the dead
+        unit are abandoned by ``ReliableTransport.forget_units``."""
+        system = self.system
+        self.dst_tid = new_dst_tid
+        self._dst_index = system.core_of(new_dst_tid).index
+        transport = self._transport
+        self._dst_inbox = (
+            system.inbox_of(new_dst_tid)
+            if transport is None
+            else transport.ingest_box(new_dst_tid)
+        )
+        self._tag = ("inbox", new_dst_tid)
+
+    def retire(self) -> None:
+        """Close the queue for good: drop buffers, refuse all future
+        batches (promotion retires the replication stream — its
+        producer is dead and its data has been replayed)."""
+        self.retired = True
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        self.delivered.clear()
+        self.release_all_credits()

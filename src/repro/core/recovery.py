@@ -70,6 +70,21 @@ class RecoveryCoordinator:
                 barrier.drop(tid)
             barrier.set_parties(self.parties)
 
+    def substitute(self, old_tid: int, new_tid: int) -> None:
+        """Pass a dead orchestrator's barrier seat to its replacement
+        (commit-standby promotion).
+
+        Unlike :meth:`deregister`, the party count is *unchanged*: the
+        promoted unit arrives at every barrier under its own tid.  Any
+        arrival the dead unit already made is withdrawn (it may have
+        died waiting at a barrier mid-recovery).
+        """
+        if old_tid in self._deregistered:
+            return
+        self._deregistered.add(old_tid)
+        for barrier in (self.erm_barrier, self.flq_barrier, self.resume_barrier):
+            barrier.drop(old_tid)
+
     def _barrier_cost(self, unit) -> Generator[Event, Any, None]:
         """Software + wire cost of one barrier round for one unit."""
         unit.core.charge_instructions(self.system.config.barrier_instructions)

@@ -25,6 +25,7 @@ from repro.core.endpoint import Endpoint
 from repro.core.failure import FailureDetector
 from repro.core.queues import RuntimeQueue
 from repro.core.recovery import RecoveryCoordinator
+from repro.core.standby import StandbyUnit
 from repro.core.state import SystemState
 from repro.core.stats import RunStats
 from repro.core.transport import ReliableTransport
@@ -77,7 +78,7 @@ class DSMTXSystem:
         pipeline: PipelineConfig = workload.pipeline()
         self.pipeline = pipeline
         self.replicas = pipeline.allocate(
-            config.total_cores, reserved_units=2 + config.coa_replicas
+            config.total_cores, reserved_units=config.reserved_units
         )
         self.num_workers = sum(self.replicas)
         self.trycommit_tid = self.num_workers
@@ -88,7 +89,17 @@ class DSMTXSystem:
         ]
         #: Replicas still alive (node failures remove entries).
         self.live_replica_tids = list(self.replica_tids)
-        self.num_units = self.num_workers + 2 + config.coa_replicas
+        #: Tid of the commit-unit hot standby; ``None`` unless
+        #: ``commit_replication`` is on.  Assigned last so the worker /
+        #: try-commit / commit / COA-replica layout is unchanged.
+        self.standby_tid = (
+            self.num_workers + 2 + config.coa_replicas
+            if config.commit_replication
+            else None
+        )
+        self.num_units = self.num_workers + 2 + config.coa_replicas + (
+            1 if config.commit_replication else 0
+        )
         #: First worker tid of each stage.
         self.stage_base_tid: list[int] = []
         base = 0
@@ -107,11 +118,17 @@ class DSMTXSystem:
         self.dead_tids: set[int] = set()
 
         self._core_indices = place_units(self.cluster, self.num_units, config.placement)
+        if self.standby_tid is not None:
+            self._place_standby()
         #: Reliable ack/retransmit transport; ``None`` keeps the
         #: fault-free fast path untouched (a single is-None check).
         self.transport = ReliableTransport(self) if config.fault_tolerance else None
         self._endpoints = [Endpoint(self, tid) for tid in range(self.num_units)]
         self.uva = UnifiedVirtualAddressSpace(owners=self.num_units)
+
+        #: Runtime queues by name (created before the units: the commit
+        #: unit opens its replication stream at construction time).
+        self._queues: dict[str, RuntimeQueue] = {}
 
         self.workers: list[Worker] = []
         for stage_index, count in enumerate(self.replicas):
@@ -121,7 +138,15 @@ class DSMTXSystem:
         self.try_commit = TryCommitUnit(self, self.trycommit_tid)
         self.commit = CommitUnit(self, self.commit_tid)
         self.coa_replicas = [CoaReplica(self, tid) for tid in self.replica_tids]
-        # Replicas hold no speculative state: they are not barrier parties.
+        #: Commit-unit hot standby; ``None`` without commit replication.
+        self.standby = (
+            StandbyUnit(self, self.standby_tid)
+            if self.standby_tid is not None
+            else None
+        )
+        # Replicas and the standby hold no speculative state: they are
+        # not barrier parties (the standby joins the barriers only once
+        # promoted, substituting for the dead primary).
         self.recovery = RecoveryCoordinator(self, parties=self.num_workers + 2)
 
         #: Heartbeat failure detection; ``None`` outside fault-tolerant
@@ -133,9 +158,70 @@ class DSMTXSystem:
         #: heartbeat emitters): the kill set of a node-crash fault.
         self._node_processes: dict[int, list] = {}
 
-        self._queues: dict[str, RuntimeQueue] = {}
         self.total_iterations = 0
         self._stage_bodies: dict[int, Callable] = {}
+
+    def _place_standby(self) -> None:
+        """Put the commit standby on a node other than the primary's.
+
+        A standby sharing the primary's node is useless — the one crash
+        it exists to survive would take both.  The standby keeps the
+        seat the placement policy gave it when that seat is already off
+        the commit node (spread placement typically arranges this);
+        otherwise it deterministically moves to the first free core on
+        the lowest-numbered other node, preferring nodes that host no
+        unit at all (a pure survivor).  ``SystemConfig.standby_node``
+        overrides the choice.
+        """
+        cluster = self.cluster
+        tid = self.standby_tid
+        commit_node = cluster.node_of_core(self._core_indices[self.commit_tid])
+        used = {
+            index
+            for other_tid, index in enumerate(self._core_indices)
+            if other_tid != tid
+        }
+
+        def free_core_on(node: int) -> Optional[int]:
+            base = node * cluster.cores_per_node
+            for core in range(base, base + cluster.cores_per_node):
+                if core not in used:
+                    return core
+            return None
+
+        wanted = self.config.standby_node
+        if wanted is not None:
+            if wanted == commit_node:
+                raise ConfigurationError(
+                    f"standby_node={wanted} is the commit unit's node; the "
+                    f"standby must live on a different node to survive it"
+                )
+            core = free_core_on(wanted)
+            if core is None:
+                raise ConfigurationError(
+                    f"standby_node={wanted} has no free core for the standby"
+                )
+            self._core_indices[tid] = core
+            return
+        natural_node = cluster.node_of_core(self._core_indices[tid])
+        if natural_node != commit_node:
+            return
+        occupied = {cluster.node_of_core(index) for index in used}
+        candidates = sorted(
+            range(cluster.nodes),
+            key=lambda node: (node in occupied, node),
+        )
+        for node in candidates:
+            if node == commit_node:
+                continue
+            core = free_core_on(node)
+            if core is not None:
+                self._core_indices[tid] = core
+                return
+        raise ConfigurationError(
+            "no free core outside the commit unit's node for the standby; "
+            "commit_replication needs at least two nodes with capacity"
+        )
 
     # -- layout queries ---------------------------------------------------------------------
 
@@ -181,10 +267,13 @@ class DSMTXSystem:
     # -- queues -----------------------------------------------------------------------------
 
     def _queue(self, name: str, purpose: str, src_tid: int, dst_tid: int,
-               flush_each_subtx: bool) -> RuntimeQueue:
+               flush_each_subtx: bool, durable: bool = False) -> RuntimeQueue:
         queue = self._queues.get(name)
         if queue is None:
-            queue = RuntimeQueue(self, name, purpose, src_tid, dst_tid, flush_each_subtx)
+            queue = RuntimeQueue(
+                self, name, purpose, src_tid, dst_tid, flush_each_subtx,
+                durable=durable,
+            )
             self._queues[name] = queue
         return queue
 
@@ -222,6 +311,17 @@ class DSMTXSystem:
             flush_each_subtx=True,
         )
 
+    def repl_queue(self) -> RuntimeQueue:
+        """Commit-to-standby replication stream (commit replication).
+
+        Durable: it carries *committed* state, so epoch fences and FLQ
+        flushes must never drop its batches.
+        """
+        return self._queue(
+            "repl", "repl", self.commit_tid, self.standby_tid,
+            flush_each_subtx=False, durable=True,
+        )
+
     def queue_by_name(self, name: str) -> RuntimeQueue:
         return self._queues[name]
 
@@ -230,8 +330,18 @@ class DSMTXSystem:
 
     def flush_all_inboxes(self) -> None:
         """Flush every unit inbox, waking blocked receivers (recovery
-        kick-off and termination)."""
-        for endpoint in self._endpoints:
+        kick-off and termination).
+
+        The standby's inbox is exempt until termination: it may hold
+        replication batches of *committed* state, which a speculative
+        rollback must not destroy.  At termination the flush goes
+        through — it is exactly what wakes a blocked standby so it can
+        observe ``state.done`` and exit.
+        """
+        skip = self.standby_tid if not self.state.done else None
+        for tid, endpoint in enumerate(self._endpoints):
+            if tid == skip:
+                continue
             endpoint.inbox.flush()
 
     # -- node failure -----------------------------------------------------------------------
@@ -267,6 +377,44 @@ class DSMTXSystem:
         ]
         if self.transport is not None:
             self.transport.forget_units(dead_tids)
+
+    def promote_standby(self, standby) -> CommitUnit:
+        """Swap the promoted standby in as the system's commit unit.
+
+        Called by :meth:`StandbyUnit._promote` after the replay: builds
+        a fresh :class:`CommitUnit` over the standby's replayed image
+        with its frontier, retires the replication stream, swaps the
+        layout, and redirects every queue that fed the dead primary
+        (worker write logs, the validation-notice stream) to the new
+        unit.  Control traffic (COA requests, misspeculation notices)
+        follows ``self.commit_tid`` and needs no redirection.  Returns
+        the new unit; the caller drives its run loop.
+        """
+        old_tid = self.commit_tid
+        old_commit = self.commit
+        frontier = standby.frontier
+        #: Iterations the dead primary committed past the replicated
+        #: frontier: lost with its master memory, re-executed by the
+        #: survivors — so their first count is backed out here.
+        recommitted = max(0, old_commit.next_commit - frontier)
+        repl = self._queues.get("repl")
+        if repl is not None:
+            repl.retire()
+        # Construct *before* the layout swap: with tid != commit_tid the
+        # new unit does not open a replication stream to itself (a
+        # promoted unit runs without a second standby).
+        unit = CommitUnit(self, standby.tid)
+        unit.master = standby.image
+        unit.next_commit = frontier
+        unit._last_checkpoint_iteration = frontier
+        unit._recommitted = recommitted
+        self.commit = unit
+        self.commit_tid = standby.tid
+        for queue in self._queues.values():
+            if queue.dst_tid == old_tid and not queue.retired:
+                queue.redirect(standby.tid)
+        self.stats.committed_mtxs -= recommitted
+        return unit
 
     # -- workload access ---------------------------------------------------------------------
 
@@ -306,6 +454,8 @@ class DSMTXSystem:
         report["commit"] = fraction(self.commit_tid)
         for index, tid in enumerate(self.replica_tids):
             report[f"coa-replica[{index}]"] = fraction(tid)
+        if self.standby_tid is not None:
+            report["commit-standby"] = fraction(self.standby_tid)
         return report
 
     def stage_utilization(self) -> dict:
@@ -340,6 +490,10 @@ class DSMTXSystem:
         if self.total_iterations < 1:
             raise ConfigurationError("need at least one iteration")
         self.workload.setup(self)
+        if self.standby is not None:
+            # The initial image is the epoch-0 checkpoint: the standby
+            # starts from the same program state as the primary.
+            self.standby.seed_image(self.commit.master)
         start = self.env.now
         processes = [
             self._spawn_unit(
@@ -358,6 +512,12 @@ class DSMTXSystem:
             self._spawn_unit(replica.tid, replica.run(), f"coa-replica[{index}]")
             for index, replica in enumerate(self.coa_replicas)
         )
+        if self.standby is not None:
+            processes.append(
+                self._spawn_unit(
+                    self.standby_tid, self.standby.run(), "commit-standby"
+                )
+            )
         if self.failure_detector is not None:
             self.failure_detector.start()
         if self.env.chaos is not None:

@@ -1,0 +1,229 @@
+"""Hot-standby replica of the commit unit (commit replication).
+
+DSMTX centralizes all non-speculative program state in the commit unit,
+which makes its node the one failure the fault-tolerant runtime cannot
+otherwise survive.  With ``SystemConfig.commit_replication`` on, a
+:class:`StandbyUnit` runs on a node other than the primary's and is kept
+current by two mechanisms, both priced on the simulated wire through the
+reliable transport:
+
+* **streaming replication** — after every group-commit round (and every
+  SEQ re-execution) the primary streams the committed writes followed by
+  a ``REPL_FRONTIER`` marker down a *durable* runtime queue.  The
+  standby accumulates them in a replay log; at each marker the log is a
+  consistent sequential prefix of master memory.
+* **checkpoint mirroring** — when the primary takes an epoch checkpoint
+  it appends a ``REPL_CHECKPOINT`` marker; the standby folds its replay
+  log into its base image, so the image tracks the primary's checkpoints
+  and the replay log stays short (promotion replay cost is bounded by
+  the checkpoint interval).
+
+The stream is durable because it carries *committed* state: epoch fences
+and FLQ flushes — which exist to destroy speculative state — must never
+touch it, and the standby is exempt from recovery barriers and inbox
+flushes for the same reason.
+
+When the standby-side watcher (:mod:`repro.core.failure`) declares the
+primary's node dead, the standby discards any half-replicated round,
+replays the log onto its checkpoint image, and is promoted: it becomes
+the system's commit unit (:meth:`DSMTXSystem.promote_standby` swaps the
+layout, redirects the write-log and validation queues, and substitutes
+the barrier party), then drives the ordinary degraded-mode restart from
+the last replicated frontier.  Iterations the primary committed past
+that frontier died with its master memory and are re-executed by the
+survivors — deterministically, so the final committed memory is byte-
+identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.messages import REPL_CHECKPOINT, REPL_FRONTIER, WRITE
+from repro.errors import (
+    ChannelFlushedError,
+    NodeCrashed,
+    ProcessInterrupt,
+    RecoveryAbort,
+)
+from repro.memory import AddressSpace
+from repro.memory.layout import PAGE_SHIFT, WORD_SHIFT
+from repro.obs.tracer import CAT_FT_PROMOTION, CAT_FT_REPLICATION, PID_RUNTIME
+from repro.sim import Event
+
+__all__ = ["StandbyUnit"]
+
+
+class StandbyUnit:
+    """Commit-unit hot standby: replication sink, promotion candidate."""
+
+    def __init__(self, system: "DSMTXSystem", tid: int) -> None:  # noqa: F821
+        self.system = system
+        self.tid = tid
+        self.core = system.core_of(tid)
+        self.endpoint = system.endpoint_of_unit(tid)
+        #: Base image: master memory as of the last mirrored checkpoint.
+        self.image = AddressSpace(f"standby{tid}", faulting=False)
+        #: Committed writes since the last checkpoint fold, complete up
+        #: to :attr:`frontier` (replayed onto the image at promotion).
+        self.replay_log: list[tuple[int, int]] = []
+        #: Writes of the round in progress (no frontier marker yet);
+        #: discarded at promotion — a half-replicated round is not
+        #: known-consistent, its iterations are simply re-executed.
+        self._round: list[tuple[int, int]] = []
+        #: Last replicated commit frontier: image + replay log hold
+        #: exactly the committed effects of iterations below this.
+        self.frontier = 0
+        #: True once this unit has been promoted to commit unit.
+        self.promoted = False
+
+    def seed_image(self, master: AddressSpace) -> None:
+        """Bootstrap the base image from the initial master memory.
+
+        The workload's sequential prologue writes program state into the
+        primary's master before the parallel region starts; that initial
+        image is the epoch-0 checkpoint, distributed with the program
+        (process launch, not the simulated wire).  Without it a promoted
+        standby would resurrect an empty heap and every committed result
+        derived from the initial data would be wrong.
+        """
+        for number, page in master.pages.items():
+            base = number << PAGE_SHIFT
+            self.image.apply_writes(
+                (base | (index << WORD_SHIFT), value)
+                for index, value in page.words.items()
+            )
+
+    # -- main process ------------------------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, None]:
+        system = self.system
+        state = system.state
+        endpoint = self.endpoint
+        try:
+            while True:
+                if state.promote_pending is not None:
+                    yield from self._promote(state.promote_pending)
+                    return
+                if endpoint.pending_messages:
+                    kind, item = endpoint.pending_messages.popleft()
+                    if kind == "batch":
+                        yield from self._drain_repl(item)
+                    # "ctl" records are wake-up pings (CTL_PROMOTE); the
+                    # authoritative signal is state.promote_pending.
+                    continue
+                if state.done:
+                    return
+                try:
+                    envelope = yield from endpoint._recv_one(check_state=False)
+                except (ChannelFlushedError, RecoveryAbort):
+                    # Termination flush (recovery flushes skip us).
+                    continue
+                endpoint._route(envelope, arrival_order=True)
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # The standby's own node died; the primary notices via
+                # the ordinary declaration path and stops streaming.
+                return
+            raise
+
+    # -- replication sink --------------------------------------------------------------
+
+    def _drain_repl(self, queue) -> Generator[Event, Any, None]:
+        """Ingest newly delivered replication entries."""
+        system = self.system
+        op_instructions = system.cluster.queue_op_instructions
+        delivered = queue.delivered
+        words = 0
+        while delivered:
+            entry = delivered.popleft()
+            kind = entry[0]
+            if kind == WRITE:
+                self._round.append((entry[1], entry[2]))
+                words += 1
+            elif kind == REPL_FRONTIER:
+                self.replay_log.extend(self._round)
+                self._round = []
+                self.frontier = entry[1]
+            elif kind == REPL_CHECKPOINT:
+                self._fold(entry[1])
+            self.core.charge_instructions(op_instructions)
+        if words:
+            system.stats.ft_repl_words += words
+            obs = system.obs
+            if obs is not None:
+                obs.metrics.counter("ft.repl_words").inc(words)
+        yield from self.core.drain()
+
+    def _fold(self, frontier: int) -> None:
+        """Checkpoint marker: fold the replay log into the base image
+        (the standby-side mirror of the primary's epoch checkpoint)."""
+        if not self.replay_log:
+            return
+        system = self.system
+        words = len(self.replay_log)
+        self.image.apply_writes(self.replay_log)
+        self.replay_log = []
+        self.core.charge_instructions(
+            words * system.config.checkpoint_word_instructions
+        )
+        system.stats.ft_repl_folded_words += words
+        obs = system.obs
+        if obs is not None:
+            obs.tracer.instant(
+                CAT_FT_REPLICATION, f"fold:{frontier}", PID_RUNTIME, self.tid,
+                frontier=frontier, words=words,
+            )
+            obs.metrics.counter("ft.repl_folds").inc()
+
+    # -- promotion ---------------------------------------------------------------------
+
+    def _promote(self, request) -> Generator[Event, Any, None]:
+        """Become the commit unit: replay the log onto the checkpoint
+        image, take over the primary's seat, then drive the ordinary
+        degraded-mode restart from the replicated frontier."""
+        system = self.system
+        env = system.env
+        config = system.config
+        node, _dead_tids, detected_at, _last_heard_at = request
+        system.state.promote_pending = None
+        # A half-replicated round is not known-consistent; its
+        # iterations are at or past the frontier and re-execute anyway.
+        self._round = []
+        replayed = len(self.replay_log)
+        if self.replay_log:
+            self.image.apply_writes(self.replay_log)
+            self.replay_log = []
+        self.core.charge_instructions(
+            config.checkpoint_base_instructions
+            + replayed * config.commit_instructions
+        )
+        yield from self.core.drain()
+        self.promoted = True
+        commit = system.promote_standby(self)
+        promotion_seconds = env.now - detected_at
+        commit._promotion = (
+            self.tid, promotion_seconds, replayed, commit._recommitted
+        )
+        stats = system.stats
+        stats.ft_promotions += 1
+        stats.ft_replayed_words += replayed
+        obs = system.obs
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_FT_PROMOTION, f"promote:node{node}", PID_RUNTIME, self.tid,
+                detected_at, replayed_words=replayed,
+                frontier=self.frontier, recommitted=commit._recommitted,
+            )
+            obs.metrics.counter("ft.promotions").inc()
+            obs.metrics.counter("ft.replayed_words").inc(replayed)
+        # From here on this process *is* the commit unit; its first act
+        # is popping the failover request queued by the watcher and
+        # running the degraded-mode restart with the survivors.
+        yield from commit.run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StandbyUnit tid={self.tid} frontier={self.frontier} "
+            f"log={len(self.replay_log)}>"
+        )

@@ -53,6 +53,14 @@ class SystemState:
         #: over the CTL_NODE_FAILED wake-up ping (which may be filtered
         #: or arrive late).
         self.failover_pending: list = []
+        #: Pending commit-standby promotion: the ``(node, dead_tids,
+        #: detected_at, last_heard_at)`` declaration that took the
+        #: commit unit's node, set by the standby-side watcher and
+        #: consumed by the standby's run loop (commit replication only).
+        #: The matching entry also sits on ``failover_pending``: the
+        #: *promoted* commit unit pops it and drives the degraded-mode
+        #: restart after the promotion replay.
+        self.promote_pending: tuple | None = None
         #: Nodes declared dead so far (grows monotonically).
         self.failed_nodes: set[int] = set()
 

@@ -67,6 +67,19 @@ class FailureRecord:
     lost_iterations: int = 0
     #: Surviving worker count after re-partitioning.
     surviving_workers: int = 0
+    #: Tid of the standby promoted to commit unit, or -1 when the
+    #: failure did not take the commit unit (plain degraded restart).
+    promoted_tid: int = -1
+    #: Detection-to-promotion latency: time from declaring the primary
+    #: dead to the promoted unit finishing its replay and taking over.
+    promotion_seconds: float = 0.0
+    #: Replication-log words replayed onto the standby's checkpoint
+    #: image at promotion.
+    replayed_words: int = 0
+    #: Iterations the dead primary had committed past the last
+    #: replicated frontier — lost with its master memory and
+    #: re-executed (re-committed) by the survivors.
+    recommitted_iterations: int = 0
 
     @property
     def recovery_seconds(self) -> float:
@@ -134,6 +147,15 @@ class RunStats:
     #: Frames discarded because their source or destination unit was on
     #: a node already declared dead.
     ft_frames_from_dead_dropped: int = 0
+    #: Committed words streamed to the commit standby (replication).
+    ft_repl_words: int = 0
+    #: Replay-log words the standby folded into its base image on
+    #: checkpoint markers (the incremental checkpoint mirror).
+    ft_repl_folded_words: int = 0
+    #: Standby promotions to commit unit (commit-node failovers).
+    ft_promotions: int = 0
+    #: Replication-log words replayed at promotion time.
+    ft_replayed_words: int = 0
     #: Wall-clock (simulated) duration of the parallel region.
     elapsed_seconds: float = 0.0
     #: Observability hub (:class:`repro.obs.Observability`) mirroring the

@@ -83,6 +83,14 @@ class Observability:
                 ("run.ft.recovery_seconds", stats.failure_recovery_seconds),
             ):
                 m.gauge(name).set(value)
+            if stats.ft_repl_words or stats.ft_promotions:  # a standby ran
+                for name, value in (
+                    ("run.ft.repl_words", stats.ft_repl_words),
+                    ("run.ft.repl_folded_words", stats.ft_repl_folded_words),
+                    ("run.ft.promotions", stats.ft_promotions),
+                    ("run.ft.replayed_words", stats.ft_replayed_words),
+                ):
+                    m.gauge(name).set(value)
         for label, fraction in system.utilization().items():
             m.gauge(f"util.{label}").set(fraction)
 

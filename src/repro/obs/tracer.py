@@ -67,6 +67,8 @@ __all__ = [
     "CAT_COMPUTE",
     "CAT_FT_FAILOVER",
     "CAT_FT_CHECKPOINT",
+    "CAT_FT_REPLICATION",
+    "CAT_FT_PROMOTION",
     "CAT_CHAOS",
     "ALL_CATEGORIES",
 ]
@@ -88,6 +90,8 @@ CAT_RECOVERY_SEQ = "recovery.seq"
 CAT_COMPUTE = "worker.compute"
 CAT_FT_FAILOVER = "ft.failover"
 CAT_FT_CHECKPOINT = "ft.checkpoint"
+CAT_FT_REPLICATION = "ft.replication"
+CAT_FT_PROMOTION = "ft.promotion"
 CAT_CHAOS = "chaos"
 
 ALL_CATEGORIES = (
@@ -103,6 +107,8 @@ ALL_CATEGORIES = (
     CAT_COMPUTE,
     CAT_FT_FAILOVER,
     CAT_FT_CHECKPOINT,
+    CAT_FT_REPLICATION,
+    CAT_FT_PROMOTION,
     CAT_CHAOS,
 )
 

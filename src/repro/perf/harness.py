@@ -103,14 +103,16 @@ def _engine_micro(smoke: bool) -> tuple[int, float]:
 
 
 def _system_bench(
-    factory: Callable, cores: int, scheme: str = "dsmtx", replicas: int = 0
+    factory: Callable, cores: int, scheme: str = "dsmtx", replicas: int = 0,
+    **config_kwargs,
 ) -> Callable[[bool], tuple[int, float]]:
     def run(smoke: bool) -> tuple[int, float]:
         from repro.core import DSMTXSystem, SystemConfig
 
         workload = factory(smoke)
         plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
-        config = SystemConfig(total_cores=cores, coa_replicas=replicas)
+        config = SystemConfig(total_cores=cores, coa_replicas=replicas,
+                              **config_kwargs)
         system = DSMTXSystem(plan, config)
         result = system.run()
         return system.env.events_processed, result.elapsed_seconds
@@ -142,7 +144,9 @@ def _blackscholes(iterations: int, smoke_iterations: int):
 #: Picked to cover the four hot-path layers: the engine itself
 #: (engine_micro), queue/endpoint traffic (crc32 pipelines), the
 #: batched-channel + interconnect path under misspeculation recovery,
-#: COA replica routing, and a TLS plan (sync queues).
+#: COA replica routing, a TLS plan (sync queues), and the failure-aware
+#: runtime with and without a hot-standby commit replica (the pair
+#: prices the replication stream; docs/RESILIENCE.md).
 MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
     "engine_micro": _engine_micro,
     "crc32_dsmtx_8c": _system_bench(_crc32(48, 8), cores=8),
@@ -150,6 +154,12 @@ MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
     "crc32_tls_8c": _system_bench(_crc32(48, 8), cores=8, scheme="tls"),
     "crc32_replicas_8c": _system_bench(_crc32(48, 8), cores=8, replicas=1),
     "blackscholes_16c": _system_bench(_blackscholes(384, 16), cores=16),
+    "crc32_ft_8c": _system_bench(_crc32(48, 8), cores=8,
+                                 fault_tolerance=True),
+    "crc32_ft_standby_8c": _system_bench(_crc32(48, 8), cores=8,
+                                         fault_tolerance=True,
+                                         commit_replication=True,
+                                         placement="spread"),
 }
 
 

@@ -54,6 +54,63 @@ def test_invalid_faults_are_rejected(bad):
         FaultPlan(faults=(bad,))
 
 
+@pytest.mark.parametrize("bad", [
+    NodeCrash(node=0, at_s=float("nan")),
+    NodeCrash(node=0, at_s=float("inf")),
+    LinkDegrade(at_s=float("nan"), duration_s=0.1),
+    LinkDegrade(at_s=0.0, duration_s=float("nan")),
+    LinkDegrade(at_s=0.0, duration_s=float("inf")),
+    LinkDegrade(at_s=0.0, duration_s=0.1, latency_factor=float("nan")),
+    NodeStall(node=0, at_s=float("nan"), duration_s=0.1),
+    NodeStall(node=0, at_s=0.0, duration_s=float("nan")),
+    NodeStall(node=0, at_s=0.0, duration_s=0.0),
+    MessageLoss(probability=0.5, start_s=float("nan")),
+])
+def test_non_finite_and_zero_length_windows_are_rejected(bad):
+    # NaN fails every comparison, so naive `x < 0` validation lets it
+    # through; these pin the requirement-style checks.
+    with pytest.raises(ChaosError):
+        FaultPlan(faults=(bad,))
+
+
+def test_overlapping_degrade_windows_are_rejected():
+    with pytest.raises(ChaosError, match="overlapping link-degradation"):
+        FaultPlan(faults=(
+            LinkDegrade(at_s=0.0, duration_s=0.010),
+            LinkDegrade(at_s=0.005, duration_s=0.010),
+        ))
+    # Order in the faults tuple must not matter.
+    with pytest.raises(ChaosError, match="overlapping"):
+        FaultPlan(faults=(
+            LinkDegrade(at_s=0.005, duration_s=0.010),
+            LinkDegrade(at_s=0.0, duration_s=0.010),
+        ))
+
+
+def test_identical_degrade_windows_are_rejected_as_overlapping():
+    window = LinkDegrade(at_s=0.001, duration_s=0.002)
+    with pytest.raises(ChaosError, match="overlapping"):
+        FaultPlan(faults=(window, window))
+
+
+def test_back_to_back_degrade_windows_are_allowed():
+    plan = FaultPlan(faults=(
+        LinkDegrade(at_s=0.0, duration_s=0.005),
+        LinkDegrade(at_s=0.005, duration_s=0.005, latency_factor=8.0),
+    ))
+    assert len(plan.faults) == 2
+
+
+def test_stall_windows_on_different_nodes_may_overlap():
+    # The overlap rule is about the shared fabric (LinkDegrade);
+    # per-node stalls on different nodes are independent gray failures.
+    plan = FaultPlan(faults=(
+        NodeStall(node=0, at_s=0.0, duration_s=0.01),
+        NodeStall(node=1, at_s=0.005, duration_s=0.01),
+    ))
+    assert len(plan.faults) == 2
+
+
 def test_random_plan_is_seed_deterministic():
     a = FaultPlan.random(42, nodes=4, horizon_s=0.02, crashes=2,
                          degrade_windows=1, stalls=1, loss=0.01, duplication=0.01)
@@ -62,6 +119,22 @@ def test_random_plan_is_seed_deterministic():
     assert a == b
     c = FaultPlan.random(43, nodes=4, horizon_s=0.02, crashes=2)
     assert c.crashes != a.crashes
+
+
+def test_random_plan_never_generates_overlapping_degrades():
+    # Many windows in a short horizon would overlap if placed naively;
+    # random() must lay them out disjointly (validation would reject
+    # the plan otherwise).
+    for seed in range(16):
+        plan = FaultPlan.random(seed, nodes=4, horizon_s=0.01,
+                                crashes=0, degrade_windows=5)
+        windows = sorted(
+            (f for f in plan.faults if isinstance(f, LinkDegrade)),
+            key=lambda f: f.at_s,
+        )
+        assert len(windows) == 5
+        for earlier, later in zip(windows, windows[1:]):
+            assert later.at_s >= earlier.at_s + earlier.duration_s
 
 
 def test_random_plan_spares_node_zero_by_default():

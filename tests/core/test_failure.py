@@ -52,6 +52,36 @@ def test_silent_node_is_declared_within_the_suspicion_timeout():
     assert ok and envelope.kind == CTL_NODE_FAILED and envelope.payload == 0
 
 
+def test_heartbeats_from_a_crashed_node_stop_at_crash_time():
+    """A dead node must fall silent at the instant of the crash: its
+    emitter is interrupted with everything else on the node, so its
+    last-heard time freezes and the suspicion clock starts from there.
+    An emitter that kept beating would mask the failure forever."""
+    from repro.chaos import ChaosEngine, FaultPlan, NodeCrash
+
+    system = build(cores=12)  # three nodes: a survivor node beside the victim
+    detector = system.failure_detector
+    crash_at = 10.5 * detector.period  # mid-interval, several beats in
+    engine = ChaosEngine(
+        FaultPlan(faults=(NodeCrash(node=0, at_s=crash_at),))
+    ).attach(system.env)
+    engine.bind_system(system)
+    detector.start()
+    env = system.env
+    env.run(until=env.timeout(crash_at + detector.suspicion_timeout + 5 * detector.period))
+
+    # The node beat while alive, then went silent exactly at the crash.
+    assert 0.0 < detector.last_heard[0] <= crash_at
+    # Survivors kept beating past the crash.
+    assert any(
+        heard > crash_at
+        for node, heard in detector.last_heard.items()
+        if node != 0 and node != detector.commit_node
+    )
+    # And the silence was eventually declared.
+    assert system.state.failed_nodes == {0}
+
+
 def test_healthy_nodes_are_never_suspected():
     system = build()
     system.failure_detector.start()

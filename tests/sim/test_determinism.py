@@ -45,6 +45,16 @@ def _crash_node0_plan():
     return FaultPlan(faults=(NodeCrash(node=0, at_s=0.005),), seed=7)
 
 
+def _crash_commit_node_plan():
+    # Node 6 hosts the commit unit under spread placement at 8 cores;
+    # the crash lands mid-stream (after ~a third of the commits), so
+    # the pinned episode covers checkpoint folding, replay, promotion,
+    # and the degraded-mode resume from the replicated frontier.
+    from repro.chaos import FaultPlan, NodeCrash
+
+    return FaultPlan(faults=(NodeCrash(node=6, at_s=0.036754),), seed=11)
+
+
 #: name -> (workload factory, scheme, SystemConfig kwargs).  The extra
 #: ``chaos_plan`` key (popped before SystemConfig sees it) attaches a
 #: fault-injection plan: the failover episode itself must be
@@ -59,6 +69,11 @@ CONFIGS = {
     "crc32_chaos_crash_8c": (lambda: _crc32(), "dsmtx",
                              {"total_cores": 8, "fault_tolerance": True,
                               "chaos_plan": _crash_node0_plan}),
+    "crc32_failover_8c": (lambda: _crc32(iterations=96), "dsmtx",
+                          {"total_cores": 8, "fault_tolerance": True,
+                           "commit_replication": True, "placement": "spread",
+                           "batch_bytes": 64, "checkpoint_interval_mtxs": 8,
+                           "chaos_plan": _crash_commit_node_plan}),
 }
 
 
@@ -115,8 +130,14 @@ def run_fingerprint(name: str) -> str:
         lines.append(f"ft_retransmits={stats.ft_retransmits}")
         lines.append(f"ft_duplicates_dropped={stats.ft_duplicates_dropped}")
         lines.append(f"ft_frames_reordered={stats.ft_frames_reordered}")
+    # Commit-replication lines likewise appear only when a standby ran.
+    if stats.ft_repl_words or stats.ft_promotions:
+        lines.append(f"ft_repl_words={stats.ft_repl_words}")
+        lines.append(f"ft_repl_folded_words={stats.ft_repl_folded_words}")
+        lines.append(f"ft_promotions={stats.ft_promotions}")
+        lines.append(f"ft_replayed_words={stats.ft_replayed_words}")
     for record in stats.failures:
-        lines.append(
+        line = (
             "failure("
             f"node={record.node}, "
             f"dead_tids={record.dead_tids}, "
@@ -125,8 +146,16 @@ def run_fingerprint(name: str) -> str:
             f"resumed_at={record.resumed_at!r}, "
             f"restart_base={record.restart_base}, "
             f"lost={record.lost_iterations}, "
-            f"survivors={record.surviving_workers})"
+            f"survivors={record.surviving_workers}"
         )
+        if record.promoted_tid >= 0:
+            line += (
+                f", promoted={record.promoted_tid}"
+                f", promotion_s={record.promotion_seconds!r}"
+                f", replayed={record.replayed_words}"
+                f", recommitted={record.recommitted_iterations}"
+            )
+        lines.append(line + ")")
     for record in stats.checkpoints:
         lines.append(
             f"checkpoint(iter={record.iteration}, words={record.words}, "
