@@ -3,6 +3,12 @@ speedup curves and geometric means (Figure 4), bandwidth accounting
 (Figure 5), and text rendering of tables and series."""
 
 from repro.analysis.export import series_to_csv, table_to_csv, write_csv
+from repro.analysis.campaign import (
+    render_campaign_diff,
+    render_campaign_summary,
+    render_recovery_distribution,
+    render_speedup_surfaces,
+)
 from repro.analysis.bandwidth import (
     BandwidthPoint,
     bandwidth_requirement,
@@ -38,6 +44,10 @@ __all__ = [
     "render_table",
     "render_series",
     "render_stacked_bars",
+    "render_campaign_summary",
+    "render_campaign_diff",
+    "render_recovery_distribution",
+    "render_speedup_surfaces",
     "attribution",
     "render_attribution",
     "render_timeline",

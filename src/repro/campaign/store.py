@@ -1,0 +1,229 @@
+"""Persistent campaign results store (SQLite).
+
+Every ``repro campaign run`` appends one *campaign row* plus one
+*result row per scenario* to a single SQLite file (default
+``campaigns.sqlite``).  Result rows are keyed by the **scenario
+digest** — the sha256 identity of the resolved scenario spec — so the
+same scenario is comparable across campaigns, files, and code
+versions: that is what powers ``repro campaign diff``'s regression
+check (same scenario digest, different outcome digest => behavior
+changed).
+
+The canonical result record (:meth:`ScenarioResult.record`) is stored
+verbatim as JSON; headline columns are denormalized for SQL-side
+filtering and the report queries.  Host wall-clock time is stored in
+its own column, outside the canonical record.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import CampaignError
+
+__all__ = ["CampaignStore", "CampaignDiff", "DEFAULT_STORE"]
+
+#: Default store file, in the working directory.
+DEFAULT_STORE = "campaigns.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    name        TEXT NOT NULL,
+    source      TEXT NOT NULL DEFAULT '',
+    created_at  TEXT NOT NULL,
+    workers     INTEGER NOT NULL DEFAULT 1,
+    scenarios   INTEGER NOT NULL DEFAULT 0,
+    ok          INTEGER NOT NULL DEFAULT 0,
+    spec_json   TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS results (
+    campaign_id     INTEGER NOT NULL REFERENCES campaigns(id),
+    idx             INTEGER NOT NULL,
+    name            TEXT NOT NULL,
+    scenario_digest TEXT NOT NULL,
+    outcome_digest  TEXT NOT NULL,
+    status          TEXT NOT NULL,
+    benchmark       TEXT NOT NULL DEFAULT '',
+    scheme          TEXT NOT NULL DEFAULT '',
+    cores           INTEGER NOT NULL DEFAULT 0,
+    speedup         REAL NOT NULL DEFAULT 0.0,
+    wall_seconds    REAL NOT NULL DEFAULT 0.0,
+    record_json     TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE INDEX IF NOT EXISTS results_by_scenario
+    ON results (scenario_digest);
+"""
+
+
+@dataclass
+class CampaignDiff:
+    """Outcome comparison of two stored campaigns, keyed by scenario
+    digest."""
+
+    old_id: int
+    new_id: int
+    #: (name, scenario_digest, old_outcome, new_outcome) whose outcome
+    #: digest changed — the regressions (or intended behavior changes).
+    changed: list = field(default_factory=list)
+    #: (name, scenario_digest) present only in the new campaign.
+    added: list = field(default_factory=list)
+    #: (name, scenario_digest) present only in the old campaign.
+    removed: list = field(default_factory=list)
+    #: Scenarios with identical outcome digests.
+    unchanged: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when every shared scenario has an identical outcome."""
+        return not self.changed
+
+
+class CampaignStore:
+    """One SQLite results store; usable as a context manager."""
+
+    def __init__(self, path: Union[str, Path] = DEFAULT_STORE) -> None:
+        self.path = Path(path)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writing -------------------------------------------------------------
+
+    def record_campaign(
+        self,
+        *,
+        name: str,
+        results: Sequence,
+        source: str = "",
+        workers: int = 1,
+        spec_json: str = "{}",
+        created_at: Optional[str] = None,
+    ) -> int:
+        """Persist one finished sweep; returns the new campaign id."""
+        created = created_at or datetime.now(timezone.utc).isoformat(
+            timespec="seconds")
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (name, source, created_at, workers, "
+            "scenarios, ok, spec_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (name, source, created, workers, len(results),
+             sum(1 for r in results if r.ok), spec_json),
+        )
+        campaign_id = cursor.lastrowid
+        self._conn.executemany(
+            "INSERT INTO results (campaign_id, idx, name, scenario_digest, "
+            "outcome_digest, status, benchmark, scheme, cores, speedup, "
+            "wall_seconds, record_json) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                (campaign_id, r.index, r.name, r.scenario_digest,
+                 r.outcome_digest, r.status, r.benchmark, r.scheme, r.cores,
+                 r.speedup, r.wall_seconds, r.record_json())
+                for r in results
+            ],
+        )
+        self._conn.commit()
+        return campaign_id
+
+    # -- reading -------------------------------------------------------------
+
+    def campaigns(self) -> list[dict]:
+        """Stored campaigns, oldest first."""
+        rows = self._conn.execute(
+            "SELECT id, name, source, created_at, workers, scenarios, ok "
+            "FROM campaigns ORDER BY id"
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def results(self, campaign_id: int) -> list[dict]:
+        """Canonical result records of one campaign, in scenario order
+        (each with ``wall_seconds`` re-attached)."""
+        rows = self._conn.execute(
+            "SELECT record_json, wall_seconds FROM results "
+            "WHERE campaign_id = ? ORDER BY idx", (campaign_id,)
+        ).fetchall()
+        if not rows:
+            raise CampaignError(f"no stored campaign with id {campaign_id}")
+        records = []
+        for row in rows:
+            record = json.loads(row["record_json"])
+            record["wall_seconds"] = row["wall_seconds"]
+            records.append(record)
+        return records
+
+    def outcome_digests(self, campaign_id: int) -> list[tuple]:
+        """(name, scenario_digest, outcome_digest) in scenario order."""
+        rows = self._conn.execute(
+            "SELECT name, scenario_digest, outcome_digest FROM results "
+            "WHERE campaign_id = ? ORDER BY idx", (campaign_id,)
+        ).fetchall()
+        if not rows:
+            raise CampaignError(f"no stored campaign with id {campaign_id}")
+        return [(r["name"], r["scenario_digest"], r["outcome_digest"])
+                for r in rows]
+
+    def resolve(self, ref: Union[int, str]) -> int:
+        """Campaign id for ``ref``: an id, ``latest``, or ``prev``."""
+        ids = [row["id"] for row in self.campaigns()]
+        if not ids:
+            raise CampaignError(
+                f"store {self.path} holds no campaigns yet; run "
+                f"'repro campaign run <file>' first")
+        if isinstance(ref, str):
+            if ref == "latest":
+                return ids[-1]
+            if ref == "prev":
+                if len(ids) < 2:
+                    raise CampaignError(
+                        f"store {self.path} holds only one campaign; "
+                        f"'prev' needs at least two")
+                return ids[-2]
+            try:
+                ref = int(ref)
+            except ValueError:
+                raise CampaignError(
+                    f"campaign reference must be an id, 'latest', or "
+                    f"'prev'; got {ref!r}") from None
+        if ref not in ids:
+            raise CampaignError(
+                f"no stored campaign with id {ref}; known ids: {ids}")
+        return ref
+
+    # -- diffing -------------------------------------------------------------
+
+    def diff(self, old_ref: Union[int, str], new_ref: Union[int, str]) -> CampaignDiff:
+        """Compare two stored campaigns by scenario digest."""
+        old_id = self.resolve(old_ref)
+        new_id = self.resolve(new_ref)
+        old = {digest: (name, outcome)
+               for name, digest, outcome in self.outcome_digests(old_id)}
+        diff = CampaignDiff(old_id=old_id, new_id=new_id)
+        seen = set()
+        for name, digest, outcome in self.outcome_digests(new_id):
+            seen.add(digest)
+            if digest not in old:
+                diff.added.append((name, digest))
+            elif old[digest][1] != outcome:
+                diff.changed.append((name, digest, old[digest][1], outcome))
+            else:
+                diff.unchanged += 1
+        for digest, (name, _outcome) in old.items():
+            if digest not in seen:
+                diff.removed.append((name, digest))
+        return diff

@@ -9,6 +9,9 @@ Run benchmarks and inspect the suite without writing code::
     python -m repro trace crc32 --out t.json     # Perfetto trace of one run
     python -m repro chaos --crash-node 0         # fault injection + recovery
     python -m repro perf                         # wall-clock hot-path harness
+    python -m repro campaign run scenarios/example_grid.json --workers 4
+    python -m repro campaign report              # aggregate tables (latest)
+    python -m repro campaign diff prev latest    # digest regression check
 
 All runs execute on the simulated cluster; times reported are simulated
 seconds, speedups are against the single-core sequential execution.
@@ -343,6 +346,118 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _campaign_run(args) -> int:
+    """``repro campaign run``: expand, sweep, persist, summarize."""
+    from pathlib import Path
+
+    from repro.analysis import render_campaign_summary
+    from repro.campaign import CampaignStore, load_campaign, run_campaign
+
+    campaign = load_campaign(args.file)
+    scenarios = campaign.expand()
+    trace_dir = Path(args.trace_dir) if args.trace_dir else None
+    print(f"campaign {campaign.name!r}: {len(scenarios)} scenario(s) "
+          f"on {args.workers} worker(s)", file=sys.stderr)
+
+    def progress(done, total, result):
+        if not args.quiet:
+            print(f"  [{done}/{total}] {result.name:<44} {result.status:<6} "
+                  f"{result.outcome_digest[:12]} "
+                  f"{result.elapsed_sim_seconds * 1e3:8.2f} ms sim",
+                  file=sys.stderr)
+
+    results = run_campaign(scenarios, workers=args.workers,
+                           trace_dir=trace_dir, progress=progress)
+    with CampaignStore(args.store) as store:
+        import json as _json
+
+        campaign_id = store.record_campaign(
+            name=args.name or campaign.name,
+            results=results,
+            source=str(args.file),
+            workers=args.workers,
+            spec_json=_json.dumps(campaign.to_dict(), sort_keys=True),
+        )
+    print()
+    print(render_campaign_summary(
+        [r.record() | {"wall_seconds": r.wall_seconds} for r in results],
+        title=f"campaign #{campaign_id} ({campaign.name})"))
+    print(f"\nstored campaign #{campaign_id} in {args.store}")
+    bad = sum(1 for r in results if not r.ok)
+    if bad:
+        print(f"{bad} scenario(s) not ok", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _campaign_report(args) -> int:
+    """``repro campaign report``: aggregate tables of one stored run."""
+    from repro.analysis import render_campaign_summary
+    from repro.campaign import CampaignStore
+
+    with CampaignStore(args.store) as store:
+        campaign_id = store.resolve(args.campaign)
+        if args.digests:
+            for name, _spec, outcome in store.outcome_digests(campaign_id):
+                print(f"{outcome}  {name}")
+            return 0
+        records = store.results(campaign_id)
+        meta = next(c for c in store.campaigns() if c["id"] == campaign_id)
+    print(render_campaign_summary(
+        records,
+        title=(f"campaign #{campaign_id} ({meta['name']}) — "
+               f"{meta['created_at']}, {meta['workers']} worker(s)")))
+    return 0
+
+
+def _campaign_diff(args) -> int:
+    """``repro campaign diff``: outcome-digest regression check."""
+    from repro.analysis import render_campaign_diff
+    from repro.campaign import CampaignStore
+
+    with CampaignStore(args.store) as store:
+        diff = store.diff(args.old, args.new)
+    print(render_campaign_diff(diff))
+    return 0 if diff.clean else 1
+
+
+def _campaign_list(args) -> int:
+    """``repro campaign list``: stored campaigns, oldest first."""
+    from repro.analysis import render_table
+    from repro.campaign import CampaignStore
+
+    with CampaignStore(args.store) as store:
+        campaigns = store.campaigns()
+    if not campaigns:
+        print(f"store {args.store} holds no campaigns yet")
+        return 0
+    rows = [[c["id"], c["name"], c["created_at"], c["workers"],
+             f"{c['ok']}/{c['scenarios']}", c["source"]]
+            for c in campaigns]
+    print(render_table(["id", "name", "created", "workers", "ok", "source"],
+                       rows, title=f"Campaigns in {args.store}"))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run declarative scenario campaigns (docs/CAMPAIGNS.md)."""
+    from repro.errors import CampaignError
+
+    handlers = {
+        "run": _campaign_run,
+        "report": _campaign_report,
+        "diff": _campaign_diff,
+        "list": _campaign_list,
+    }
+    try:
+        return handlers[args.campaign_command](args)
+    except CampaignError as exc:
+        # Validation and store errors already carry the document path
+        # and field; show them as a one-line diagnosis, not a traceback.
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _core_list(text: str) -> list[int]:
     return [int(part) for part in text.split(",") if part]
 
@@ -437,6 +552,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print only the sha256 outcome digest "
                             "(CI determinism check)")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative scenario campaigns: validated sweep grids fanned "
+             "across host cores, with a persistent results store "
+             "(docs/CAMPAIGNS.md)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _store_flag(p):
+        p.add_argument("--store", default="campaigns.sqlite",
+                       help="SQLite results store "
+                            "(default: ./campaigns.sqlite)")
+
+    crun = campaign_sub.add_parser(
+        "run", help="expand a campaign file and run every scenario")
+    crun.add_argument("file", help="campaign document (.json/.yaml)")
+    crun.add_argument("--workers", type=int, default=1,
+                      help="host processes to fan scenarios across "
+                           "(results are byte-identical for any value)")
+    crun.add_argument("--name", default=None,
+                      help="store the run under this name "
+                           "(default: the campaign's own name)")
+    crun.add_argument("--trace-dir", default=None,
+                      help="write Perfetto traces of scenarios marked "
+                           "'trace: true' into this directory")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress the per-scenario progress lines")
+    _store_flag(crun)
+
+    creport = campaign_sub.add_parser(
+        "report", help="aggregate tables for one stored campaign")
+    creport.add_argument("campaign", nargs="?", default="latest",
+                         help="campaign id, 'latest' (default), or 'prev'")
+    creport.add_argument("--digests", action="store_true",
+                         help="print one 'outcome_digest  scenario' line per "
+                              "scenario instead (CI golden comparison)")
+    _store_flag(creport)
+
+    cdiff = campaign_sub.add_parser(
+        "diff", help="compare outcome digests of two stored campaigns; "
+                     "exit 1 on drift")
+    cdiff.add_argument("old", nargs="?", default="prev",
+                       help="baseline campaign id (default: prev)")
+    cdiff.add_argument("new", nargs="?", default="latest",
+                       help="candidate campaign id (default: latest)")
+    _store_flag(cdiff)
+
+    clist = campaign_sub.add_parser("list", help="stored campaigns")
+    _store_flag(clist)
+
     perf = sub.add_parser(
         "perf",
         help="time the simulation hot path; write BENCH_sim.json "
@@ -463,6 +629,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": cmd_trace,
         "chaos": cmd_chaos,
         "perf": cmd_perf,
+        "campaign": cmd_campaign,
     }
     return handlers[args.command](args)
 

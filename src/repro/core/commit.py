@@ -25,6 +25,7 @@ from repro.core.context import MasterContext
 from repro.core.messages import (
     CTL_COA_REQUEST,
     CTL_COA_RESPONSE,
+    CTL_DRAIN,
     CTL_MISSPEC,
     CTL_NODE_FAILED,
     CTL_PROMOTE,
@@ -157,6 +158,19 @@ class CommitUnit:
             yield from self._advance_commits()
         elif kind == CTL_MISSPEC:
             self._begin_or_extend_draining(envelope.payload)
+            if envelope.sender_tid != self.system.trycommit_tid:
+                # A worker detected this misspeculation, so its subTX
+                # log for that iteration will never be sent — but the
+                # try-commit unit may already be blocked consuming it,
+                # with validation notices for earlier iterations still
+                # batched locally.  The drain needs those notices to
+                # finish; ping the unit so it re-checks the pause
+                # target and flushes (no ping when the try-commit unit
+                # reported the misspeculation itself: it has already
+                # flushed and aborted).
+                yield from self.endpoint.send_ctl(
+                    self.system.trycommit_tid, CTL_DRAIN, envelope.payload
+                )
         elif kind == CTL_WORKER_DONE:
             pass
         elif kind == CTL_NODE_FAILED or kind == CTL_PROMOTE:

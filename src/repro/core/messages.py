@@ -77,6 +77,12 @@ CTL_MISSPEC = "misspec"
 CTL_VALIDATED = "validated"
 #: Worker -> commit: finished all assigned iterations.  Payload: tid.
 CTL_WORKER_DONE = "worker_done"
+#: Commit -> try-commit: a drain began (or its pause target dropped).
+#: Payload: pause target iteration.  A wake-up ping: the try-commit
+#: unit may be blocked consuming the access log of an iteration at or
+#: past the pause target, whose worker misspeculated and will never
+#: send it; the authoritative signal is ``SystemState.pause_target``.
+CTL_DRAIN = "drain"
 #: Failure detector -> commit: a node stopped heartbeating.  Payload:
 #: node index.  Injected locally at the commit unit (the detector runs
 #: on the commit node), so it is a wake-up ping, not wire traffic; the

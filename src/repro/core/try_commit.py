@@ -98,7 +98,18 @@ class TryCommitUnit:
                 yield from val_queue.flush_pending()
                 raise RecoveryAbort("validation paused for draining")
             iteration = self.position
-            ok = yield from self._validate_mtx(iteration)
+            try:
+                ok = yield from self._validate_mtx(iteration)
+            except RecoveryAbort:
+                if not state.in_recovery:
+                    # Doomed mid-validation: a drain's pause target
+                    # fell at or below this iteration, so its log may
+                    # never complete — but the VALIDATED notices for
+                    # the iterations before the target are still
+                    # batched here, and the drain cannot finish
+                    # without them.
+                    yield from val_queue.flush_pending()
+                raise
             if not ok:
                 # Flush the validation notices so the drain can commit
                 # everything earlier, then signal the misspeculation.
@@ -124,7 +135,7 @@ class TryCommitUnit:
             worker_tid = system.worker_tid_for(stage, iteration)
             queue = system.tclog_queue(worker_tid)
             while True:
-                entry = yield from self.endpoint.consume_from(queue)
+                entry = yield from self._consume_log_entry(queue, iteration)
                 kind = entry[0]
                 self.core.charge_instructions(system.config.check_instructions)
                 if kind == END_SUBTX:
@@ -142,6 +153,34 @@ class TryCommitUnit:
                     if entry[2] != expected:
                         clean = False
         return clean
+
+    def _consume_log_entry(self, queue, iteration: int) -> Generator[Event, Any, tuple]:
+        """Blocking consume of the next access-log entry, abandoning
+        the wait once ``iteration`` is doomed.
+
+        When a worker detects a misspeculation directly, it reports to
+        the commit unit without ever sending that iteration's log — so
+        blocking on the log of an iteration at or past the drain's
+        pause target can wait forever, deadlocking the drain (which
+        needs this unit's batched VALIDATED notices to finish).  The
+        commit unit's ``CTL_DRAIN`` ping wakes the blocked receive;
+        the pause-target check here turns the wake-up into an abort.
+        """
+        endpoint = self.endpoint
+        delivered = queue.delivered
+        state = self.system.state
+        while True:
+            if state.in_recovery:
+                raise RecoveryAbort("recovery started while consuming")
+            if state.draining and iteration >= state.pause_target:
+                raise RecoveryAbort(
+                    f"iteration {iteration} is doomed by the drain "
+                    f"(pause target {state.pause_target})"
+                )
+            if delivered:
+                return delivered.popleft()
+            envelope = yield from endpoint._recv_one()
+            endpoint._route(envelope, arrival_order=False)
 
     def _sequential_value(self, address: int) -> Generator[Event, Any, Any]:
         """The value the sequential program would have loaded here."""

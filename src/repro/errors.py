@@ -95,6 +95,20 @@ class PlacementError(ClusterError):
     """A thread could not be placed on a core (e.g. too few cores)."""
 
 
+class CampaignError(ReproError):
+    """An invalid campaign or scenario specification (unparseable file,
+    unknown field, out-of-range value, duplicate scenario name, ...).
+    The message always names the offending field with its path inside
+    the campaign document."""
+
+
+class CampaignValidationWarning(UserWarning):
+    """A campaign scenario is valid but will not do what it appears to
+    say — e.g. fault-plan fields that are ignored because the scenario
+    does not enable the failure-aware runtime.  The warning names every
+    ignored field."""
+
+
 class CommunicationError(ClusterError):
     """Base class for message-passing errors."""
 

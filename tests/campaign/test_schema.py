@@ -1,0 +1,307 @@
+"""Campaign schema: validation, round-trip identity, expansion."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    FaultSpec,
+    ScenarioSpec,
+    load_campaign,
+    loads_campaign,
+    scenario_digest,
+)
+from repro.errors import CampaignError, CampaignValidationWarning
+
+
+RICH_SCENARIO = {
+    "name": "failover",
+    "benchmark": "crc32",
+    "scheme": "dsmtx",
+    "cores": 8,
+    "iterations": 48,
+    "seed": 3,
+    "batch_bytes": 64,
+    "placement": "spread",
+    "fault_tolerance": True,
+    "commit_replication": True,
+    "misspec_iterations": [7, 3],
+    "misspec_every": 0,
+    "faults": {"crash_commit": True, "crash_at_ms": 18.0, "drop": 0.02},
+    "expect": {"committed_mtxs": 48, "matches_reference": True},
+}
+
+
+# -- round-trip identity ---------------------------------------------------------
+
+
+def test_scenario_round_trip_identity():
+    spec = ScenarioSpec.from_dict(dict(RICH_SCENARIO))
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.digest() == spec.digest()
+
+
+def test_round_trip_is_canonical():
+    # to_dict emits every field, so two spellings of the same scenario
+    # (defaults implicit vs explicit) resolve to one digest.
+    minimal = ScenarioSpec.from_dict({"benchmark": "crc32"})
+    explicit = ScenarioSpec.from_dict(minimal.to_dict())
+    assert scenario_digest(minimal) == scenario_digest(explicit)
+
+
+def test_digest_moves_with_any_field():
+    base = ScenarioSpec.from_dict({"benchmark": "crc32"})
+    for change in ({"cores": 16}, {"seed": 1}, {"scheme": "tls"},
+                   {"faults": {"degrade": 4.0}},
+                   {"expect": {"committed_mtxs": 24}}):
+        other = ScenarioSpec.from_dict({"benchmark": "crc32", **change})
+        assert other.digest() != base.digest(), change
+
+
+def test_misspec_iterations_are_normalized():
+    spec = ScenarioSpec.from_dict(
+        {"benchmark": "crc32", "misspec_iterations": [9, 3, 3]})
+    assert spec.misspec_iterations == (3, 9)
+
+
+def test_resolved_misspec_iterations_merges_comb():
+    spec = ScenarioSpec.from_dict(
+        {"benchmark": "crc32", "misspec_iterations": [2], "misspec_every": 8})
+    assert spec.resolved_misspec_iterations(24) == {2, 7, 15, 23}
+    # Explicit entries past the iteration count are clipped.
+    spec = ScenarioSpec.from_dict(
+        {"benchmark": "crc32", "misspec_iterations": [99]})
+    assert spec.resolved_misspec_iterations(24) is None
+
+
+# -- validation errors -----------------------------------------------------------
+
+
+def test_unknown_field_is_rejected_with_suggestion():
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict({"benchmark": "crc32", "coers": 8})
+    assert "coers" in str(excinfo.value)
+    assert "cores" in str(excinfo.value)  # difflib suggestion
+
+
+def test_unknown_benchmark_is_rejected():
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict({"benchmark": "crc33"})
+    assert "crc32" in str(excinfo.value)
+
+
+def test_bad_scheme_is_rejected():
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict({"benchmark": "crc32", "scheme": "magic"})
+    assert "dsmtx" in str(excinfo.value)
+
+
+def test_core_budget_is_checked_at_load_time():
+    # 164.gzip's 3-stage pipeline cannot run on 3 cores; the error
+    # names the minimum so a campaign fails before it fans out.
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict({"benchmark": "164.gzip", "cores": 3})
+    assert "at least" in str(excinfo.value)
+
+
+def test_commit_replication_requires_fault_tolerance():
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict(
+            {"benchmark": "crc32", "commit_replication": True})
+    assert "fault_tolerance" in str(excinfo.value)
+
+
+def test_probabilities_are_range_checked():
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict(
+            {"benchmark": "crc32", "fault_tolerance": True,
+             "faults": {"drop": 1.5}})
+    assert "faults.drop" in str(excinfo.value)
+
+
+def test_error_paths_name_the_document_location():
+    with pytest.raises(CampaignError) as excinfo:
+        CampaignSpec.from_dict({
+            "name": "bad",
+            "scenarios": [{"benchmark": "crc32"},
+                          {"benchmark": "crc32", "cores": "eight"}],
+        })
+    assert "campaign.scenarios[1]" in str(excinfo.value)
+
+
+# -- the FT-ignored-fields warning (satellite fix) -------------------------------
+
+
+def test_ft_fault_fields_warn_and_are_ignored_without_ft():
+    data = {"benchmark": "crc32",
+            "faults": {"crash_node": 1, "drop": 0.1, "degrade": 4.0}}
+    with pytest.warns(CampaignValidationWarning) as caught:
+        spec = ScenarioSpec.from_dict(data)
+    message = str(caught[0].message)
+    # The warning names exactly the ignored fields...
+    assert "crash_node" in message and "drop" in message
+    assert "degrade" not in message  # legal in any mode, not ignored
+    # ... and the spec is normalized so it runs (and digests) as what
+    # it will actually do.
+    assert spec.faults.crash_node == -1
+    assert spec.faults.drop == 0.0
+    assert spec.faults.degrade == 4.0
+
+
+def test_normalized_spec_does_not_rewarn_on_reload():
+    with pytest.warns(CampaignValidationWarning):
+        spec = ScenarioSpec.from_dict(
+            {"benchmark": "crc32", "faults": {"crash_commit": True}})
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+
+
+def test_ft_fault_fields_do_not_warn_with_ft():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        spec = ScenarioSpec.from_dict(
+            {"benchmark": "crc32", "fault_tolerance": True,
+             "faults": {"crash_node": 1}})
+    assert spec.faults.crash_node == 1
+
+
+# -- fault spec ------------------------------------------------------------------
+
+
+def test_inert_fault_spec_builds_no_plan():
+    assert FaultSpec().build_plan(seed=0) is None
+
+
+def test_fault_spec_times_are_milliseconds():
+    spec = FaultSpec(crash_node=2, crash_at_ms=5.0)
+    plan = spec.build_plan(seed=9)
+    assert plan.seed == 9
+    crash = plan.faults[0]
+    assert crash.node == 2
+    assert crash.at_s == pytest.approx(0.005)
+
+
+def test_crash_commit_resolves_against_the_built_system():
+    spec = FaultSpec(crash_commit=True)
+    plan = spec.build_plan(seed=0, commit_node=6)
+    assert plan.faults[0].node == 6
+    with pytest.raises(CampaignError):
+        spec.build_plan(seed=0)  # needs the commit node
+
+
+# -- campaign expansion ----------------------------------------------------------
+
+
+def test_expansion_is_the_cartesian_product():
+    campaign = CampaignSpec.from_dict({
+        "name": "grid",
+        "defaults": {"iterations": 8},
+        "axes": {"cores": [8, 16], "seed": [0, 1, 2]},
+        "scenarios": [{"name": "a", "benchmark": "crc32"},
+                      {"name": "b", "benchmark": "swaptions"}],
+    })
+    specs = campaign.expand()
+    assert len(specs) == 2 * 2 * 3
+    assert specs[0].name == "a/cores=8/seed=0"
+    assert specs[0].iterations == 8  # defaults flow through
+    assert {s.name for s in specs} == {
+        f"{base}/cores={c}/seed={s}"
+        for base in "ab" for c in (8, 16) for s in (0, 1, 2)
+    }
+
+
+def test_dotted_axes_reach_nested_fields():
+    campaign = CampaignSpec.from_dict({
+        "name": "faulty",
+        "defaults": {"fault_tolerance": True},
+        "axes": {"faults.crash_at_ms": [2.0, 4.0]},
+        "scenarios": [{"name": "x", "benchmark": "crc32",
+                       "faults": {"crash_node": 1}}],
+    })
+    specs = campaign.expand()
+    assert [s.faults.crash_at_ms for s in specs] == [2.0, 4.0]
+    # The base's own fault fields survive the axis merge.
+    assert all(s.faults.crash_node == 1 for s in specs)
+    assert specs[0].name == "x/crash_at_ms=2"
+
+
+def test_overly_deep_axis_key_is_rejected():
+    with pytest.raises(CampaignError) as excinfo:
+        CampaignSpec.from_dict({
+            "name": "bad",
+            "axes": {"faults.crash.deep": [1]},
+            "scenarios": [{"benchmark": "crc32"}],
+        })
+    assert "faults.crash.deep" in str(excinfo.value)
+
+
+def test_duplicate_names_are_rejected():
+    with pytest.raises(CampaignError) as excinfo:
+        CampaignSpec.from_dict({
+            "name": "dupes",
+            "scenarios": [{"name": "same", "benchmark": "crc32"},
+                          {"name": "same", "benchmark": "swaptions"}],
+        })
+    assert "duplicate scenario name" in str(excinfo.value)
+
+
+def test_expansion_is_validated_at_load_time():
+    # The bad core count only appears after the axis product; loading
+    # still rejects it.
+    with pytest.raises(CampaignError):
+        CampaignSpec.from_dict({
+            "name": "bad-grid",
+            "axes": {"cores": [8, 3]},
+            "scenarios": [{"benchmark": "164.gzip"}],
+        })
+
+
+# -- document loading ------------------------------------------------------------
+
+
+def test_loads_json_with_clear_parse_error():
+    with pytest.raises(CampaignError) as excinfo:
+        loads_campaign("{not json", source="broken.json")
+    assert "broken.json" in str(excinfo.value)
+
+
+def test_load_campaign_file_round_trip(tmp_path):
+    doc = {"name": "tiny",
+           "scenarios": [{"name": "one", "benchmark": "crc32"}]}
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(doc))
+    campaign = load_campaign(path)
+    assert campaign.name == "tiny"
+    assert campaign.source == str(path)
+    assert [s.name for s in campaign.expand()] == ["one"]
+
+
+def test_load_yaml_campaign(tmp_path):
+    yaml = pytest.importorskip("yaml")
+    del yaml
+    path = tmp_path / "tiny.yaml"
+    path.write_text(
+        "name: tiny\nscenarios:\n  - name: one\n    benchmark: crc32\n")
+    campaign = load_campaign(path)
+    assert [s.name for s in campaign.expand()] == ["one"]
+
+
+def test_curated_scenarios_load_and_expand():
+    # Every shipped campaign file must stay loadable; the example grid
+    # meets its advertised >= 100 scenarios.
+    from pathlib import Path
+
+    scenarios_dir = Path(__file__).resolve().parents[2] / "scenarios"
+    sizes = {}
+    for path in sorted(scenarios_dir.iterdir()):
+        if path.suffix not in (".json", ".yaml", ".yml"):
+            continue
+        campaign = load_campaign(path)
+        sizes[path.name] = len(campaign.expand())
+    assert sizes["example_grid.json"] >= 100
+    assert sizes["ci_smoke.json"] == 8

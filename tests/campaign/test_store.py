@@ -1,0 +1,104 @@
+"""Campaign results store: persistence, refs, regression diffing."""
+
+import pytest
+
+from repro.campaign import CampaignStore, ScenarioResult
+from repro.errors import CampaignError
+
+
+def _result(name: str, scenario_digest: str, outcome_digest: str,
+            index: int = 0, status: str = "ok") -> ScenarioResult:
+    return ScenarioResult(
+        name=name, index=index, scenario_digest=scenario_digest,
+        outcome_digest=outcome_digest, status=status, benchmark="crc32",
+        scheme="dsmtx", cores=8, committed_mtxs=24, speedup=3.0,
+        elapsed_sim_seconds=0.01, wall_seconds=0.5,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CampaignStore(tmp_path / "test.sqlite") as s:
+        yield s
+
+
+def test_round_trip_preserves_the_canonical_record(store):
+    original = _result("a", "s" * 64, "o" * 64)
+    campaign_id = store.record_campaign(name="t", results=[original])
+    (record,) = store.results(campaign_id)
+    # wall_seconds rides alongside the canonical record...
+    assert record.pop("wall_seconds") == 0.5
+    # ... which survives storage byte-for-byte.
+    assert record == original.record()
+
+
+def test_empty_store_refuses_refs(tmp_path):
+    with CampaignStore(tmp_path / "empty.sqlite") as store:
+        with pytest.raises(CampaignError) as excinfo:
+            store.resolve("latest")
+        assert "no campaigns" in str(excinfo.value)
+
+
+def test_resolve_latest_prev_and_ids(store):
+    first = store.record_campaign(name="one", results=[_result("a", "s1", "o1")])
+    second = store.record_campaign(name="two", results=[_result("a", "s1", "o1")])
+    assert store.resolve("latest") == second
+    assert store.resolve("prev") == first
+    assert store.resolve(str(first)) == first
+    with pytest.raises(CampaignError):
+        store.resolve(999)
+    with pytest.raises(CampaignError):
+        store.resolve("newest")
+
+
+def test_diff_on_a_synthetic_regression(store):
+    # Campaign 1: three scenarios.  Campaign 2 re-runs two of them (one
+    # with a changed outcome — the regression), drops one, adds one.
+    store.record_campaign(name="before", results=[
+        _result("stable", "sd-stable", "out-1", index=0),
+        _result("drifts", "sd-drifts", "out-2", index=1),
+        _result("dropped", "sd-dropped", "out-3", index=2),
+    ])
+    store.record_campaign(name="after", results=[
+        _result("stable", "sd-stable", "out-1", index=0),
+        _result("drifts", "sd-drifts", "out-2-CHANGED", index=1),
+        _result("fresh", "sd-fresh", "out-4", index=2),
+    ])
+    diff = store.diff("prev", "latest")
+    assert not diff.clean
+    assert diff.unchanged == 1
+    assert diff.changed == [("drifts", "sd-drifts", "out-2", "out-2-CHANGED")]
+    assert diff.added == [("fresh", "sd-fresh")]
+    assert diff.removed == [("dropped", "sd-dropped")]
+
+
+def test_diff_of_identical_campaigns_is_clean(store):
+    results = [_result("a", "s1", "o1"), _result("b", "s2", "o2", index=1)]
+    store.record_campaign(name="x", results=results)
+    store.record_campaign(name="y", results=results)
+    diff = store.diff("prev", "latest")
+    assert diff.clean
+    assert diff.unchanged == 2
+    assert not diff.added and not diff.removed
+
+
+def test_campaign_listing_counts_ok(store):
+    store.record_campaign(name="mixed", workers=4, source="x.json", results=[
+        _result("good", "s1", "o1"),
+        _result("bad", "s2", "o2", index=1, status="failed"),
+    ])
+    (row,) = store.campaigns()
+    assert row["name"] == "mixed"
+    assert row["scenarios"] == 2
+    assert row["ok"] == 1
+    assert row["workers"] == 4
+    assert row["source"] == "x.json"
+
+
+def test_store_persists_across_reopen(tmp_path):
+    path = tmp_path / "persist.sqlite"
+    with CampaignStore(path) as store:
+        store.record_campaign(name="t", results=[_result("a", "s1", "o1")])
+    with CampaignStore(path) as store:
+        assert store.outcome_digests(store.resolve("latest")) == \
+            [("a", "s1", "o1")]

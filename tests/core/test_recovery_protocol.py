@@ -54,6 +54,24 @@ def test_adjacent_misspecs():
     assert system.commit.master.read(workload.sum_addr) == expected_sum(24)
 
 
+def test_last_iteration_misspec_after_prior_recovery():
+    # Found by a scenario campaign sweep: with a two-stage pipeline at
+    # 8 cores, a worker-detected misspeculation on the *final*
+    # iteration following an earlier recovery used to deadlock.  The
+    # reporting worker never sends the aborted iteration's access log,
+    # and the try-commit unit — racing ahead of the misspec notice —
+    # blocked consuming it with the VALIDATED notices for the earlier
+    # iterations still batched, so the drain could never finish.  The
+    # commit unit now pings the try-commit unit when a drain begins,
+    # and a doomed consume aborts after flushing.
+    from repro.workloads import BlackScholes
+
+    workload = BlackScholes(iterations=12, misspec_iterations={5, 11})
+    system, _result = run(workload, cores=8)
+    assert system.stats.misspeculations == 2
+    assert system.stats.committed_mtxs == 12
+
+
 def test_dense_misspecs():
     workload = ToyDoall(iterations=40, misspec_iterations=set(range(5, 40, 5)))
     system, result = run(workload, cores=8)

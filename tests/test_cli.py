@@ -66,3 +66,83 @@ def test_chaos_digest_only_is_stable(capsys):
     second = capsys.readouterr().out.strip()
     assert first == second
     assert len(first) == 64  # a sha256 hex digest, nothing else
+
+
+def _write_campaign(tmp_path, name="cli-tiny"):
+    import json
+
+    doc = {
+        "name": name,
+        "scenarios": [{"name": "one", "benchmark": "crc32",
+                       "iterations": 8, "expect": {"committed_mtxs": 8}}],
+    }
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_campaign_run_report_list(tmp_path, capsys):
+    store = str(tmp_path / "c.sqlite")
+    path = _write_campaign(tmp_path)
+    assert main(["campaign", "run", str(path), "--store", store,
+                 "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "1 ok" in out
+    assert "stored campaign #1" in out
+    assert main(["campaign", "report", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "cli-tiny" in out
+    assert main(["campaign", "list", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "cli-tiny" in out
+
+
+def test_campaign_report_digests_format(tmp_path, capsys):
+    store = str(tmp_path / "c.sqlite")
+    path = _write_campaign(tmp_path)
+    assert main(["campaign", "run", str(path), "--store", store,
+                 "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "report", "latest", "--digests",
+                 "--store", store]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 1
+    digest, name = lines[0].split()
+    assert len(digest) == 64
+    assert name == "one"
+
+
+def test_campaign_diff_clean_and_exit_codes(tmp_path, capsys):
+    store = str(tmp_path / "c.sqlite")
+    path = _write_campaign(tmp_path)
+    for _ in range(2):
+        assert main(["campaign", "run", str(path), "--store", store,
+                     "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "diff", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out.lower() or "unchanged" in out.lower()
+
+
+def test_campaign_run_fails_exit_status_on_missed_expectation(tmp_path, capsys):
+    import json
+
+    store = str(tmp_path / "c.sqlite")
+    doc = {"name": "failing",
+           "scenarios": [{"name": "bad", "benchmark": "crc32",
+                          "iterations": 8,
+                          "expect": {"committed_mtxs": 9}}]}
+    path = tmp_path / "failing.json"
+    path.write_text(json.dumps(doc))
+    assert main(["campaign", "run", str(path), "--store", store,
+                 "--quiet"]) == 1
+    out = capsys.readouterr().out
+    assert "committed_mtxs" in out
+
+
+def test_campaign_rejects_invalid_file(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"name": "x", "scenarios": [{"benchmark": "nope"}]}')
+    assert main(["campaign", "run", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "benchmark" in err
