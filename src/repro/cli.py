@@ -615,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="runs per matrix entry; best wall time wins")
     perf.add_argument("--out", default=None,
                       help="results path (default: ./BENCH_sim.json)")
+    perf.add_argument("--guard", action="store_true",
+                      help="perf-drift guard: time the guarded entries at "
+                           "full size and exit 1 if events/sec regresses "
+                           ">30%% vs the committed BENCH_sim.json")
     return parser
 
 

@@ -37,6 +37,7 @@ from repro.core.messages import (
     REPL_FRONTIER,
     VALIDATED,
     WRITE,
+    WRITE_BLOCK,
 )
 from repro.core.stats import CheckpointRecord, FailureRecord, RecoveryRecord
 from repro.errors import NodeCrashed, ProcessInterrupt, RecoveryError
@@ -219,14 +220,19 @@ class CommitUnit:
             obs.metrics.counter("coa.serves").inc()
 
     def _drain_queue(self, queue) -> None:
-        """Group a clog queue's entries into per-iteration write sets."""
+        """Group a clog queue's entries into per-iteration write sets.
+
+        Groups hold the write-log entries themselves — per-word ``W``
+        records and run-length ``WB`` records — which
+        :meth:`AddressSpace.apply_entries` applies wholesale at commit.
+        """
         group = self._open_groups.setdefault(queue.name, [])
         delivered = queue.delivered
         while delivered:
             entry = delivered.popleft()
             kind = entry[0]
-            if kind == WRITE:
-                group.append((entry[1], entry[2]))
+            if kind == WRITE or kind == WRITE_BLOCK:
+                group.append(entry)
             elif kind == VALIDATED:
                 self.validated.add(entry[1])
             elif kind == END_SUBTX:
@@ -261,15 +267,21 @@ class CommitUnit:
             words = 0
             for stage in sorted(per_stage):
                 writes = per_stage[stage]
-                words += len(writes)
                 if system.config.coa_replicas:
                     self._check_read_only(writes)
-                self.master.apply_writes(writes)
+                words += self.master.apply_entries(writes)
                 if repl is not None:
                     # Stream in the exact apply order so the standby's
                     # replay reproduces master memory word for word.
-                    for address, value in writes:
-                        yield from repl.produce((WRITE, address, value))
+                    # Per-word entries are re-framed as bare (W, a, v)
+                    # triples (a 4th nbytes element prices the *log*
+                    # wire, not the replication stream); run-length
+                    # entries ship whole.
+                    for entry in writes:
+                        if entry[0] == WRITE:
+                            yield from repl.produce((WRITE, entry[1], entry[2]))
+                        else:
+                            yield from repl.produce(entry)
             self.core.charge_instructions(words * system.config.commit_instructions)
             system.stats.words_committed += words
             system.stats.committed_mtxs += 1
@@ -350,10 +362,21 @@ class CommitUnit:
         to; a violation is a workload bug, not a recoverable event."""
         from repro.memory import page_number
 
-        for address, _value in writes:
-            if self.system.uva.page_is_read_only(page_number(address)):
+        uva = self.system.uva
+        for entry in writes:
+            address = entry[1]
+            if entry[0] == WRITE_BLOCK:
+                first = page_number(address)
+                last = page_number(address + (len(entry[2]) << 3) - 8)
+                bad = next(
+                    (p for p in range(first, last + 1) if uva.page_is_read_only(p)),
+                    None,
+                )
+            else:
+                bad = page_number(address) if uva.page_is_read_only(page_number(address)) else None
+            if bad is not None:
                 raise RecoveryError(
-                    f"commit to read-only page {page_number(address)} "
+                    f"commit to read-only page {bad} "
                     f"(address {address:#x}); read-only declarations must "
                     "cover only immutable input data"
                 )

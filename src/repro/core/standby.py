@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.core.messages import REPL_CHECKPOINT, REPL_FRONTIER, WRITE
+from repro.core.messages import REPL_CHECKPOINT, REPL_FRONTIER, WRITE, WRITE_BLOCK
 from repro.errors import (
     ChannelFlushedError,
     NodeCrashed,
@@ -47,7 +47,6 @@ from repro.errors import (
     RecoveryAbort,
 )
 from repro.memory import AddressSpace
-from repro.memory.layout import PAGE_SHIFT, WORD_SHIFT
 from repro.obs.tracer import CAT_FT_PROMOTION, CAT_FT_REPLICATION, PID_RUNTIME
 from repro.sim import Event
 
@@ -87,12 +86,7 @@ class StandbyUnit:
         standby would resurrect an empty heap and every committed result
         derived from the initial data would be wrong.
         """
-        for number, page in master.pages.items():
-            base = number << PAGE_SHIFT
-            self.image.apply_writes(
-                (base | (index << WORD_SHIFT), value)
-                for index, value in page.words.items()
-            )
+        self.image.apply_blocks(master.extract_blocks())
 
     # -- main process ------------------------------------------------------------------
 
@@ -141,6 +135,16 @@ class StandbyUnit:
             if kind == WRITE:
                 self._round.append((entry[1], entry[2]))
                 words += 1
+            elif kind == WRITE_BLOCK:
+                # Expand a run-length record into per-word replay pairs:
+                # the replay log, folds, and promotion stay word-ordered.
+                base = entry[1]
+                values = entry[2]
+                self._round.extend(
+                    (base + (offset << 3), value)
+                    for offset, value in enumerate(values)
+                )
+                words += len(values)
             elif kind == REPL_FRONTIER:
                 self.replay_log.extend(self._round)
                 self._round = []

@@ -32,6 +32,7 @@ from repro.core.messages import (
     DATA,
     END_SUBTX,
     WRITE,
+    WRITE_BLOCK,
 )
 from repro.errors import (
     ChannelFlushedError,
@@ -198,6 +199,10 @@ class Worker:
                     break
                 if kind == WRITE:
                     self.apply_forwarded(entry[1], entry[2])
+                elif kind == WRITE_BLOCK:
+                    base = entry[1]
+                    for offset, value in enumerate(entry[2]):
+                        self.apply_forwarded(base + (offset << 3), value)
                 elif kind == DATA:
                     self.context.incoming.setdefault(entry[1], []).append(entry[2])
         if obs is not None and self.stage_index > 0:
@@ -244,7 +249,8 @@ class Worker:
         clog = self._clog_queue()
         produce = clog.produce
         for entry in self.current_log:
-            if entry[0] == WRITE:
+            kind = entry[0]
+            if kind == WRITE or kind == WRITE_BLOCK:
                 events = produce(entry)
                 if events:
                     yield from events
@@ -322,14 +328,14 @@ class Worker:
         page_no = page_number(address)
         index = word_index(address)
         page = self.space.pages.get(page_no)
-        if page is not None and index in page.words:
+        if page is not None and page.present_mask >> index & 1:
             return page.words[index]
         value = yield from self._coa_fetch_word(page_no, index)
         if page is None:
             from repro.memory import Page
             page = Page(page_no)
             self.space.install_page(page)
-        page.words[index] = value  # present but clean (committed copy)
+        page.install_word(index, value)  # present but clean (committed copy)
         return value
 
     def _word_granular_write(self, address: int, value: Any) -> None:

@@ -1,11 +1,29 @@
 """Memory pages.
 
-A :class:`Page` stores word values sparsely (index -> value) with a
-default of zero for never-written words, mirroring demand-zeroed pages.
+A :class:`Page` stores its words in a fixed-size flat array (one slot
+per word, zero-filled for never-written words, mirroring demand-zeroed
+pages) plus two word-granular bitmasks:
+
+* ``present_mask`` — words explicitly written or installed.  This is
+  the page's *population*: :meth:`items` iterates it, and the
+  word-granularity COA ablation uses it for per-word presence checks.
+* ``dirty_mask`` — words written since the page entered its current
+  address space.  Write-set extraction
+  (:meth:`~repro.memory.address_space.AddressSpace.dirty_words`) reads
+  it directly instead of diffing dictionaries.
+
+Word values stay boxed Python objects (workloads store ints, floats and
+strings), so the backing array is a plain list — a contiguous C array
+of object pointers — rather than ``array('q')``/numpy, which would
+coerce values and change committed results.  The flat layout is what
+makes block reads/writes single slice operations.
+
 Pages carry a monotonically increasing ``version`` so Copy-On-Access
 snapshots can be identified (Figure 3(b) shows workers holding different
-versions of the same page), and a ``dirty`` flag so recovery can count
-the pages whose protection must be reinstated.
+versions of the same page), and a ``dirty`` flag (derived from
+``dirty_mask``) so recovery can count the pages whose protection must be
+reinstated.  ``owner`` backrefs the :class:`AddressSpace` the page is
+installed in, letting the space keep an O(1) dirty-page counter.
 """
 
 from __future__ import annotations
@@ -20,28 +38,62 @@ __all__ = ["Page"]
 class Page:
     """One 4 KiB page of word-granular values."""
 
-    __slots__ = ("number", "words", "version", "dirty")
+    __slots__ = ("number", "words", "version", "present_mask", "dirty_mask", "owner")
 
     def __init__(self, number: int, words: Dict[int, object] | None = None, version: int = 0) -> None:
         self.number = number
-        self.words: Dict[int, object] = dict(words) if words else {}
+        #: Flat word array, one slot per word (zero = never written).
+        self.words: list = [0] * WORDS_PER_PAGE
         self.version = version
-        self.dirty = False
+        self.present_mask = 0
+        self.dirty_mask = 0
+        #: AddressSpace this page is installed in (dirty accounting).
+        self.owner = None
+        if words:
+            array = self.words
+            mask = 0
+            for index, value in words.items():
+                self._check_index(index)
+                array[index] = value
+                mask |= 1 << index
+            self.present_mask = mask
+
+    @property
+    def dirty(self) -> bool:
+        """True if any word was written since installation."""
+        return self.dirty_mask != 0
 
     def read(self, index: int) -> object:
         """Value of word ``index`` (zero if never written)."""
         self._check_index(index)
-        return self.words.get(index, 0)
+        return self.words[index]
 
     def write(self, index: int, value: object) -> None:
-        """Set word ``index`` to ``value``; marks the page dirty."""
+        """Set word ``index`` to ``value``; marks the word dirty."""
         self._check_index(index)
         self.words[index] = value
-        self.dirty = True
+        if not self.dirty_mask and self.owner is not None:
+            self.owner._dirty_pages += 1
+        bit = 1 << index
+        self.dirty_mask |= bit
+        self.present_mask |= bit
+
+    def install_word(self, index: int, value: object) -> None:
+        """Set word ``index`` without dirtying it (a committed copy
+        pulled in by the word-granularity COA ablation)."""
+        self._check_index(index)
+        self.words[index] = value
+        self.present_mask |= 1 << index
 
     def snapshot(self) -> "Page":
         """An independent copy at the same version (a COA transfer)."""
-        copy = Page(self.number, self.words, self.version)
+        copy = Page.__new__(Page)
+        copy.number = self.number
+        copy.words = self.words[:]
+        copy.version = self.version
+        copy.present_mask = self.present_mask
+        copy.dirty_mask = 0
+        copy.owner = None
         return copy
 
     def bump_version(self) -> None:
@@ -49,8 +101,20 @@ class Page:
         self.version += 1
 
     def items(self) -> Iterator[Tuple[int, object]]:
-        """Iterate over (word index, value) pairs actually present."""
-        return iter(self.words.items())
+        """Iterate over (word index, value) pairs actually present, in
+        ascending index order."""
+        mask = self.present_mask
+        words = self.words
+        while mask:
+            low = mask & -mask
+            index = low.bit_length() - 1
+            yield index, words[index]
+            mask ^= low
+
+    @property
+    def word_count(self) -> int:
+        """Number of words actually present."""
+        return self.present_mask.bit_count()
 
     @staticmethod
     def _check_index(index: int) -> None:
@@ -58,4 +122,4 @@ class Page:
             raise IndexError(f"word index {index} outside [0, {WORDS_PER_PAGE})")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Page {self.number} v{self.version} {len(self.words)} words>"
+        return f"<Page {self.number} v{self.version} {self.word_count} words>"

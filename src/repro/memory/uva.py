@@ -16,6 +16,7 @@ and receive globally meaningful addresses.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict
 
 from repro.errors import AllocationError, OwnershipError
@@ -85,6 +86,10 @@ class UnifiedVirtualAddressSpace:
         #: way may be served by COA read replicas, since no committed
         #: write can ever touch it.
         self._read_only_page_ranges: list[tuple[int, int]] = []
+        #: Lazily rebuilt sorted view for binary-search lookups
+        #: (allocations never overlap, so ranges are disjoint).
+        self._read_only_sorted: list[tuple[int, int]] = []
+        self._read_only_starts: list[int] | None = []
 
     # -- allocation (the malloc/free hooks) ------------------------------------
 
@@ -106,6 +111,7 @@ class UnifiedVirtualAddressSpace:
             first_page = address // PAGE_BYTES
             last_page = (address + nbytes - 1) // PAGE_BYTES
             self._read_only_page_ranges.append((first_page, last_page))
+            self._read_only_starts = None
         return address
 
     def malloc_page_aligned(self, owner: int, nbytes: int,
@@ -114,11 +120,22 @@ class UnifiedVirtualAddressSpace:
         return self.malloc(owner, nbytes, align=PAGE_BYTES, read_only=read_only)
 
     def page_is_read_only(self, page_no: int) -> bool:
-        """True if the page lies in a declared read-only allocation."""
-        for first, last in self._read_only_page_ranges:
-            if first <= page_no <= last:
-                return True
-        return False
+        """True if the page lies in a declared read-only allocation.
+
+        Binary search over range starts: the commit unit consults this
+        for every committed write entry when COA replicas are on, so a
+        linear scan over all declarations is on the commit critical
+        path.  The sorted view is rebuilt lazily after a declaration.
+        """
+        starts = self._read_only_starts
+        if starts is None:
+            ranges = sorted(self._read_only_page_ranges)
+            self._read_only_sorted = ranges
+            starts = self._read_only_starts = [first for first, _last in ranges]
+        position = bisect_right(starts, page_no)
+        if not position:
+            return False
+        return page_no <= self._read_only_sorted[position - 1][1]
 
     def free(self, address: int) -> None:
         """Release an allocation.  The owner is recovered from the

@@ -32,10 +32,13 @@ from repro.sim import Environment, Resource, Store
 
 __all__ = [
     "BENCH_JSON_NAME",
+    "GUARD_ENTRIES",
+    "GUARD_MAX_REGRESSION",
     "MATRIX",
     "BenchResult",
     "cmd_perf",
     "render_comparison",
+    "run_guard",
     "run_matrix",
 ]
 
@@ -140,6 +143,60 @@ def _blackscholes(iterations: int, smoke_iterations: int):
     return factory
 
 
+def _benchmark(name: str, iterations: int, smoke_iterations: int, access: str):
+    """Factory for a named benchmark under a specific access leg."""
+    def factory(smoke: bool):
+        from repro.workloads import BENCHMARKS
+
+        count = smoke_iterations if smoke else iterations
+        return BENCHMARKS[name](iterations=count, access=access)
+
+    return factory
+
+
+def _memory_micro(access: str) -> Callable[[bool], tuple[int, float]]:
+    """AddressSpace-layer A/B: the same word traffic (writes, reads,
+    write-set extraction) through the per-word API vs. the block API.
+
+    No simulator runs here — the returned "events" are memory word
+    operations, identical for both legs, so the pair isolates the pure
+    host-time amortization of the flat-array block paths.
+    """
+    def run(smoke: bool) -> tuple[int, float]:
+        from repro.memory import AddressSpace
+
+        blocks = 256 if smoke else 2048
+        width = 64
+        space = AddressSpace(f"perf_{access}")
+        values = list(range(width))
+        ops = 0
+        for index in range(blocks):
+            base = index * 4096
+            if access == "block":
+                space.write_block(base, values)
+                got = space.read_block(base, width)
+            else:
+                for k in range(width):
+                    space.write(base + (k << 3), k)
+                got = [space.read(base + (k << 3)) for k in range(width)]
+            assert got[-1] == width - 1
+            ops += 2 * width
+        # Write-set extraction: run-length vs. per-word re-reads.
+        if access == "block":
+            extracted = sum(len(vals) for _addr, vals in space.extract_blocks())
+        else:
+            extracted = 0
+            for index in range(blocks):
+                base = index * 4096
+                for k in range(width):
+                    space.read(base + (k << 3))
+                    extracted += 1
+        assert extracted == blocks * width
+        return ops + extracted, 0.0
+
+    return run
+
+
 #: The fixed benchmark matrix: name -> callable(smoke) -> (events, sim_seconds).
 #: Picked to cover the four hot-path layers: the engine itself
 #: (engine_micro), queue/endpoint traffic (crc32 pipelines), the
@@ -160,7 +217,32 @@ MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
                                          fault_tolerance=True,
                                          commit_replication=True,
                                          placement="spread"),
+    # Batched-access A/B pairs (docs/PERFORMANCE.md "Batched access"):
+    # each _word/_block pair performs the same simulated work through
+    # the per-word vs. block context APIs, so the spread is the host
+    # amortization of run-length access records and slice memory ops.
+    "crc32_word_8c": _system_bench(
+        _benchmark("crc32", 24, 4, access="word"), cores=8),
+    "crc32_block_8c": _system_bench(
+        _benchmark("crc32", 24, 4, access="block"), cores=8),
+    "hmmer_word_16c": _system_bench(
+        _benchmark("456.hmmer", 256, 16, access="word"), cores=16),
+    "hmmer_block_16c": _system_bench(
+        _benchmark("456.hmmer", 256, 16, access="block"), cores=16),
+    "blackscholes_block_16c": _system_bench(
+        _benchmark("blackscholes", 192, 16, access="block"), cores=16),
+    "gzip_block_8c": _system_bench(
+        _benchmark("164.gzip", 96, 8, access="block"), cores=8),
+    # Memory-layer A/B (no simulator): word ops through the per-word
+    # vs. block AddressSpace APIs.
+    "mem_word_micro": _memory_micro("word"),
+    "mem_block_micro": _memory_micro("block"),
 }
+
+#: Entries the CI perf-drift guard watches, and the tolerated
+#: regression vs. the committed baseline before the guard fails.
+GUARD_ENTRIES = ("crc32_dsmtx_8c", "engine_micro")
+GUARD_MAX_REGRESSION = 0.30
 
 
 # -- running ---------------------------------------------------------------------
@@ -275,9 +357,58 @@ def render_comparison(results: list[BenchResult], previous: Optional[dict]) -> s
     )
 
 
+def run_guard(baseline_path: Path, repeats: int = 3,
+              max_regression: float = GUARD_MAX_REGRESSION) -> int:
+    """Perf-drift guard: time the :data:`GUARD_ENTRIES` at full size and
+    fail (exit 1) if either regresses more than ``max_regression`` in
+    events/sec vs. the committed baseline file.
+
+    The threshold is deliberately loose (CI machines are noisy); the
+    guard exists to catch order-of-magnitude slips — a hot path falling
+    off its fast path — not single-digit drift.
+    """
+    previous = load_previous(baseline_path)
+    if previous is None:
+        print(f"perf guard: no readable baseline at {baseline_path}",
+              file=sys.stderr)
+        return 2
+    baseline = previous.get("benchmarks", {})
+    failures = []
+    for name in GUARD_ENTRIES:
+        recorded = (baseline.get(name) or {}).get("events_per_sec")
+        if not recorded:
+            print(f"perf guard: baseline has no events_per_sec for {name}",
+                  file=sys.stderr)
+            return 2
+        bench = MATRIX[name]
+        best = float("inf")
+        events = None
+        for _ in range(max(1, repeats)):
+            begin = time.perf_counter()
+            got_events, _sim = bench(False)
+            best = min(best, time.perf_counter() - begin)
+            events = got_events
+        rate = events / best
+        ratio = rate / recorded
+        verdict = "ok" if ratio >= 1.0 - max_regression else "REGRESSED"
+        print(f"  {name:<20} baseline {recorded:>12,.0f} ev/s  "
+              f"current {rate:>12,.0f} ev/s  {ratio:5.2f}x  {verdict}",
+              file=sys.stderr)
+        if verdict != "ok":
+            failures.append(name)
+    if failures:
+        print(f"perf guard FAILED: {', '.join(failures)} regressed more than "
+              f"{max_regression:.0%} vs {baseline_path.name}", file=sys.stderr)
+        return 1
+    print("perf guard passed", file=sys.stderr)
+    return 0
+
+
 def cmd_perf(args) -> int:
     """``repro perf``: run the matrix, write BENCH_sim.json, compare."""
     out = Path(args.out) if args.out else Path.cwd() / BENCH_JSON_NAME
+    if getattr(args, "guard", False):
+        return run_guard(out, repeats=args.repeats)
     previous = load_previous(out)
     mode = "smoke" if args.smoke else f"full (best of {args.repeats})"
     print(f"running perf matrix [{mode}] ...", file=sys.stderr)

@@ -105,7 +105,7 @@ def test_drain_queue_groups_entries_across_batches():
     queue.accept_batch(BatchEnvelope(queue.name, 0, 1,
                                      ((WRITE, 8, "b"), (END_SUBTX, 0, 0)), 24))
     commit._drain_queue(queue)
-    assert commit.writes_by_iteration[0][0] == [(0, "a"), (8, "b")]
+    assert commit.writes_by_iteration[0][0] == [(WRITE, 0, "a"), (WRITE, 8, "b")]
     assert commit.ends_by_iteration[0] == {0}
 
 
