@@ -6,6 +6,7 @@ from repro.analysis.export import series_to_csv, table_to_csv, write_csv
 from repro.analysis.campaign import (
     render_campaign_diff,
     render_campaign_summary,
+    render_density_surface,
     render_recovery_distribution,
     render_speedup_surfaces,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "render_stacked_bars",
     "render_campaign_summary",
     "render_campaign_diff",
+    "render_density_surface",
     "render_recovery_distribution",
     "render_speedup_surfaces",
     "attribution",

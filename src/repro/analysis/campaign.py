@@ -27,6 +27,7 @@ from repro.analysis.speedup import geomean
 __all__ = [
     "quantile",
     "render_campaign_summary",
+    "render_density_surface",
     "render_speedup_surfaces",
     "render_recovery_distribution",
     "render_campaign_diff",
@@ -89,6 +90,51 @@ def render_speedup_surfaces(records: Sequence[Mapping]) -> str:
     return "\n\n".join(sections)
 
 
+# -- conflict density ------------------------------------------------------------
+
+
+def render_density_surface(records: Sequence[Mapping]) -> str:
+    """Per-density speedup surface: benchmark x density rows, one
+    geomean-speedup column per scheme, plus the speculative_for-to-DSMTX
+    ratio when both schemes ran the same cell.
+
+    This is the conflict-density A/B view the reservations campaign
+    reports: how each conflict-resolution paradigm degrades as the
+    structural contention knob rises.  Empty string when no record
+    carries a density (the campaign swept no irregular workload).
+    """
+    dense = [r for r in records
+             if r.get("density") is not None and r["speedup"] > 0]
+    if not dense:
+        return ""
+    schemes = sorted({r["scheme"] for r in dense})
+    cells: dict[tuple, list] = {}
+    for record in dense:
+        key = (record["benchmark"], record["density"], record["scheme"])
+        cells.setdefault(key, []).append(record["speedup"])
+    rows = []
+    ratio = "specfor" in schemes and "dsmtx" in schemes
+    for bench, density in sorted({(r["benchmark"], r["density"])
+                                  for r in dense}):
+        row = [bench, f"{density:g}"]
+        means = {}
+        for scheme in schemes:
+            values = cells.get((bench, density, scheme))
+            means[scheme] = geomean(values) if values else None
+            row.append(f"{means[scheme]:.2f}x" if values else "-")
+        if ratio:
+            sf, dx = means.get("specfor"), means.get("dsmtx")
+            row.append(f"{sf / dx:.2f}" if sf and dx else "-")
+        rows.append(row)
+    headers = ["benchmark", "density"] + schemes
+    if ratio:
+        headers.append("specfor/dsmtx")
+    return render_table(
+        headers, rows,
+        title="Conflict-density speedup surface (geomean over other axes)",
+    )
+
+
 # -- resilience ------------------------------------------------------------------
 
 
@@ -141,6 +187,9 @@ def render_campaign_summary(records: Sequence[Mapping],
     surfaces = render_speedup_surfaces(records)
     if surfaces:
         sections.append(surfaces)
+    density = render_density_surface(records)
+    if density:
+        sections.append(density)
     recovery = render_recovery_distribution(records)
     if recovery:
         sections.append(recovery)

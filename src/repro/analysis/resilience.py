@@ -91,6 +91,17 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
     )
     if any(value for _name, value in repl_counters):
         lines.extend(f"ft.{name}={value}" for name, value in repl_counters)
+    # speculative_for runs only: rounds of the deterministic-reservations
+    # scheduler.  Pipeline runs leave these at zero and print nothing.
+    if stats.specfor_rounds:
+        specfor_counters = (
+            ("rounds", stats.specfor_rounds),
+            ("reservations", stats.specfor_reservations),
+            ("reservation_failures", stats.specfor_reservation_failures),
+            ("commit_failures", stats.specfor_commit_failures),
+            ("carried", stats.specfor_carried),
+        )
+        lines.extend(f"specfor.{name}={value}" for name, value in specfor_counters)
     for record in stats.failures:
         line = (
             "failure("

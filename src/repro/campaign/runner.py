@@ -70,6 +70,13 @@ class ScenarioResult:
     promotions: int = 0
     #: Epoch checkpoints taken.
     checkpoints: int = 0
+    #: Conflict-density knob of the scenario (irregular workloads only).
+    density: Optional[float] = None
+    #: Reservation rounds, ``write_min`` losses, and carried iterations
+    #: (scheme ``specfor`` only; all zero elsewhere).
+    specfor_rounds: int = 0
+    specfor_reservation_failures: int = 0
+    specfor_carried: int = 0
     #: Host wall-clock seconds this scenario took.  NOT part of the
     #: canonical record — it varies run to run by construction.
     wall_seconds: float = 0.0
@@ -101,6 +108,10 @@ class ScenarioResult:
             "lost_iterations": self.lost_iterations,
             "promotions": self.promotions,
             "checkpoints": self.checkpoints,
+            "density": self.density,
+            "specfor_rounds": self.specfor_rounds,
+            "specfor_reservation_failures": self.specfor_reservation_failures,
+            "specfor_carried": self.specfor_carried,
         }
 
     def record_json(self) -> str:
@@ -115,19 +126,31 @@ class ScenarioResult:
 # -- one scenario ----------------------------------------------------------------
 
 
-def _build_system(spec: ScenarioSpec, config):
-    """A fresh (system, workload) pair for ``spec`` under ``config``."""
-    from repro.core import DSMTXSystem
-    from repro.workloads import BENCHMARKS
-
-    factory = BENCHMARKS[spec.benchmark]
+def _workload_kwargs(spec: ScenarioSpec) -> dict:
     kwargs = {}
     if spec.iterations is not None:
         kwargs["iterations"] = spec.iterations
+    if spec.density is not None:
+        kwargs["density"] = spec.density
+    return kwargs
+
+
+def _build_system(spec: ScenarioSpec, config):
+    """A fresh (system, workload) pair for ``spec`` under ``config``."""
+    from repro.core import DSMTXSystem
+    from repro.workloads import ALL_BENCHMARKS
+
+    factory = ALL_BENCHMARKS[spec.benchmark]
+    kwargs = _workload_kwargs(spec)
     workload = factory(**kwargs)
     bad = spec.resolved_misspec_iterations(workload.iterations)
     if bad is not None:
         workload = factory(misspec_iterations=bad, **kwargs)
+    if spec.scheme == "specfor":
+        from repro.paradigms import SpecForSystem
+
+        # Every core beyond the reservation-commit service is a worker.
+        return SpecForSystem(workload, config, workers=spec.cores - 1), workload
     plan = (workload.dsmtx_plan() if spec.scheme == "dsmtx"
             else workload.tls_plan())
     return DSMTXSystem(plan, config), workload
@@ -175,6 +198,7 @@ def run_scenario(
         scheme=spec.scheme,
         cores=spec.cores,
         seed=spec.seed,
+        density=spec.density,
     )
     try:
         _execute(spec, result, trace_dir)
@@ -235,13 +259,13 @@ def _execute(spec: ScenarioSpec, result: ScenarioResult,
     result.lost_iterations = stats.lost_iterations
     result.promotions = stats.ft_promotions
     result.checkpoints = len(stats.checkpoints)
+    result.specfor_rounds = stats.specfor_rounds
+    result.specfor_reservation_failures = stats.specfor_reservation_failures
+    result.specfor_carried = stats.specfor_carried
 
-    factory_kwargs = {}
-    if spec.iterations is not None:
-        factory_kwargs["iterations"] = spec.iterations
-    from repro.workloads import BENCHMARKS
+    from repro.workloads import ALL_BENCHMARKS
 
-    sequential = BENCHMARKS[spec.benchmark](**factory_kwargs)
+    sequential = ALL_BENCHMARKS[spec.benchmark](**_workload_kwargs(spec))
     result.sequential_seconds = sequential.sequential_seconds(config)
     if stats.elapsed_seconds > 0:
         result.speedup = result.sequential_seconds / stats.elapsed_seconds

@@ -42,8 +42,10 @@ __all__ = [
     "scenario_digest",
 ]
 
-#: Schemes a scenario may select (``dsmtx_plan`` / ``tls_plan``).
-SCHEMES = ("dsmtx", "tls")
+#: Schemes a scenario may select: the two DSMTX-runtime plans
+#: (``dsmtx_plan`` / ``tls_plan``) and the deterministic-reservations
+#: runtime (``specfor`` — :class:`repro.paradigms.SpecForSystem`).
+SCHEMES = ("dsmtx", "tls", "specfor")
 #: Placement policies understood by :class:`repro.core.SystemConfig`.
 PLACEMENTS = ("pack", "spread")
 
@@ -364,6 +366,10 @@ class ScenarioSpec:
     #: Misspeculate every Nth iteration (0 disables) — the
     #: conflict-density knob for sweep axes.
     misspec_every: int = 0
+    #: Structural conflict density in [0, 1] for the irregular workloads
+    #: (vertex-pool size, neighbor degree, contraction order); ``null``
+    #: keeps the workload default.  Rejected for Table 2 benchmarks.
+    density: Optional[float] = None
     #: Deterministic fault plan (simulated-ms schedule).
     faults: FaultSpec = field(default_factory=FaultSpec)
     #: Outcome assertions.
@@ -376,7 +382,7 @@ class ScenarioSpec:
         "name", "benchmark", "scheme", "cores", "iterations", "seed",
         "batch_bytes", "placement", "coa_replicas", "fault_tolerance",
         "commit_replication", "misspec_iterations", "misspec_every",
-        "faults", "expect", "trace",
+        "density", "faults", "expect", "trace",
     )
 
     @classmethod
@@ -394,14 +400,21 @@ class ScenarioSpec:
         benchmark = _get_str(data, "benchmark", "", path)
         if not benchmark:
             raise _err(f"{path}.benchmark", "a scenario needs a benchmark")
-        from repro.workloads import BENCHMARKS
+        from repro.workloads import ALL_BENCHMARKS, IRREGULAR
 
-        if benchmark not in BENCHMARKS:
-            hint = difflib.get_close_matches(benchmark, BENCHMARKS, n=1)
+        if benchmark not in ALL_BENCHMARKS:
+            hint = difflib.get_close_matches(benchmark, ALL_BENCHMARKS, n=1)
             suggestion = f" (did you mean {hint[0]!r}?)" if hint else ""
             raise _err(f"{path}.benchmark",
                        f"unknown benchmark {benchmark!r}{suggestion}; "
                        f"run 'repro list' to see the registry")
+        density = _get_float(data, "density", None, path,
+                             minimum=0.0, maximum=1.0)
+        if density is not None and benchmark not in IRREGULAR:
+            raise _err(f"{path}.density",
+                       f"benchmark {benchmark!r} takes no density knob; "
+                       f"only the irregular workloads do: "
+                       f"{', '.join(sorted(IRREGULAR))}")
         misspec_raw = data.get("misspec_iterations", ())
         if not isinstance(misspec_raw, (list, tuple)) or not all(
             isinstance(i, int) and not isinstance(i, bool) and i >= 0
@@ -440,6 +453,7 @@ class ScenarioSpec:
             commit_replication=_get_bool(data, "commit_replication", False, path),
             misspec_iterations=tuple(sorted(set(misspec_raw))),
             misspec_every=_get_int(data, "misspec_every", 0, path, minimum=0),
+            density=density,
             faults=faults,
             expect=ExpectationSpec.from_dict(
                 data.get("expect", {}), f"{path}.expect"),
@@ -449,6 +463,17 @@ class ScenarioSpec:
             raise _err(f"{path}.commit_replication",
                        "a commit standby needs the failure-aware runtime; "
                        "set fault_tolerance: true")
+        if spec.scheme == "specfor":
+            if spec.fault_tolerance or spec.commit_replication:
+                raise _err(f"{path}.fault_tolerance",
+                           "the reservations runtime has no failure-aware "
+                           "mode; scheme 'specfor' needs fault_tolerance "
+                           "and commit_replication off")
+            if spec.coa_replicas:
+                raise _err(f"{path}.coa_replicas",
+                           "COA read replicas belong to the DSMTX runtime; "
+                           "scheme 'specfor' ships snapshots to every "
+                           "worker instead")
         spec._check_core_budget(path)
         return spec
 
@@ -456,7 +481,10 @@ class ScenarioSpec:
         """Reject a core count the chosen plan cannot run on, at load
         time — a campaign should fail before it fans out, not 80
         scenarios in."""
-        pipeline_min = self.plan_min_cores()
+        try:
+            pipeline_min = self.plan_min_cores()
+        except CampaignError as exc:
+            raise _err(f"{path}.scheme", str(exc)) from None
         reserved_extra = self.coa_replicas + (1 if self.commit_replication else 0)
         minimum = pipeline_min + reserved_extra
         if self.cores < minimum:
@@ -470,10 +498,26 @@ class ScenarioSpec:
 
     def plan_min_cores(self) -> int:
         """Minimum cores of this scenario's pipeline (cheap: reads the
-        plan shape off a single-iteration workload instance)."""
-        from repro.workloads import BENCHMARKS
+        plan shape off a single-iteration workload instance).
 
-        workload = BENCHMARKS[self.benchmark](iterations=1)
+        For scheme ``specfor`` this doubles as the reservation-site
+        check: a workload without one is rejected here, at load time,
+        with the paradigm's did-you-mean error.
+        """
+        from repro.workloads import ALL_BENCHMARKS
+
+        workload = ALL_BENCHMARKS[self.benchmark](iterations=1)
+        if self.scheme == "specfor":
+            from repro.errors import ParadigmError
+            from repro.paradigms import ensure_reservation_site
+
+            try:
+                ensure_reservation_site(workload)
+            except ParadigmError as exc:
+                raise CampaignError(str(exc)) from None
+            # One worker plus the reservation-commit service; the
+            # SystemConfig floor of 3 cores still applies above.
+            return 2
         plan = (workload.dsmtx_plan() if self.scheme == "dsmtx"
                 else workload.tls_plan())
         return plan.min_cores
@@ -491,9 +535,11 @@ class ScenarioSpec:
         """Canonical form: every field explicit, insertion order fixed.
 
         ``from_dict(to_dict(spec)) == spec`` — the round-trip identity
-        the schema tests pin.
+        the schema tests pin.  Exception: ``density`` appears only when
+        set, so scenarios that predate the knob keep their digests
+        (absent features leave no trace).
         """
-        return {
+        data = {
             "name": self.name,
             "benchmark": self.benchmark,
             "scheme": self.scheme,
@@ -511,6 +557,9 @@ class ScenarioSpec:
             "expect": self.expect.to_dict(),
             "trace": self.trace,
         }
+        if self.density is not None:
+            data["density"] = self.density
+        return data
 
     def digest(self) -> str:
         """sha256 identity of this scenario (see :func:`scenario_digest`)."""

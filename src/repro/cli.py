@@ -35,43 +35,66 @@ from repro.analysis import (
 from repro.core import DSMTXSystem, SystemConfig
 from repro.obs import instrument, write_chrome_trace, write_trace_csv
 from repro.perf import cmd_perf
-from repro.workloads import BENCHMARKS, SPECULATION_LEGEND, table2_rows
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    SPECULATION_LEGEND,
+    irregular_rows,
+    table2_rows,
+)
 
 DEFAULT_SWEEP = (8, 32, 64, 96, 128)
 
 
 def _factory(name: str):
-    if name not in BENCHMARKS:
+    if name not in ALL_BENCHMARKS:
         raise SystemExit(
             f"unknown benchmark {name!r}; run 'python -m repro list' to see them"
         )
-    return BENCHMARKS[name]
+    return ALL_BENCHMARKS[name]
+
+
+def _metadata_table(rows, title):
+    return render_table(
+        ["Benchmark", "Suite", "Description", "Paradigm", "Speculation"],
+        [[r["benchmark"], r["suite"], r["description"], r["paradigm"],
+          r["speculation"]] for r in rows],
+        title=title,
+    )
 
 
 def cmd_list(_args) -> int:
-    """Print Table 2."""
-    rows = [
-        [r["benchmark"], r["suite"], r["description"], r["paradigm"], r["speculation"]]
-        for r in table2_rows()
-    ]
-    print(render_table(
-        ["Benchmark", "Suite", "Description", "Paradigm", "Speculation"], rows,
-        title="Table 2: Benchmark Details",
-    ))
+    """Print Table 2, plus the irregular speculative_for family."""
+    print(_metadata_table(table2_rows(), "Table 2: Benchmark Details"))
+    print()
+    print(_metadata_table(
+        irregular_rows(),
+        "Irregular workloads (deterministic reservations / speculative_for)"))
     print()
     print("; ".join(f"{k} = {v}" for k, v in SPECULATION_LEGEND.items()))
     return 0
 
 
 def cmd_run(args) -> int:
-    """Run one benchmark at one core count under both schemes."""
+    """Run one benchmark at one core count under every applicable scheme
+    (DSMTX and TLS always; speculative_for when the workload declares a
+    write_min reservation site)."""
     factory = _factory(args.benchmark)
+    kwargs = {}
+    if args.density is not None:
+        from repro.workloads import IRREGULAR
+
+        if args.benchmark not in IRREGULAR:
+            raise SystemExit(
+                f"--density only applies to the irregular workloads "
+                f"({', '.join(sorted(IRREGULAR))}), not {args.benchmark!r}")
+        kwargs["density"] = args.density
     config = SystemConfig(total_cores=args.cores, coa_replicas=args.replicas)
-    sequential = factory().sequential_seconds(config)
+    sequential = factory(**kwargs).sequential_seconds(config)
     print(f"{args.benchmark} on {args.cores} cores "
           f"(sequential: {sequential * 1e3:.2f} ms simulated)")
     for scheme in ("dsmtx", "tls"):
-        workload = factory()
+        workload = factory(**kwargs)
         plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
         system = DSMTXSystem(plan, config)
         result = system.run()
@@ -81,6 +104,18 @@ def cmd_run(args) -> int:
               f"[{stats.committed_mtxs} MTXs, "
               f"{stats.queue_bytes / 1e6:.1f} MB moved, "
               f"{stats.coa_pages_served} COA pages]")
+    workload = factory(**kwargs)
+    if workload.reservation_site() is not None:
+        from repro.paradigms import SpecForSystem
+
+        system = SpecForSystem(workload, config, workers=args.cores - 1)
+        result = system.run()
+        stats = result.stats
+        print(f"  {'speculative_for':<24} {result.elapsed_seconds * 1e3:9.2f} ms  "
+              f"{sequential / result.elapsed_seconds:6.1f}x   "
+              f"[{stats.specfor_rounds} rounds, "
+              f"{stats.specfor_reservation_failures} reservation losses, "
+              f"{stats.specfor_carried} carried]")
     return 0
 
 
@@ -478,6 +513,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replicas", type=int, default=0,
                      help="COA read replicas (extension; cores come off "
                           "the worker budget)")
+    run.add_argument("--density", type=float, default=None,
+                     help="conflict-density knob in [0,1] for the "
+                          "irregular workloads")
 
     sweep = sub.add_parser("sweep", help="speedup curve (a Figure 4 panel)")
     sweep.add_argument("benchmark")

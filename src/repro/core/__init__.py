@@ -9,6 +9,12 @@ commit, and the four-phase misspeculation recovery protocol.
 
 from repro.core.config import PipelineConfig, StageKind, StageSpec, SystemConfig
 from repro.core.context import MasterContext, MTXContext, SequentialMeter
+from repro.core.reservations import (
+    ReservationCommitService,
+    ReservationStats,
+    ReservationTable,
+    RoundRecord,
+)
 from repro.core.runtime import DSMTXSystem, RunResult
 from repro.core.state import RunMode, SystemState
 from repro.core.stats import RecoveryRecord, RunStats
@@ -16,6 +22,10 @@ from repro.core.stats import RecoveryRecord, RunStats
 __all__ = [
     "DSMTXSystem",
     "RunResult",
+    "ReservationTable",
+    "ReservationCommitService",
+    "ReservationStats",
+    "RoundRecord",
     "SystemConfig",
     "PipelineConfig",
     "StageSpec",

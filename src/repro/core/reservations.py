@@ -1,0 +1,231 @@
+"""Deterministic-reservations commit-unit service (``write_min`` table).
+
+The PBBS/parlaylib *deterministic reservations* paradigm resolves
+cross-iteration conflicts the opposite way from the paper's TLS /
+Spec-DSWP pipeline: instead of running ahead speculatively and
+squashing on a detected conflict, every iteration first **reserves**
+the shared slots it wants to mutate with a priority ``write_min``
+(lowest iteration index wins), then **checks** whether it won all of
+its reservations, and only then **commits**.  Iterations that lost a
+reservation are carried into the next round.  Because min is
+commutative, the winner of every slot depends only on *which*
+iterations reserved it — never on worker count, scheduling, or message
+arrival order — which is what makes the paradigm deterministic.
+
+This module is the service half: the :class:`ReservationTable` (the
+``write_min`` slots, backed by an :class:`~repro.memory.AddressSpace`
+so reservations live in the same memory substrate as everything else)
+and the :class:`ReservationCommitService` the ``speculative_for``
+runtime hosts on its commit unit — it owns the master memory, applies
+reservation batches, adjudicates per-iteration verdicts, and group
+commits the winners' writes in iteration order.  The round scheduler
+driving it lives in :mod:`repro.paradigms.specfor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.memory import AddressSpace
+
+__all__ = [
+    "EMPTY",
+    "ReservationTable",
+    "ReservationStats",
+    "RoundRecord",
+    "ReservationCommitService",
+]
+
+#: Table value meaning *unreserved* (an :class:`AddressSpace` word that
+#: was never written reads back 0, so empty slots cost no storage).
+EMPTY = 0
+
+
+class ReservationTable:
+    """``write_min`` reservation slots over an address space.
+
+    Slots are word-indexed (slot ``s`` lives at word address ``8 * s``
+    inside a dedicated space).  Priorities are iteration indices;
+    internally they are stored as ``iteration + 1`` so the empty value
+    0 never collides with iteration 0.
+    """
+
+    __slots__ = ("space", "slots", "reservations", "lost")
+
+    def __init__(self, slots: int, space: Optional[AddressSpace] = None) -> None:
+        if slots < 1:
+            raise ConfigurationError(
+                f"a reservation table needs at least one slot, got {slots}"
+            )
+        self.slots = slots
+        self.space = space if space is not None else AddressSpace("reservations")
+        #: ``write_min`` calls applied (attempted reservations).
+        self.reservations = 0
+        #: Attempts that lost to a lower iteration already in the slot.
+        self.lost = 0
+
+    def _address(self, slot: int) -> int:
+        if not 0 <= slot < self.slots:
+            raise ConfigurationError(
+                f"reservation slot {slot} outside table of {self.slots}"
+            )
+        return slot << 3
+
+    def reserve(self, slot: int, iteration: int) -> int:
+        """``write_min(slot, iteration)``: lowest iteration wins.
+
+        Returns the iteration now holding the slot.  Re-reserving with
+        the same iteration is idempotent; reserving with a higher
+        iteration than the holder is a recorded loss.
+        """
+        if iteration < 0:
+            raise ConfigurationError(
+                f"reservation priorities are iteration indices, got {iteration}"
+            )
+        self.reservations += 1
+        winner = self.space.write_min(self._address(slot), iteration + 1) - 1
+        if winner != iteration:
+            self.lost += 1
+        return winner
+
+    def holder(self, slot: int) -> Optional[int]:
+        """Iteration holding ``slot``, or ``None`` when unreserved."""
+        value = self.space.read(self._address(slot))
+        return None if value == EMPTY else value - 1
+
+    def check(self, slot: int, iteration: int) -> bool:
+        """True iff ``iteration`` won ``slot`` (the parlay ``check``)."""
+        return self.space.read(self._address(slot)) == iteration + 1
+
+    def check_reset(self, slot: int, iteration: int) -> bool:
+        """``check`` and, on success, release the slot (parlay idiom)."""
+        if self.check(slot, iteration):
+            self.release(slot)
+            return True
+        return False
+
+    def release(self, slot: int) -> None:
+        """Clear one slot back to empty."""
+        self.space.write(self._address(slot), EMPTY)
+
+    def reset(self, slots: Optional[Iterable[int]] = None) -> None:
+        """Clear the listed slots (or every slot) for the next round."""
+        if slots is None:
+            slots = range(self.slots)
+        for slot in slots:
+            self.release(slot)
+
+
+@dataclass
+class RoundRecord:
+    """One reserve -> check -> commit round of a ``speculative_for``."""
+
+    round_index: int
+    #: Iterations attempted this round (the pending-prefix batch size).
+    attempted: int
+    #: Iterations that completed (committed or decided they had no work).
+    completed: int
+    #: Iterations that lost at least one reservation.
+    reservation_failures: int
+    #: Iterations whose commit step declined after winning (rare).
+    commit_failures: int
+    #: Iterations carried into the next round.
+    carried: int
+    #: Words group-committed by the service this round.
+    words_committed: int
+
+
+@dataclass
+class ReservationStats:
+    """Aggregated ``speculative_for`` statistics (the run record)."""
+
+    #: Per-round records, in execution order.
+    rounds: list = field(default_factory=list)
+    #: Total ``write_min`` reservations applied by the service.
+    reservations: int = 0
+    #: Iterations that lost a reservation, summed over rounds.
+    reservation_failures: int = 0
+    #: Iterations whose commit step declined after winning, summed.
+    commit_failures: int = 0
+    #: Iterations carried forward, summed over rounds (re-tries).
+    carried_total: int = 0
+    #: Iterations completed.
+    committed: int = 0
+    #: Words group-committed.
+    words_committed: int = 0
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def record_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+        self.reservation_failures += record.reservation_failures
+        self.commit_failures += record.commit_failures
+        self.carried_total += record.carried
+        self.committed += record.completed
+        self.words_committed += record.words_committed
+
+
+class ReservationCommitService:
+    """Commit-unit half of the round protocol.
+
+    Owns the committed master memory and the reservation table; the
+    round scheduler feeds it reservation batches and winner write-sets.
+    The service is *pure bookkeeping* — it charges no simulated time
+    itself; the hosting unit (:class:`repro.paradigms.specfor.SpecForSystem`'s
+    commit process) prices each call in core cycles.
+    """
+
+    def __init__(self, slots: int, master: Optional[AddressSpace] = None) -> None:
+        self.master = master if master is not None else AddressSpace("master")
+        self.table = ReservationTable(slots)
+        self.stats = ReservationStats()
+        #: Slots touched in the current round (reset targets).
+        self._touched: set[int] = set()
+
+    # -- reserve phase ---------------------------------------------------------
+
+    def apply_reservations(self, pairs: Sequence[tuple]) -> int:
+        """Apply a batch of ``(slot, iteration)`` reservations.
+
+        Order inside (and across) batches is irrelevant: ``write_min``
+        commutes.  Returns the number applied (the hosting unit charges
+        per-entry cycles from it).
+        """
+        for slot, iteration in pairs:
+            self.table.reserve(slot, iteration)
+            self._touched.add(slot)
+        self.stats.reservations = self.table.reservations
+        return len(pairs)
+
+    # -- check phase -----------------------------------------------------------
+
+    def verdict(self, iteration: int, slots: Sequence[int]) -> bool:
+        """True iff ``iteration`` holds *every* slot it reserved."""
+        return all(self.table.check(slot, iteration) for slot in slots)
+
+    # -- commit phase ----------------------------------------------------------
+
+    def commit_writes(self, writes_by_iteration: Sequence[tuple]) -> int:
+        """Group commit winners' write-sets **in iteration order**.
+
+        ``writes_by_iteration`` is ``[(iteration, [(addr, value), ...]), ...]``;
+        sorting by iteration keeps the committed image identical to the
+        sequential execution whatever order workers reported in.
+        Returns words committed.
+        """
+        words = 0
+        for _iteration, writes in sorted(writes_by_iteration):
+            if writes:
+                self.master.apply_writes(writes)
+                words += len(writes)
+        return words
+
+    def end_round(self) -> None:
+        """Release every slot touched this round (fresh table for the
+        next batch; untouched slots cost nothing)."""
+        self.table.reset(sorted(self._touched))
+        self._touched.clear()

@@ -156,6 +156,17 @@ class RunStats:
     ft_promotions: int = 0
     #: Replication-log words replayed at promotion time.
     ft_replayed_words: int = 0
+    #: Rounds executed by a ``speculative_for`` run (deterministic
+    #: reservations; zero for the pipeline schemes).
+    specfor_rounds: int = 0
+    #: ``write_min`` reservations applied by the reservation service.
+    specfor_reservations: int = 0
+    #: Iterations that lost at least one reservation and were carried.
+    specfor_reservation_failures: int = 0
+    #: Iterations whose commit step declined after winning reservations.
+    specfor_commit_failures: int = 0
+    #: Iteration retries: carried-forward work summed over rounds.
+    specfor_carried: int = 0
     #: Wall-clock (simulated) duration of the parallel region.
     elapsed_seconds: float = 0.0
     #: Observability hub (:class:`repro.obs.Observability`) mirroring the

@@ -123,6 +123,28 @@ class AddressSpace:
         page = self._page_miss(address, address >> PAGE_SHIFT)
         page.write((address & PAGE_MASK) >> WORD_SHIFT, value)
 
+    def write_min(self, address: int, value: int) -> int:
+        """Priority write: keep the *minimum* of ``value`` and the word
+        already at ``address``; return the surviving winner.
+
+        The commutative primitive behind deterministic reservations
+        (Blelloch et al.): because min is order-independent, any
+        interleaving of ``write_min`` calls over a round leaves the same
+        winner in every slot, so reservation outcomes cannot depend on
+        worker count or message arrival order.  An unwritten word reads
+        back 0, which here means *empty* — callers encode priorities as
+        positive integers (the reservation table stores ``iteration + 1``).
+        """
+        if value <= 0:
+            raise UnmappedAddressError(
+                f"write_min needs a positive priority, got {value!r}"
+            )
+        current = self.read(address)
+        if current == 0 or value < current:
+            self.write(address, value)
+            return value
+        return current
+
     def _page_miss(self, address: int, page_no: int) -> Page:
         if self.faulting:
             self.faults_taken += 1

@@ -20,13 +20,23 @@ from repro.paradigms.pdg import (
     ProgramDependenceGraph,
     example_list_loop,
 )
-from repro.paradigms.plan import PlanNotation, format_plan, parse_plan
+from repro.paradigms.plan import PlanNotation, format_plan, parse_plan, validate_plan
 from repro.paradigms.schedule import (
     ScheduleResult,
     doacross_schedule,
     doall_schedule,
     dswp_schedule,
     schedule_loop,
+)
+from repro.paradigms.specfor import (
+    DONE,
+    TRY_AGAIN,
+    TRY_COMMIT,
+    ReservationSite,
+    SpecForSystem,
+    StepContext,
+    ensure_reservation_site,
+    speculative_for,
 )
 
 __all__ = [
@@ -41,9 +51,18 @@ __all__ = [
     "PlanNotation",
     "parse_plan",
     "format_plan",
+    "validate_plan",
     "ScheduleResult",
     "schedule_loop",
     "doall_schedule",
     "doacross_schedule",
     "dswp_schedule",
+    "DONE",
+    "TRY_COMMIT",
+    "TRY_AGAIN",
+    "ReservationSite",
+    "StepContext",
+    "SpecForSystem",
+    "speculative_for",
+    "ensure_reservation_site",
 ]

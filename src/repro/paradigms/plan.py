@@ -19,16 +19,21 @@ from dataclasses import dataclass
 from repro.core.config import PipelineConfig, StageKind
 from repro.errors import PlanSyntaxError
 
-__all__ = ["PlanNotation", "parse_plan", "format_plan"]
+__all__ = ["PlanNotation", "parse_plan", "format_plan", "validate_plan"]
 
-_SIMPLE_TECHNIQUES = ("DOALL", "DOACROSS", "DSWP", "TLS")
+_SIMPLE_TECHNIQUES = ("DOALL", "DOACROSS", "DSWP", "TLS", "SPECFOR")
+
+#: Accepted spellings of the deterministic-reservations paradigm; the
+#: canonical technique string is ``SPECFOR``.
+_SPECFOR_ALIASES = ("SPECFOR", "SPECULATIVE_FOR", "SPECULATIVE-FOR")
 
 
 @dataclass(frozen=True)
 class PlanNotation:
     """Structured form of a parallelization-plan string."""
 
-    #: Base technique: "DOALL", "DOACROSS", "DSWP", or "TLS".
+    #: Base technique: "DOALL", "DOACROSS", "DSWP", "TLS", or "SPECFOR"
+    #: (deterministic reservations, :func:`repro.paradigms.speculative_for`).
     technique: str
     #: True if the *whole* plan is speculative (leading ``Spec-``).
     speculative: bool = False
@@ -52,7 +57,7 @@ class PlanNotation:
         """The PipelineConfig this plan describes."""
         if self.is_pipeline:
             return PipelineConfig.from_kinds(list(self.stage_kinds))
-        if self.technique in ("DOALL", "TLS"):
+        if self.technique in ("DOALL", "TLS", "SPECFOR"):
             return PipelineConfig.from_kinds([StageKind.PARALLEL])
         raise PlanSyntaxError(f"{self.technique} has no pipeline form")
 
@@ -99,13 +104,35 @@ def parse_plan(text: str) -> PlanNotation:
 
     if text == "DSWP":
         return PlanNotation(technique="DSWP", speculative=speculative)
+    if text.upper().replace("-", "_") in ("SPECULATIVE_FOR", "SPECFOR"):
+        # Deterministic reservations are inherently speculative; the
+        # notation accepts but does not require the Spec- prefix.
+        return PlanNotation(technique="SPECFOR", speculative=True)
     if text in _SIMPLE_TECHNIQUES:
         return PlanNotation(technique=text, speculative=speculative)
     raise PlanSyntaxError(f"unrecognized plan {original!r}")
 
 
+def validate_plan(plan: PlanNotation, workload) -> PlanNotation:
+    """Check that *plan* can actually run on *workload*.
+
+    A ``SPECFOR`` plan needs the workload to expose a ``write_min``
+    reservation site; :func:`repro.paradigms.ensure_reservation_site`
+    raises a did-you-mean error naming the capable workloads otherwise.
+    Other techniques pass through unchanged.
+    """
+    if plan.technique == "SPECFOR":
+        from repro.paradigms.specfor import ensure_reservation_site
+
+        ensure_reservation_site(workload)
+    return plan
+
+
 def format_plan(plan: PlanNotation) -> str:
     """Render a PlanNotation back to the paper's string form."""
+    if plan.technique == "SPECFOR":
+        # Always speculative; the paper-style Spec- prefix would be noise.
+        return "speculative_for"
     prefix = "Spec-" if plan.speculative else ""
     if not plan.stage_kinds:
         return f"{prefix}{plan.technique}"

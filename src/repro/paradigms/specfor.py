@@ -1,0 +1,633 @@
+"""The ``speculative_for`` paradigm: round-based deterministic reservations.
+
+A genuinely different conflict-resolution paradigm from the paper's
+TLS / Spec-DSWP pipeline (the PBBS / parlaylib ``speculative_for``):
+instead of optimistic run-ahead with squash-and-replay, each round takes
+a *prefix* of the pending iterations and drives it through three phases
+against the :class:`~repro.core.reservations.ReservationCommitService`:
+
+1. **reserve** — every iteration computes, on the round-start snapshot,
+   the shared slots it wants to mutate and reserves them with
+   ``write_min`` (lowest iteration index wins);
+2. **check** — an iteration wins iff it holds *every* slot it reserved;
+3. **commit** — winners' write-sets are group-committed in iteration
+   order; losers are carried into the next round.
+
+Because ``write_min`` is commutative and every worker computes against
+the same round-start snapshot, the set of winners — and therefore the
+committed memory image, the round count, and every failure statistic —
+depends only on the iteration space, never on worker count or message
+arrival order.  Only the simulated *time* changes with workers.
+
+Three entry points:
+
+* :func:`speculative_for` — the pure host-level scheduler (no simulated
+  cluster).  The reference model the property and equivalence tests
+  compare everything against.
+* :class:`SpecForSystem` — the simulated runtime: ``workers`` worker
+  units plus one reservation-commit service unit on the same
+  cluster/MPI substrate as :class:`~repro.core.runtime.DSMTXSystem`,
+  with all protocol traffic priced through the interconnect.
+* :func:`ensure_reservation_site` — plan validation: rejects
+  ``speculative_for`` on workloads that define no reservation site,
+  with a did-you-mean pointing at the workloads that do.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.cluster import MPI, Interconnect, Machine, place_units
+from repro.core.config import SystemConfig
+from repro.core.messages import ENTRY_BYTES, MARKER_BYTES
+from repro.core.reservations import (
+    ReservationCommitService,
+    ReservationStats,
+    RoundRecord,
+)
+from repro.core.runtime import RunResult
+from repro.core.stats import RunStats
+from repro.errors import ConfigurationError, ParadigmError
+from repro.memory import AddressSpace, UnifiedVirtualAddressSpace
+from repro.memory.layout import PAGE_SHIFT, WORD_SHIFT
+from repro.sim import Environment
+
+__all__ = [
+    "DONE",
+    "TRY_COMMIT",
+    "TRY_AGAIN",
+    "ReservationSite",
+    "StepContext",
+    "speculative_for",
+    "SpecForSystem",
+    "ensure_reservation_site",
+]
+
+# Iteration statuses returned by a step's ``reserve`` phase (the
+# parlaylib ``enum status { done, try_commit, try_again }``).
+DONE = 0
+TRY_COMMIT = 1
+TRY_AGAIN = 2
+
+_TAG_ROUND = "sf_round"
+_TAG_RESERVE = "sf_reserve"
+_TAG_VERDICT = "sf_verdict"
+_TAG_COMMIT = "sf_commit"
+
+
+@dataclass(frozen=True)
+class ReservationSite:
+    """A workload's ``write_min`` reservation site.
+
+    ``slots`` is the size of the reservation table — one slot per
+    contendable object (vertex, list node, ...); ``label`` names what a
+    slot stands for in reports.
+    """
+
+    slots: int
+    label: str = "slot"
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ConfigurationError(
+                f"a reservation site needs at least one slot, got {self.slots}"
+            )
+
+
+class StepContext:
+    """Execution context for one iteration of a ``speculative_for`` step.
+
+    Unlike the generator contexts of :mod:`repro.core.context`, steps
+    are plain functions: they run to completion against a worker's
+    round-start snapshot, and their cost is charged as one deferred
+    lump.  ``reserve`` is only legal in the reserve phase, ``write``
+    only in the commit phase; commit-phase reads see the iteration's
+    own writes overlaid on the snapshot (read-own-write), never another
+    same-round iteration's — that blindness is what makes the outcome
+    worker-count independent.
+    """
+
+    RESERVE = "reserve"
+    COMMIT = "commit"
+
+    __slots__ = (
+        "iteration", "phase", "reserved", "writes", "cycles",
+        "_space", "_overlay", "_access_cycles",
+    )
+
+    def __init__(
+        self, space, iteration: int, phase: str, access_cycles: float = 0.0
+    ) -> None:
+        self.iteration = iteration
+        self.phase = phase
+        #: Slots reserved during the reserve phase, in request order.
+        self.reserved: list = []
+        #: (address, value) writes buffered during the commit phase.
+        self.writes: list = []
+        #: Deferred cycle cost accumulated by this iteration's step.
+        self.cycles = 0.0
+        self._space = space
+        self._overlay: dict = {}
+        self._access_cycles = access_cycles
+
+    def read(self, address: int) -> Any:
+        """Read a word from the round-start snapshot (plus this
+        iteration's own writes, in the commit phase)."""
+        self.cycles += self._access_cycles
+        if self._overlay:
+            try:
+                return self._overlay[address]
+            except KeyError:
+                pass
+        return self._space.read(address)
+
+    def write(self, address: int, value: Any) -> None:
+        """Buffer a word write (commit phase only); the service applies
+        winners' buffers in iteration order."""
+        if self.phase != self.COMMIT:
+            raise ParadigmError(
+                f"iteration {self.iteration} wrote in its {self.phase} phase; "
+                "speculative_for steps may only write while committing"
+            )
+        self.cycles += self._access_cycles
+        self._overlay[address] = value
+        self.writes.append((address, value))
+
+    def reserve(self, slot: int) -> None:
+        """Request ``write_min(slot, iteration)`` (reserve phase only)."""
+        if self.phase != self.RESERVE:
+            raise ParadigmError(
+                f"iteration {self.iteration} reserved in its {self.phase} "
+                "phase; reservations belong to the reserve phase"
+            )
+        self.cycles += self._access_cycles
+        self.reserved.append(slot)
+
+    def compute(self, cycles: float) -> None:
+        """Account ``cycles`` of step computation."""
+        self.cycles += cycles
+
+
+# -- shared phase execution (one source of truth for pure + simulated) ---------
+
+
+def _run_reserve(step, space, iteration: int, access_cycles: float = 0.0):
+    """Run one iteration's reserve phase; returns (status, slots, cycles)."""
+    ctx = StepContext(space, iteration, StepContext.RESERVE, access_cycles)
+    status = step.reserve(ctx, iteration)
+    if status not in (DONE, TRY_COMMIT, TRY_AGAIN):
+        raise ParadigmError(
+            f"reserve({iteration}) returned {status!r}, not one of "
+            "DONE/TRY_COMMIT/TRY_AGAIN"
+        )
+    if status != TRY_COMMIT and ctx.reserved:
+        raise ParadigmError(
+            f"reserve({iteration}) reserved slots but returned status "
+            f"{status}; only TRY_COMMIT iterations hold reservations"
+        )
+    return status, tuple(ctx.reserved), ctx.cycles
+
+
+def _run_commit(step, space, iteration: int, access_cycles: float = 0.0):
+    """Run one winner's commit phase; returns (ok, writes, cycles)."""
+    ctx = StepContext(space, iteration, StepContext.COMMIT, access_cycles)
+    ok = step.commit(ctx, iteration)
+    return bool(ok), tuple(ctx.writes), ctx.cycles
+
+
+class _RoundEngine:
+    """Service-side round scheduler: batch selection, adjudication,
+    group commit, carry-forward, and round-size adaptation.
+
+    Shared verbatim between :func:`speculative_for` and
+    :class:`SpecForSystem` so that winners, round records, and every
+    statistic are identical by construction.  All decisions here are
+    functions of the iteration space and the committed state only —
+    the round size in particular never consults the worker count.
+    """
+
+    def __init__(
+        self, service: ReservationCommitService, iterations: int, granularity: int
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError("speculative_for needs at least one iteration")
+        if granularity < 1:
+            raise ConfigurationError(f"granularity must be >= 1, got {granularity}")
+        self.service = service
+        self.pending = list(range(iterations))
+        #: Largest round: a 1/granularity slice of the iteration space.
+        self.max_round = iterations // granularity + 1
+        self.size = max(1, self.max_round // 2)
+        self.round_index = 0
+        #: Committed (address, value) entries not yet broadcast to the
+        #: workers' snapshots; starts as the built program state.
+        self.delta = _snapshot_entries(service.master)
+        self._batch: list = []
+        self._rest: list = []
+        self._decisions: list = []
+        self._losers: list = []
+        self._retries: list = []
+        self._finished: list = []
+
+    def begin_round(self) -> Optional[tuple]:
+        """Next ``(batch, delta)``, or ``None`` when the loop is done."""
+        if not self.pending:
+            return None
+        attempted = min(self.size, len(self.pending))
+        self._batch = self.pending[:attempted]
+        self._rest = self.pending[attempted:]
+        return self._batch, self.delta
+
+    def adjudicate(self, decisions: Sequence[tuple]) -> list:
+        """Apply reservations, return winners (sorted ascending).
+
+        ``decisions`` is ``[(iteration, status, slots), ...]`` covering
+        the whole batch, in any order.
+        """
+        decisions = sorted(decisions)
+        self._decisions = decisions
+        pairs = [
+            (slot, iteration)
+            for iteration, status, slots in decisions
+            if status == TRY_COMMIT
+            for slot in slots
+        ]
+        self.service.apply_reservations(pairs)
+        winners = []
+        self._losers, self._retries, self._finished = [], [], []
+        for iteration, status, slots in decisions:
+            if status == DONE:
+                self._finished.append(iteration)
+            elif status == TRY_AGAIN:
+                self._retries.append(iteration)
+            elif self.service.verdict(iteration, slots):
+                winners.append(iteration)
+            else:
+                self._losers.append(iteration)
+        return winners
+
+    def complete(self, commit_results: Sequence[tuple]) -> RoundRecord:
+        """Fold winners' commit results ``[(iteration, ok, writes), ...]``
+        into the committed image and close the round."""
+        commit_results = sorted(commit_results)
+        ok_writes = [(i, list(writes)) for i, ok, writes in commit_results if ok]
+        words = self.service.commit_writes(ok_writes)
+        commit_failed = [i for i, ok, _writes in commit_results if not ok]
+        carried = sorted(self._losers + self._retries + commit_failed)
+        record = RoundRecord(
+            round_index=self.round_index,
+            attempted=len(self._batch),
+            completed=len(self._batch) - len(carried),
+            reservation_failures=len(self._losers),
+            commit_failures=len(commit_failed),
+            carried=len(carried),
+            words_committed=words,
+        )
+        self.service.stats.record_round(record)
+        self.service.end_round()
+        # Next round's snapshot delta: last-write-wins over the
+        # iteration-ordered write sets, in ascending address order.
+        merged: dict = {}
+        for _iteration, writes in ok_writes:
+            merged.update(writes)
+        self.delta = sorted(merged.items())
+        self.pending = carried + self._rest
+        self.size = _next_round_size(
+            self.size, record.attempted, record.carried, self.max_round
+        )
+        self.round_index += 1
+        return record
+
+
+def _next_round_size(size: int, attempted: int, carried: int, max_round: int) -> int:
+    """Contention-adaptive round size (worker-count independent).
+
+    High carry ratio (> 1/4 of the batch retried) halves the round —
+    smaller prefixes conflict less; low ratio (< 1/16) doubles it back,
+    capped at ``max_round``.
+    """
+    if carried * 4 >= attempted:
+        return max(1, size // 2)
+    if carried * 16 <= attempted:
+        return min(max_round, size * 2)
+    return size
+
+
+def _snapshot_entries(space: AddressSpace) -> list:
+    """Every written ``(address, value)`` of ``space``, ascending."""
+    entries = []
+    for page in space.iter_pages():
+        base = page.number << PAGE_SHIFT
+        entries.extend(
+            (base + (index << WORD_SHIFT), value) for index, value in page.items()
+        )
+    return entries
+
+
+# -- pure reference scheduler --------------------------------------------------
+
+
+def speculative_for(
+    step,
+    iterations: int,
+    slots: int,
+    master: Optional[AddressSpace] = None,
+    granularity: int = 8,
+) -> tuple[AddressSpace, ReservationStats]:
+    """Host-level ``speculative_for``: no simulator, same semantics.
+
+    Runs the round protocol single-threaded against ``master`` (state
+    already built into it, or a fresh space) and returns ``(master,
+    stats)``.  This is the reference model: :class:`SpecForSystem`
+    produces the identical committed image and identical
+    :class:`~repro.core.reservations.ReservationStats` at every worker
+    count.
+    """
+    service = ReservationCommitService(slots, master)
+    engine = _RoundEngine(service, iterations, granularity)
+    replica = AddressSpace("specfor.ref.replica")
+    while (start := engine.begin_round()) is not None:
+        batch, delta = start
+        for address, value in delta:
+            replica.write(address, value)
+        decisions = []
+        for iteration in batch:
+            status, reserved, _cycles = _run_reserve(step, replica, iteration)
+            decisions.append((iteration, status, reserved))
+        winners = engine.adjudicate(decisions)
+        commit_results = []
+        for iteration in winners:
+            ok, writes, _cycles = _run_commit(step, replica, iteration)
+            commit_results.append((iteration, ok, writes))
+        engine.complete(commit_results)
+    return service.master, service.stats
+
+
+# -- plan validation -----------------------------------------------------------
+
+
+def ensure_reservation_site(workload) -> ReservationSite:
+    """The workload's reservation site, or a did-you-mean rejection.
+
+    ``speculative_for`` only applies to workloads that declare a
+    ``write_min`` reservation site; the error names the workloads that
+    do, with a close-match hint when the requested name resembles one
+    (same style as the campaign schema's unknown-key rejections).
+    """
+    site = workload.reservation_site()
+    if site is not None:
+        return site
+    from repro.workloads.registry import reservation_benchmarks
+
+    capable = sorted(reservation_benchmarks())
+    name = getattr(workload, "name", type(workload).__name__)
+    hint = difflib.get_close_matches(str(name), capable, n=1)
+    suffix = f" (did you mean {hint[0]!r}?)" if hint else ""
+    raise ParadigmError(
+        f"workload {name!r} defines no reservation site, so a "
+        f"'speculative_for' plan cannot run on it; workloads with one: "
+        f"{capable}{suffix}"
+    )
+
+
+# -- simulated runtime ---------------------------------------------------------
+
+
+class SpecForSystem:
+    """The simulated ``speculative_for`` runtime.
+
+    ``workers`` worker units plus one reservation-commit service unit,
+    placed on the cluster by the configured policy and communicating
+    through the priced MPI layer.  Each round the service broadcasts
+    the batch partition and the committed-delta snapshot update, the
+    workers run reserve steps and send reservation batches back, the
+    service adjudicates with ``write_min`` and returns verdicts, and
+    winners' write-sets flow back for the iteration-ordered group
+    commit.  Workers never apply their own writes locally mid-round —
+    every worker computes on the identical round-start snapshot, which
+    is what pins the outcome across worker counts.
+    """
+
+    def __init__(
+        self,
+        workload: Any,
+        config: Optional[SystemConfig] = None,
+        workers: int = 4,
+        granularity: int = 8,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"speculative_for needs at least one worker, got {workers}"
+            )
+        site = ensure_reservation_site(workload)
+        self.workload = workload
+        self.num_workers = workers
+        self.num_units = workers + 1
+        self.service_tid = workers
+        #: Runner/chaos convention: the "commit unit" tid — here the
+        #: reservation-commit service, which owns the master image.
+        self.commit_tid = self.service_tid
+        self.config = (
+            config
+            if config is not None
+            else SystemConfig(total_cores=max(3, self.num_units))
+        )
+        if self.config.total_cores < self.num_units:
+            raise ConfigurationError(
+                f"{workers} workers + 1 service need {self.num_units} cores, "
+                f"config grants {self.config.total_cores}"
+            )
+        self.granularity = granularity
+        self.cluster = self.config.cluster
+        self.env = Environment()
+        self.machine = Machine(self.env, self.cluster)
+        self.interconnect = Interconnect(self.env, self.machine)
+        self.mpi = MPI(self.env, self.machine, self.interconnect)
+        self.stats = RunStats()
+        #: Observability hub; every hook site no-ops while ``None``.
+        self.obs = None
+        self._core_indices = place_units(
+            self.cluster, self.num_units, self.config.placement
+        )
+        self.uva = UnifiedVirtualAddressSpace(owners=self.num_units)
+        self.service = ReservationCommitService(site.slots)
+        #: Digest/report convention: ``system.commit.master`` is the
+        #: committed memory image (same shape as DSMTXSystem).
+        self.commit = self.service
+        from repro.workloads.base import WriteThroughStore
+
+        # Program state is always allocated from owner 0's region — the
+        # service tid shifts with the worker count, and UVA addresses
+        # encode the owner, so building from the service region would
+        # make the committed image's addresses (and hence its digest)
+        # depend on the worker count.
+        workload.build(self.uva, 0, WriteThroughStore(self.service.master))
+
+    # -- introspection ---------------------------------------------------------
+
+    def core_of(self, tid: int):
+        return self.machine.core(self._core_indices[tid])
+
+    def utilization(self) -> dict:
+        """Busy fraction of every unit's core over the run so far."""
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return {}
+        clock = self.cluster.clock_hz
+
+        def fraction(tid: int) -> float:
+            return self.core_of(tid).busy_cycles / (elapsed * clock)
+
+        report = {
+            f"specfor-worker[{w}]": fraction(w) for w in range(self.num_workers)
+        }
+        report["specfor-service"] = fraction(self.service_tid)
+        return report
+
+    # -- unit processes --------------------------------------------------------
+
+    def _service_proc(self):
+        mpi, config, stats = self.mpi, self.config, self.stats
+        rank = self._core_indices[self.service_tid]
+        core = self.machine.core(rank)
+        ipc = self.cluster.instructions_per_cycle
+        check_cycles = config.check_instructions / ipc
+        commit_cycles = config.commit_instructions / ipc
+        worker_ranks = [self._core_indices[w] for w in range(self.num_workers)]
+        engine = _RoundEngine(self.service, self.workload.iterations, self.granularity)
+        obs = self.obs
+        while (start := engine.begin_round()) is not None:
+            batch, delta = start
+            parts = [batch[w :: self.num_workers] for w in range(self.num_workers)]
+            delta_entries = tuple(delta)
+            for w, wrank in enumerate(worker_ranks):
+                nbytes = (
+                    len(parts[w]) * MARKER_BYTES
+                    + len(delta_entries) * ENTRY_BYTES
+                    + MARKER_BYTES
+                )
+                stats.record_queue_bytes("specfor_round", nbytes)
+                yield from mpi.send(
+                    rank, wrank, (parts[w], delta_entries), nbytes, tag=_TAG_ROUND
+                )
+            decisions = []
+            reserved_slots = 0
+            for wrank in worker_ranks:
+                part = yield from mpi.recv(rank, wrank, tag=_TAG_RESERVE)
+                decisions.extend(part)
+                reserved_slots += sum(len(slots) for _i, _st, slots in part)
+            # One write_min application plus one verdict check per
+            # reserved slot, priced like try-commit log checking.
+            core.charge_cycles(check_cycles * 2 * reserved_slots)
+            winners = engine.adjudicate(decisions)
+            winner_set = set(winners)
+            for w, wrank in enumerate(worker_ranks):
+                mine = [i for i in parts[w] if i in winner_set]
+                nbytes = len(mine) * MARKER_BYTES + MARKER_BYTES
+                stats.record_queue_bytes("specfor_verdict", nbytes)
+                yield from mpi.send(rank, wrank, mine, nbytes, tag=_TAG_VERDICT)
+            commit_results = []
+            for wrank in worker_ranks:
+                part = yield from mpi.recv(rank, wrank, tag=_TAG_COMMIT)
+                commit_results.extend(part)
+            record = engine.complete(commit_results)
+            core.charge_cycles(commit_cycles * record.words_committed)
+            stats.committed_mtxs += record.completed
+            stats.words_committed += record.words_committed
+            if obs is not None:
+                metrics = obs.metrics
+                metrics.counter("specfor.rounds").inc()
+                metrics.counter("specfor.committed").inc(record.completed)
+                metrics.counter("specfor.reservation_failures").inc(
+                    record.reservation_failures
+                )
+                metrics.counter("specfor.carried").inc(record.carried)
+                metrics.histogram("specfor.round_size").observe(record.attempted)
+        for wrank in worker_ranks:
+            yield from mpi.send(rank, wrank, None, MARKER_BYTES, tag=_TAG_ROUND)
+
+    def _worker_proc(self, w: int):
+        mpi, config, stats = self.mpi, self.config, self.stats
+        rank = self._core_indices[w]
+        service_rank = self._core_indices[self.service_tid]
+        core = self.machine.core(rank)
+        ipc = self.cluster.instructions_per_cycle
+        access_cycles = config.access_instructions / ipc
+        replica = AddressSpace(f"specfor.replica{w}")
+        step = self.workload.specfor_step()
+        while True:
+            payload = yield from mpi.recv(rank, service_rank, tag=_TAG_ROUND)
+            if payload is None:
+                return
+            assignment, delta = payload
+            core.charge_cycles(access_cycles * len(delta))
+            for address, value in delta:
+                replica.write(address, value)
+            decisions = []
+            cycles = 0.0
+            for iteration in assignment:
+                status, reserved, step_cycles = _run_reserve(
+                    step, replica, iteration, access_cycles
+                )
+                decisions.append((iteration, status, reserved))
+                cycles += step_cycles
+            core.charge_cycles(cycles)
+            nbytes = (
+                sum(len(slots) for _i, _st, slots in decisions) * ENTRY_BYTES
+                + len(decisions) * MARKER_BYTES
+                + MARKER_BYTES
+            )
+            stats.record_queue_bytes("specfor_reserve", nbytes)
+            yield from mpi.send(rank, service_rank, decisions, nbytes, tag=_TAG_RESERVE)
+            winners = yield from mpi.recv(rank, service_rank, tag=_TAG_VERDICT)
+            commit_results = []
+            cycles = 0.0
+            for iteration in winners:
+                ok, writes, step_cycles = _run_commit(
+                    step, replica, iteration, access_cycles
+                )
+                commit_results.append((iteration, ok, writes))
+                cycles += step_cycles
+            core.charge_cycles(cycles)
+            nbytes = (
+                sum(len(writes) for _i, _ok, writes in commit_results) * ENTRY_BYTES
+                + len(commit_results) * MARKER_BYTES
+                + MARKER_BYTES
+            )
+            stats.record_queue_bytes("specfor_commit", nbytes)
+            yield from mpi.send(
+                rank, service_rank, commit_results, nbytes, tag=_TAG_COMMIT
+            )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Drive the loop to completion; returns the usual RunResult."""
+        start = self.env.now
+        processes = [
+            self.env.process(self._worker_proc(w), name=f"specfor.worker{w}")
+            for w in range(self.num_workers)
+        ]
+        processes.append(
+            self.env.process(self._service_proc(), name="specfor.service")
+        )
+        self.env.run(until=self.env.all_of(processes))
+        elapsed = self.env.now - start
+        spec = self.service.stats
+        stats = self.stats
+        stats.elapsed_seconds = elapsed
+        stats.specfor_rounds = spec.num_rounds
+        stats.specfor_reservations = spec.reservations
+        stats.specfor_reservation_failures = spec.reservation_failures
+        stats.specfor_commit_failures = spec.commit_failures
+        stats.specfor_carried = spec.carried_total
+        if self.obs is not None:
+            self.obs.finalize(self)
+        return RunResult(
+            elapsed_seconds=elapsed,
+            stats=stats,
+            iterations=stats.committed_mtxs,
+            total_cores=self.num_units,
+        )

@@ -154,6 +154,37 @@ def _benchmark(name: str, iterations: int, smoke_iterations: int, access: str):
     return factory
 
 
+def _specfor_bench(
+    name: str, iterations: int, smoke_iterations: int,
+    workers: int = 4, density: float = 0.5,
+) -> Callable[[bool], tuple[int, float]]:
+    """A speculative_for run of one irregular workload on the simulated
+    reservations runtime (workers + commit-service units)."""
+    def run(smoke: bool) -> tuple[int, float]:
+        from repro.paradigms import SpecForSystem
+        from repro.workloads import ALL_BENCHMARKS
+
+        count = smoke_iterations if smoke else iterations
+        workload = ALL_BENCHMARKS[name](iterations=count, density=density)
+        system = SpecForSystem(workload, workers=workers)
+        result = system.run()
+        return system.env.events_processed, result.elapsed_seconds
+
+    return run
+
+
+def _irregular_dsmtx(
+    name: str, iterations: int, smoke_iterations: int, density: float = 0.5,
+) -> Callable[[bool], tuple[int, float]]:
+    def factory(smoke: bool):
+        from repro.workloads import ALL_BENCHMARKS
+
+        count = smoke_iterations if smoke else iterations
+        return ALL_BENCHMARKS[name](iterations=count, density=density)
+
+    return _system_bench(factory, cores=8)
+
+
 def _memory_micro(access: str) -> Callable[[bool], tuple[int, float]]:
     """AddressSpace-layer A/B: the same word traffic (writes, reads,
     write-set extraction) through the per-word API vs. the block API.
@@ -237,11 +268,18 @@ MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
     # vs. block AddressSpace APIs.
     "mem_word_micro": _memory_micro("word"),
     "mem_block_micro": _memory_micro("block"),
+    # Deterministic-reservations runtime (speculative_for): the three
+    # irregular workloads on the round protocol, plus one conflict A/B
+    # against the DSMTX try-commit pipeline on the same workload.
+    "specfor_sf_4w": _specfor_bench("spanning_forest", 96, 16),
+    "specfor_mis_4w": _specfor_bench("maximal_independent_set", 64, 16),
+    "specfor_lc_4w": _specfor_bench("list_contraction", 64, 16),
+    "sf_dsmtx_8c": _irregular_dsmtx("spanning_forest", 96, 16),
 }
 
 #: Entries the CI perf-drift guard watches, and the tolerated
 #: regression vs. the committed baseline before the guard fails.
-GUARD_ENTRIES = ("crc32_dsmtx_8c", "engine_micro")
+GUARD_ENTRIES = ("crc32_dsmtx_8c", "engine_micro", "specfor_sf_4w")
 GUARD_MAX_REGRESSION = 0.30
 
 

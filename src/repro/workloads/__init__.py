@@ -18,12 +18,22 @@ from repro.workloads.crc32 import Crc32
 from repro.workloads.gzip import Gzip
 from repro.workloads.h264ref import H264Ref
 from repro.workloads.hmmer import Hmmer
+from repro.workloads.irregular import (
+    ListContraction,
+    MaximalIndependentSet,
+    SpanningForest,
+)
 from repro.workloads.li import Li
 from repro.workloads.parser import Parser
 from repro.workloads.registry import (
+    ALL_BENCHMARKS,
     BENCHMARKS,
+    IRREGULAR,
     SPECULATION_LEGEND,
     all_benchmarks,
+    irregular_benchmarks,
+    irregular_rows,
+    reservation_benchmarks,
     table2_rows,
     workload_class,
 )
@@ -45,9 +55,17 @@ __all__ = [
     "Crc32",
     "BlackScholes",
     "Swaptions",
+    "SpanningForest",
+    "MaximalIndependentSet",
+    "ListContraction",
     "BENCHMARKS",
+    "IRREGULAR",
+    "ALL_BENCHMARKS",
     "SPECULATION_LEGEND",
     "all_benchmarks",
+    "irregular_benchmarks",
+    "irregular_rows",
+    "reservation_benchmarks",
     "table2_rows",
     "workload_class",
 ]

@@ -163,6 +163,28 @@ class Workload(ABC):
     def tls_plan(self) -> ParallelPlan:
         """The TLS-only parallelization used for comparison."""
 
+    # -- deterministic reservations (speculative_for) ----------------------------------------------
+
+    def reservation_site(self):
+        """The workload's ``write_min`` reservation site
+        (:class:`~repro.paradigms.specfor.ReservationSite`), or ``None``
+        when the workload has no ``speculative_for`` form.  Plan
+        validation rejects ``speculative_for`` on workloads returning
+        ``None`` (see
+        :func:`~repro.paradigms.specfor.ensure_reservation_site`)."""
+        return None
+
+    def specfor_step(self):
+        """The reserve/commit step object driven by the
+        ``speculative_for`` round scheduler.  Only meaningful on
+        workloads with a reservation site."""
+        from repro.paradigms.specfor import ensure_reservation_site
+
+        ensure_reservation_site(self)  # raises the did-you-mean error
+        raise ConfigurationError(  # pragma: no cover - defensive
+            f"{self.name} declares a reservation site but no specfor_step()"
+        )
+
     # -- misspeculation injection ------------------------------------------------------------------
 
     def injected_misspec(self, iteration: int) -> bool:

@@ -1,0 +1,134 @@
+"""Property suite for the write_min reservation table.
+
+The reservation table is the arbitration primitive of the
+``speculative_for`` paradigm: whatever order reservations arrive in,
+whatever worker they came from, the lowest iteration index holds every
+slot it asked for at the end of the round.  The properties here drive
+arbitrary interleavings against a plain-dict reference model (mirroring
+``tests/memory/test_blocks.py``) and pin the three guarantees the round
+protocol builds on: lowest-iteration-wins, idempotent re-reservation,
+and worker-count-independent winners.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReservationCommitService, ReservationTable
+from repro.core.reservations import EMPTY
+from repro.errors import UnmappedAddressError
+
+_SLOTS = 16
+_SLOT = st.integers(0, _SLOTS - 1)
+_ITER = st.integers(0, 63)
+_PAIRS = st.lists(st.tuples(_SLOT, _ITER), max_size=60)
+
+
+def _reference(pairs):
+    """Plain-dict write_min model: slot -> lowest iteration offered."""
+    model = {}
+    for slot, iteration in pairs:
+        if slot not in model or iteration < model[slot]:
+            model[slot] = iteration
+    return model
+
+
+@settings(max_examples=200, deadline=None)
+@given(pairs=_PAIRS)
+def test_any_interleaving_yields_lowest_iteration_wins(pairs):
+    table = ReservationTable(_SLOTS)
+    for slot, iteration in pairs:
+        table.reserve(slot, iteration)
+    model = _reference(pairs)
+    for slot in range(_SLOTS):
+        if slot in model:
+            assert table.holder(slot) == model[slot]
+        else:
+            assert table.holder(slot) is None
+
+
+@settings(max_examples=200, deadline=None)
+@given(pairs=_PAIRS)
+def test_check_holds_iff_reference_winner(pairs):
+    table = ReservationTable(_SLOTS)
+    for slot, iteration in pairs:
+        table.reserve(slot, iteration)
+    model = _reference(pairs)
+    for slot, iteration in pairs:
+        assert table.check(slot, iteration) == (model[slot] == iteration)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pairs=_PAIRS)
+def test_re_reservation_is_idempotent(pairs):
+    """Replaying the whole pair list (in any rotation) changes nothing:
+    write_min is idempotent and commutative."""
+    once = ReservationTable(_SLOTS)
+    for slot, iteration in pairs:
+        once.reserve(slot, iteration)
+    twice = ReservationTable(_SLOTS)
+    for slot, iteration in pairs + pairs[::-1]:
+        twice.reserve(slot, iteration)
+    for slot in range(_SLOTS):
+        assert once.holder(slot) == twice.holder(slot)
+
+
+@settings(max_examples=200, deadline=None)
+@given(pairs=_PAIRS, workers=st.integers(1, 8))
+def test_winners_independent_of_worker_partition(pairs, workers):
+    """Dealing the pairs round-robin across W 'workers' and applying the
+    per-worker batches in worker order (the service's gather order)
+    yields the same holders as the sequential reference for every W."""
+    service = ReservationCommitService(_SLOTS)
+    batches = [pairs[w::workers] for w in range(workers)]
+    for batch in batches:
+        service.apply_reservations(
+            [(slot, iteration) for slot, iteration in batch])
+    model = _reference(pairs)
+    for slot in range(_SLOTS):
+        if slot in model:
+            assert service.table.holder(slot) == model[slot]
+        else:
+            assert service.table.holder(slot) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(pairs=_PAIRS)
+def test_reset_restores_empty(pairs):
+    table = ReservationTable(_SLOTS)
+    for slot, iteration in pairs:
+        table.reserve(slot, iteration)
+    table.reset()
+    for slot in range(_SLOTS):
+        assert table.holder(slot) is None
+
+
+def test_reserve_returns_current_winner():
+    table = ReservationTable(4)
+    assert table.reserve(2, 7) == 7
+    assert table.reserve(2, 3) == 3
+    assert table.reserve(2, 5) == 3  # loses; winner reported back
+    assert table.holder(2) == 3
+    assert table.reservations == 3
+    assert table.lost == 1
+
+
+def test_write_min_rejects_nonpositive_values():
+    from repro.memory import AddressSpace
+
+    space = AddressSpace("t")
+    with pytest.raises(UnmappedAddressError):
+        space.write_min(0, 0)
+    with pytest.raises(UnmappedAddressError):
+        space.write_min(0, -3)
+
+
+def test_release_and_check_reset():
+    table = ReservationTable(4)
+    table.reserve(1, 5)
+    assert table.check(1, 5)
+    table.release(1)
+    assert table.holder(1) is None
+    table.reserve(1, 2)
+    assert table.check_reset(1, 2)
+    assert table.holder(1) is None

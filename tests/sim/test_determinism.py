@@ -55,10 +55,39 @@ def _crash_commit_node_plan():
     return FaultPlan(faults=(NodeCrash(node=6, at_s=0.036754),), seed=11)
 
 
+def _irregular(name, iterations=32, density=0.7):
+    def factory():
+        from repro.workloads import ALL_BENCHMARKS
+
+        return ALL_BENCHMARKS[name](iterations=iterations, density=density)
+
+    return factory
+
+
+def _specfor_configs():
+    """speculative_for golden configs: every irregular workload at 1, 4,
+    and 8 workers.  The paradigm's guarantee — winners, rounds, and the
+    committed image are functions of the iteration space alone — means a
+    workload's three fingerprints differ only in timing and traffic
+    lines; the round counts, reservation stats, and master-image line
+    are identical (tests/paradigms/test_specfor.py asserts exactly
+    that)."""
+    configs = {}
+    for name, short in (("spanning_forest", "sf"),
+                        ("maximal_independent_set", "mis"),
+                        ("list_contraction", "lc")):
+        for workers in (1, 4, 8):
+            configs[f"specfor_{short}_{workers}w"] = (
+                _irregular(name), "specfor", {"workers": workers})
+    return configs
+
+
 #: name -> (workload factory, scheme, SystemConfig kwargs).  The extra
 #: ``chaos_plan`` key (popped before SystemConfig sees it) attaches a
 #: fault-injection plan: the failover episode itself must be
 #: byte-reproducible, so it is pinned here like any other config.
+#: Scheme ``specfor`` runs on the reservations runtime instead; its
+#: kwargs hold the worker count.
 CONFIGS = {
     "crc32_dsmtx_8c": (lambda: _crc32(), "dsmtx", {"total_cores": 8}),
     "crc32_misspec_8c": (lambda: _crc32(misspec={12}), "dsmtx", {"total_cores": 8}),
@@ -75,6 +104,7 @@ CONFIGS = {
                            "batch_bytes": 64, "checkpoint_interval_mtxs": 8,
                            "chaos_plan": _crash_commit_node_plan}),
 }
+CONFIGS.update(_specfor_configs())
 
 
 def run_fingerprint(name: str) -> str:
@@ -87,10 +117,16 @@ def run_fingerprint(name: str) -> str:
 
     factory, scheme, kwargs = CONFIGS[name]
     workload = factory()
-    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
     kwargs = dict(kwargs)
     chaos_factory = kwargs.pop("chaos_plan", None)
-    system = DSMTXSystem(plan, SystemConfig(**kwargs))
+    if scheme == "specfor":
+        from repro.paradigms import SpecForSystem
+
+        system = SpecForSystem(workload, **kwargs)
+    else:
+        plan = (workload.dsmtx_plan() if scheme == "dsmtx"
+                else workload.tls_plan())
+        system = DSMTXSystem(plan, SystemConfig(**kwargs))
     if chaos_factory is not None:
         from repro.chaos import ChaosEngine
 
@@ -110,6 +146,20 @@ def run_fingerprint(name: str) -> str:
     ]
     for purpose in sorted(stats.queue_bytes_by_purpose):
         lines.append(f"queue_bytes[{purpose}]={stats.queue_bytes_by_purpose[purpose]}")
+    # Reservation-runtime lines appear only under scheme specfor, so the
+    # pipeline configs' fingerprints are untouched.  The committed image
+    # rides along: byte-reproducibility across worker counts is the
+    # paradigm's headline claim, so the digest must pin it.
+    if stats.specfor_rounds:
+        from repro.analysis.resilience import memory_fingerprint
+
+        lines.append(f"specfor_rounds={stats.specfor_rounds}")
+        lines.append(f"specfor_reservations={stats.specfor_reservations}")
+        lines.append(
+            f"specfor_reservation_failures={stats.specfor_reservation_failures}")
+        lines.append(f"specfor_commit_failures={stats.specfor_commit_failures}")
+        lines.append(f"specfor_carried={stats.specfor_carried}")
+        lines.append(f"master={memory_fingerprint(system.commit.master)}")
     for record in stats.recoveries:
         lines.append(
             "recovery("

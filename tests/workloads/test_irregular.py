@@ -1,0 +1,151 @@
+"""Cross-paradigm equivalence for the irregular (reservation-site)
+workloads.
+
+The three PBBS-style workloads are the only benchmarks runnable under
+*both* execution paradigms, which buys the strongest correctness check
+in the repo: for every workload, at every conflict density, sequential
+execution, the DSMTX pipeline, the TLS pipeline, and the
+``speculative_for`` reservations runtime must all leave the identical
+observable output regions behind.
+"""
+
+import pytest
+
+from repro.core import DSMTXSystem, SystemConfig
+from repro.core.context import SequentialMeter
+from repro.errors import ConfigurationError
+from repro.memory import UnifiedVirtualAddressSpace
+from repro.paradigms import SpecForSystem
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    IRREGULAR,
+    irregular_rows,
+    run_body,
+)
+from repro.workloads.base import WriteThroughStore
+
+#: Observable output regions: (attribute, word-count function).
+OUTPUT_REGIONS = {
+    "spanning_forest": [
+        ("parents_base", lambda w: w.num_vertices),
+        ("in_forest_base", lambda w: w.iterations),
+    ],
+    "maximal_independent_set": [("flags_base", lambda w: w.iterations)],
+    "list_contraction": [
+        ("prev_base", lambda w: w.iterations),
+        ("next_base", lambda w: w.iterations),
+        ("value_base", lambda w: w.iterations),
+        ("out_base", lambda w: w.iterations),
+    ],
+}
+
+ITERATIONS = 32
+DENSITIES = (0.2, 0.8)
+
+
+def _read_outputs(workload, read):
+    outputs = {}
+    for attr, count in OUTPUT_REGIONS[workload.name]:
+        base = getattr(workload, attr)
+        for index in range(count(workload)):
+            outputs[(attr, index)] = read(base + 8 * index)
+    return outputs
+
+
+def sequential_outputs(name, density):
+    workload = IRREGULAR[name](iterations=ITERATIONS, density=density)
+    meter = SequentialMeter(SystemConfig(total_cores=8))
+    uva = UnifiedVirtualAddressSpace(owners=1)
+    workload.build(uva, 0, WriteThroughStore(meter._space))
+    for iteration in range(ITERATIONS):
+        meter.begin_iteration(iteration)
+        run_body(workload.sequential_body(meter))
+    return _read_outputs(workload, meter._space.read)
+
+
+def pipeline_outputs(name, density, scheme, cores=8):
+    workload = IRREGULAR[name](iterations=ITERATIONS, density=density)
+    plan = workload.dsmtx_plan() if scheme == "dsmtx" else workload.tls_plan()
+    system = DSMTXSystem(plan, SystemConfig(total_cores=cores))
+    result = system.run()
+    assert result.iterations == ITERATIONS
+    return _read_outputs(workload, system.commit.master.read), system
+
+
+def specfor_outputs(name, density, workers=4):
+    workload = IRREGULAR[name](iterations=ITERATIONS, density=density)
+    system = SpecForSystem(workload, workers=workers)
+    result = system.run()
+    assert result.iterations == ITERATIONS
+    return _read_outputs(workload, system.commit.master.read), system
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("name", sorted(IRREGULAR))
+def test_dsmtx_matches_sequential(name, density):
+    expected = sequential_outputs(name, density)
+    actual, _system = pipeline_outputs(name, density, "dsmtx")
+    assert actual == expected
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("name", sorted(IRREGULAR))
+def test_tls_matches_sequential(name, density):
+    expected = sequential_outputs(name, density)
+    actual, _system = pipeline_outputs(name, density, "tls")
+    assert actual == expected
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("name", sorted(IRREGULAR))
+def test_specfor_matches_sequential(name, density):
+    expected = sequential_outputs(name, density)
+    actual, system = specfor_outputs(name, density)
+    assert actual == expected
+    assert system.service.stats.committed == ITERATIONS
+
+
+@pytest.mark.parametrize("name", sorted(IRREGULAR))
+def test_specfor_matches_pipelines_at_any_worker_count(name):
+    expected = sequential_outputs(name, 0.6)
+    for workers in (1, 8):
+        actual, _system = specfor_outputs(name, 0.6, workers=workers)
+        assert actual == expected
+
+
+def test_conflict_density_drives_misspeculation():
+    """Under the speculative pipelines the density knob is real: denser
+    conflict structure forces more misspeculation work."""
+    _outputs, sparse = pipeline_outputs("list_contraction", 0.2, "dsmtx")
+    _outputs, dense = pipeline_outputs("list_contraction", 0.8, "dsmtx")
+    assert sparse.stats.misspeculations > 0
+    assert dense.stats.misspeculations > sparse.stats.misspeculations
+
+
+def test_conflict_density_drives_reservation_failures():
+    """Same knob, reservations side: denser structure loses more
+    write_min races and carries more iterations."""
+    _outputs, sparse = specfor_outputs("list_contraction", 0.2)
+    _outputs, dense = specfor_outputs("list_contraction", 0.8)
+    assert dense.service.stats.reservation_failures \
+        > sparse.service.stats.reservation_failures
+    assert dense.service.stats.num_rounds >= sparse.service.stats.num_rounds
+
+
+def test_registry_shape():
+    assert set(IRREGULAR) == {
+        "spanning_forest", "maximal_independent_set", "list_contraction",
+    }
+    assert not set(IRREGULAR) & set(BENCHMARKS)
+    assert set(ALL_BENCHMARKS) == set(BENCHMARKS) | set(IRREGULAR)
+    rows = irregular_rows()
+    assert len(rows) == 3
+    for workload in IRREGULAR.values():
+        assert workload(iterations=4).reservation_site() is not None
+
+
+def test_density_is_validated():
+    for bad in (-0.1, 1.5):
+        with pytest.raises(ConfigurationError):
+            IRREGULAR["spanning_forest"](iterations=4, density=bad)
