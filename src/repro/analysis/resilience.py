@@ -91,6 +91,10 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
     )
     if any(value for _name, value in repl_counters):
         lines.extend(f"ft.{name}={value}" for name, value in repl_counters)
+    # Own conditional line (not folded into repl_counters) so digests of
+    # pipeline failover runs, which predate the counter, are unchanged.
+    if stats.ft_round_reexecutions:
+        lines.append(f"ft.round_reexecutions={stats.ft_round_reexecutions}")
     # speculative_for runs only: rounds of the deterministic-reservations
     # scheduler.  Pipeline runs leave these at zero and print nothing.
     if stats.specfor_rounds:
@@ -217,6 +221,12 @@ def render_resilience_report(stats, chaos=None, reference=None) -> str:
         ft_lines.append(
             f"replication: {stats.ft_repl_words} words streamed to the "
             f"standby, {stats.ft_repl_folded_words} folded into its image"
+        )
+    if stats.ft_round_reexecutions:
+        ft_lines.append(
+            f"round re-execution: {stats.ft_round_reexecutions} reservation "
+            f"round(s) voided by a worker crash and re-issued to the "
+            f"survivors"
         )
     if ft_lines:
         sections.append("\n".join(ft_lines))

@@ -149,8 +149,10 @@ def _build_system(spec: ScenarioSpec, config):
     if spec.scheme == "specfor":
         from repro.paradigms import SpecForSystem
 
-        # Every core beyond the reservation-commit service is a worker.
-        return SpecForSystem(workload, config, workers=spec.cores - 1), workload
+        # Every core beyond the reservation-commit service (and the
+        # optional hot standby) is a worker.
+        workers = spec.cores - 1 - (1 if spec.commit_replication else 0)
+        return SpecForSystem(workload, config, workers=workers), workload
     plan = (workload.dsmtx_plan() if spec.scheme == "dsmtx"
             else workload.tls_plan())
     return DSMTXSystem(plan, config), workload
@@ -217,10 +219,16 @@ def _execute(spec: ScenarioSpec, result: ScenarioResult,
     system, workload = _build_system(spec, config)
 
     engine = None
+    worker_nodes = None
+    if spec.scheme == "specfor":
+        worker_nodes = tuple(
+            system.cluster.node_of_core(system._core_indices[tid])
+            for tid in range(system.num_workers))
     fault_plan = spec.faults.build_plan(
         spec.seed,
         commit_node=system.cluster.node_of_core(
             system._core_indices[system.commit_tid]),
+        worker_nodes=worker_nodes,
     )
     if fault_plan is not None:
         from repro.chaos import ChaosEngine

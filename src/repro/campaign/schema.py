@@ -54,7 +54,8 @@ PLACEMENTS = ("pack", "spread")
 #: survivable, and loss/duplication need the reliable transport to not
 #: silently corrupt the run.  Degradation and stalls merely delay
 #: traffic and are legal in any mode.
-FT_REQUIRED_FAULT_FIELDS = ("crash_node", "crash_commit", "drop", "dup")
+FT_REQUIRED_FAULT_FIELDS = ("crash_node", "crash_worker", "crash_commit",
+                            "drop", "dup")
 
 
 # -- validation helpers ----------------------------------------------------------
@@ -144,6 +145,11 @@ class FaultSpec:
 
     #: Node to crash; negative disables the crash.
     crash_node: int = -1
+    #: speculative_for worker index to crash (scheme ``specfor`` only;
+    #: negative disables).  Resolved at run time to the node hosting
+    #: that worker, so the same scenario crashes "worker 1" whatever
+    #: the placement policy seats it on.
+    crash_worker: int = -1
     #: Crash whatever node hosts the commit unit (overrides crash_node).
     crash_commit: bool = False
     #: Crash time (simulated ms).
@@ -166,7 +172,8 @@ class FaultSpec:
     stall_duration_ms: float = 0.1
 
     _KNOWN = (
-        "crash_node", "crash_commit", "crash_at_ms", "drop", "dup",
+        "crash_node", "crash_worker", "crash_commit", "crash_at_ms",
+        "drop", "dup",
         "degrade", "degrade_at_ms", "degrade_duration_ms",
         "stall_node", "stall_at_ms", "stall_duration_ms",
     )
@@ -177,6 +184,7 @@ class FaultSpec:
         _reject_unknown(data, cls._KNOWN, path)
         spec = cls(
             crash_node=_get_int(data, "crash_node", -1, path),
+            crash_worker=_get_int(data, "crash_worker", -1, path),
             crash_commit=_get_bool(data, "crash_commit", False, path),
             crash_at_ms=_get_float(data, "crash_at_ms", 5.0, path, minimum=0.0),
             drop=_get_float(data, "drop", 0.0, path, minimum=0.0, maximum=1.0),
@@ -199,10 +207,18 @@ class FaultSpec:
         if spec.stall_node >= 0 and spec.stall_duration_ms <= 0:
             raise _err(f"{path}.stall_duration_ms",
                        f"must be positive, got {spec.stall_duration_ms:g}")
+        if spec.crash_worker >= 0 and (spec.crash_node >= 0
+                                       or spec.crash_commit):
+            raise _err(f"{path}.crash_worker",
+                       "a scenario schedules at most one crash; "
+                       "crash_worker conflicts with crash_node/crash_commit")
         return spec
 
     def to_dict(self) -> dict:
-        return {
+        # ``crash_worker`` appears only when set, so fault specs that
+        # predate the knob keep their scenario digests (the same
+        # absent-features-leave-no-trace rule as ``density``).
+        data = {
             "crash_node": self.crash_node,
             "crash_commit": self.crash_commit,
             "crash_at_ms": self.crash_at_ms,
@@ -215,6 +231,9 @@ class FaultSpec:
             "stall_at_ms": self.stall_at_ms,
             "stall_duration_ms": self.stall_duration_ms,
         }
+        if self.crash_worker >= 0:
+            data["crash_worker"] = self.crash_worker
+        return data
 
     @property
     def ft_required_fields(self) -> tuple:
@@ -222,6 +241,8 @@ class FaultSpec:
         active = []
         if self.crash_node >= 0:
             active.append("crash_node")
+        if self.crash_worker >= 0:
+            active.append("crash_worker")
         if self.crash_commit:
             active.append("crash_commit")
         if self.drop > 0.0:
@@ -236,11 +257,13 @@ class FaultSpec:
         return (not self.ft_required_fields and self.degrade == 0.0
                 and self.stall_node < 0)
 
-    def build_plan(self, seed: int, commit_node: Optional[int] = None):
+    def build_plan(self, seed: int, commit_node: Optional[int] = None,
+                   worker_nodes: Optional[tuple] = None):
         """The :class:`repro.chaos.FaultPlan` this spec describes.
 
-        ``commit_node`` resolves ``crash_commit`` (the runner passes the
-        node hosting the built system's commit unit).  Returns ``None``
+        ``commit_node`` resolves ``crash_commit`` and ``worker_nodes``
+        (worker index -> hosting node) resolves ``crash_worker`` (the
+        runner passes both off the built system).  Returns ``None``
         for an inert spec so fault-free scenarios skip the chaos engine
         entirely (their digests are unchanged by its existence).
         """
@@ -262,6 +285,15 @@ class FaultSpec:
                 raise CampaignError(
                     "crash_commit needs the built system's commit node")
             crash_node = commit_node
+        if self.crash_worker >= 0:
+            if worker_nodes is None:
+                raise CampaignError(
+                    "crash_worker needs the built system's worker placement")
+            if self.crash_worker >= len(worker_nodes):
+                raise CampaignError(
+                    f"crash_worker {self.crash_worker} is out of range; "
+                    f"the scenario runs {len(worker_nodes)} workers")
+            crash_node = worker_nodes[self.crash_worker]
         if crash_node >= 0:
             faults.append(NodeCrash(node=crash_node, at_s=self.crash_at_ms * 1e-3))
         if self.degrade:
@@ -437,7 +469,8 @@ class ScenarioSpec:
                     stacklevel=2,
                 )
                 faults = replace(
-                    faults, crash_node=-1, crash_commit=False, drop=0.0, dup=0.0)
+                    faults, crash_node=-1, crash_worker=-1,
+                    crash_commit=False, drop=0.0, dup=0.0)
         spec = cls(
             name=_get_str(data, "name", benchmark, path),
             benchmark=benchmark,
@@ -464,16 +497,31 @@ class ScenarioSpec:
                        "a commit standby needs the failure-aware runtime; "
                        "set fault_tolerance: true")
         if spec.scheme == "specfor":
-            if spec.fault_tolerance or spec.commit_replication:
-                raise _err(f"{path}.fault_tolerance",
-                           "the reservations runtime has no failure-aware "
-                           "mode; scheme 'specfor' needs fault_tolerance "
-                           "and commit_replication off")
             if spec.coa_replicas:
                 raise _err(f"{path}.coa_replicas",
                            "COA read replicas belong to the DSMTX runtime; "
                            "scheme 'specfor' ships snapshots to every "
                            "worker instead")
+            if spec.faults.crash_worker >= 0:
+                # Worker count mirrors the runner's split: one core for
+                # the reservation service, one more for the standby.
+                workers = spec.cores - 1 - (1 if spec.commit_replication else 0)
+                if spec.faults.crash_worker >= workers:
+                    raise _err(
+                        f"{path}.faults.crash_worker",
+                        f"worker {spec.faults.crash_worker} does not exist: "
+                        f"{spec.cores} cores run {workers} workers under "
+                        f"scheme 'specfor'"
+                        + (" with a replicated standby"
+                           if spec.commit_replication else ""),
+                    )
+        elif spec.faults.crash_worker >= 0:
+            raise _err(f"{path}.faults.crash_worker",
+                       f"crash_worker names a speculative_for worker and "
+                       f"only applies under scheme 'specfor'; under scheme "
+                       f"{spec.scheme!r} did you mean 'crash_node' (a "
+                       f"cluster node) or 'crash_commit' (whichever node "
+                       f"hosts the commit unit)?")
         spec._check_core_budget(path)
         return spec
 

@@ -235,6 +235,12 @@ def _chaos_build(args, factory, kwargs, fault_tolerance):
     )
     if args.batch_bytes:
         config_kwargs["batch_bytes"] = args.batch_bytes
+    if getattr(args, "scheme", "dsmtx") == "specfor":
+        from repro.paradigms import SpecForSystem
+
+        workers = args.cores - 1 - (1 if args.replicate_commit else 0)
+        return SpecForSystem(workload, SystemConfig(**config_kwargs),
+                             workers=workers)
     return DSMTXSystem(workload.dsmtx_plan(), SystemConfig(**config_kwargs))
 
 
@@ -344,6 +350,15 @@ def cmd_chaos(args) -> int:
     kwargs = {}
     if args.iterations is not None:
         kwargs["iterations"] = args.iterations
+    if getattr(args, "density", None) is not None:
+        from repro.workloads import IRREGULAR
+
+        if args.benchmark not in IRREGULAR:
+            print(f"--density applies to the irregular workloads only "
+                  f"({', '.join(sorted(IRREGULAR))}), not {args.benchmark!r}",
+                  file=sys.stderr)
+            return 2
+        kwargs["density"] = args.density
 
     reference = _chaos_build(args, factory, kwargs, fault_tolerance=False)
     ref_result = reference.run()
@@ -549,9 +564,18 @@ def build_parser() -> argparse.ArgumentParser:
              "the fault-free results (docs/RESILIENCE.md)",
     )
     chaos.add_argument("benchmark", nargs="?", default="crc32")
+    chaos.add_argument("--scheme", choices=("dsmtx", "specfor"),
+                       default="dsmtx",
+                       help="runtime to fault-inject: the DSMTX pipeline or "
+                            "the deterministic-reservations runtime "
+                            "(speculative_for; workers = cores - 1, minus "
+                            "one more under --replicate-commit)")
     chaos.add_argument("--cores", type=int, default=8)
     chaos.add_argument("--iterations", type=int, default=24,
                        help="override the workload's iteration count")
+    chaos.add_argument("--density", type=float, default=None,
+                       help="conflict-density knob of the irregular "
+                            "workloads (specfor benchmarks)")
     chaos.add_argument("--seed", type=int, default=7,
                        help="seed of the per-message fault draws")
     chaos.add_argument("--crash-node", type=int, default=0,

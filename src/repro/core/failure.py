@@ -53,7 +53,7 @@ from typing import Generator
 from repro.core.messages import CTL_NODE_FAILED, CTL_PROMOTE, ControlEnvelope
 from repro.errors import ClusterFailedError, NodeCrashed, ProcessInterrupt
 
-__all__ = ["FailureDetector"]
+__all__ = ["FailureDetector", "SpecForFailureDetector"]
 
 
 class FailureDetector:
@@ -291,6 +291,61 @@ class FailureDetector:
         # The dead primary's barrier seat passes to the standby: the
         # promoted unit orchestrates the failover under its own tid.
         system.recovery.substitute(system.commit_tid, standby_tid)
+        # From here on this watcher's own node is the primary's.
+        self.commit_node = self.standby_node
+        # Wake the standby if it is blocked on an empty inbox; the
+        # authoritative signal is state.promote_pending.
+        system.inbox_of(standby_tid).put_nowait(
+            ControlEnvelope(CTL_PROMOTE, system.state.epoch, -1, node)
+        )
+
+
+class SpecForFailureDetector(FailureDetector):
+    """Failure detection for the ``speculative_for`` runtime.
+
+    Same heartbeat emitters, sweep, and standby-side watcher as the
+    pipeline detector — only the declaration differs.  The reservation
+    runtime has no try-commit unit (nothing is categorically fatal
+    besides losing the service without a standby), no recovery barriers
+    to deregister, and no runtime queues to retire: a worker's death
+    queues a failover the round scheduler consumes (void the in-flight
+    round, re-partition over the survivors), and the service's death
+    with a live standby queues a promotion.
+    """
+
+    def _declare(self, node: int) -> None:
+        system = self.system
+        self.declared.add(node)
+        dead_tids = tuple(self.tids_by_node[node])
+        if system.commit_tid in dead_tids:
+            self._declare_primary(node, dead_tids)
+            return
+        system.state.request_failover(
+            node, dead_tids, system.env.now, self.last_heard[node]
+        )
+        # Wake the service if it is blocked mid-gather on a reply the
+        # dead worker will never send; the scheduler consumes
+        # state.failover_pending, this envelope is only the ping.
+        system.inbox_of(system.commit_tid).put_nowait(
+            ControlEnvelope(CTL_NODE_FAILED, system.state.epoch, -1, node)
+        )
+
+    def _declare_primary(self, node: int, dead_tids: tuple) -> None:
+        system = self.system
+        standby_tid = system.standby_tid
+        if (
+            standby_tid is None
+            or standby_tid in system.dead_tids
+            or standby_tid in dead_tids
+        ):
+            raise ClusterFailedError(
+                f"node {node} hosted the reservation service; the committed "
+                f"image is unrecoverable without a live replicated standby"
+            )
+        detected_at = system.env.now
+        last_heard_at = self.last_heard[node]
+        system.state.request_failover(node, dead_tids, detected_at, last_heard_at)
+        system.state.promote_pending = (node, dead_tids, detected_at, last_heard_at)
         # From here on this watcher's own node is the primary's.
         self.commit_node = self.standby_node
         # Wake the standby if it is blocked on an empty inbox; the

@@ -35,6 +35,9 @@ __all__ = [
     "CTL_WORKER_DONE",
     "CTL_NODE_FAILED",
     "CTL_PROMOTE",
+    "SF_REPL_ROUND",
+    "SF_REPL_CHECKPOINT",
+    "SF_STOP",
     "BatchEnvelope",
     "ControlEnvelope",
     "Frame",
@@ -105,6 +108,23 @@ CTL_NODE_FAILED = "node_failed"
 #: (watcher and standby share a node); the authoritative signal is
 #: ``SystemState.promote_pending``.
 CTL_PROMOTE = "promote"
+
+# -- speculative_for fault-tolerant protocol kinds -------------------------------
+# Shared between the round scheduler (repro.paradigms.specfor) and the
+# reservation-service standby (repro.core.standby); defined here so the
+# standby never imports the paradigm module (which imports the runtime
+# that imports the standby).
+
+#: Reservation service -> standby: one completed round.  Payload:
+#: ("SFR", round-record tuple, committed delta entries, carried list,
+#: table counters) — everything the standby's shadow of the primary's
+#: scheduling state needs to advance one round.
+SF_REPL_ROUND = "SFR"
+#: Reservation service -> standby: epoch checkpoint marker ("SFC",
+#: frontier).  The standby folds its replay log into its base image.
+SF_REPL_CHECKPOINT = "SFC"
+#: Reservation service -> worker/standby: the loop is done, exit.
+SF_STOP = "sf_stop"
 
 
 class BatchEnvelope(NamedTuple):

@@ -36,7 +36,24 @@ __all__ = [
     "ReservationStats",
     "RoundRecord",
     "ReservationCommitService",
+    "next_round_size",
 ]
+
+
+def next_round_size(size: int, attempted: int, carried: int, max_round: int) -> int:
+    """Contention-adaptive round size (worker-count independent).
+
+    High carry ratio (> 1/4 of the batch retried) halves the round —
+    smaller prefixes conflict less; low ratio (< 1/16) doubles it back,
+    capped at ``max_round``.  Lives here (not in the scheduler) so the
+    hot-standby replica can mirror the primary's scheduling state from
+    the replicated round records alone.
+    """
+    if carried * 4 >= attempted:
+        return max(1, size // 2)
+    if carried * 16 <= attempted:
+        return min(max_round, size * 2)
+    return size
 
 #: Table value meaning *unreserved* (an :class:`AddressSpace` word that
 #: was never written reads back 0, so empty slots cost no storage).
@@ -117,6 +134,20 @@ class ReservationTable:
         for slot in slots:
             self.release(slot)
 
+    # -- epoch checkpointing (fault-tolerant mode) -----------------------------
+
+    def counters(self) -> tuple[int, int]:
+        """Checkpoint of the cumulative counters.  Between rounds every
+        slot is released, so the counters *are* the table's durable
+        state — replicating them per round is the table's epoch
+        checkpoint."""
+        return (self.reservations, self.lost)
+
+    def restore_counters(self, counters: tuple[int, int]) -> None:
+        """Roll the counters back to a checkpoint (round abort, or a
+        promoted standby resuming from the replicated state)."""
+        self.reservations, self.lost = counters
+
 
 @dataclass
 class RoundRecord:
@@ -135,6 +166,18 @@ class RoundRecord:
     carried: int
     #: Words group-committed by the service this round.
     words_committed: int
+
+    def as_tuple(self) -> tuple:
+        """Wire form for the replication stream (fault-tolerant mode)."""
+        return (
+            self.round_index, self.attempted, self.completed,
+            self.reservation_failures, self.commit_failures,
+            self.carried, self.words_committed,
+        )
+
+    @classmethod
+    def from_tuple(cls, fields: tuple) -> "RoundRecord":
+        return cls(*fields)
 
 
 @dataclass

@@ -35,7 +35,73 @@ from repro.errors import ClusterFailedError, ConfigurationError
 from repro.memory import UnifiedVirtualAddressSpace
 from repro.sim import Environment
 
-__all__ = ["DSMTXSystem", "RunResult"]
+__all__ = ["DSMTXSystem", "RunResult", "place_standby"]
+
+
+def place_standby(
+    cluster, core_indices: list, commit_tid: int, standby_tid: int,
+    wanted: Optional[int],
+) -> None:
+    """Put a hot standby on a node other than its primary's.
+
+    A standby sharing the primary's node is useless — the one crash it
+    exists to survive would take both.  The standby keeps the seat the
+    placement policy gave it when that seat is already off the commit
+    node (spread placement typically arranges this); otherwise it
+    deterministically moves to the first free core on the
+    lowest-numbered other node, preferring nodes that host no unit at
+    all (a pure survivor).  ``wanted`` (``SystemConfig.standby_node``)
+    overrides the choice.  Mutates ``core_indices`` in place.  Shared
+    by the DSMTX commit standby and the specfor reservation-service
+    standby.
+    """
+    tid = standby_tid
+    commit_node = cluster.node_of_core(core_indices[commit_tid])
+    used = {
+        index
+        for other_tid, index in enumerate(core_indices)
+        if other_tid != tid
+    }
+
+    def free_core_on(node: int) -> Optional[int]:
+        base = node * cluster.cores_per_node
+        for core in range(base, base + cluster.cores_per_node):
+            if core not in used:
+                return core
+        return None
+
+    if wanted is not None:
+        if wanted == commit_node:
+            raise ConfigurationError(
+                f"standby_node={wanted} is the commit unit's node; the "
+                f"standby must live on a different node to survive it"
+            )
+        core = free_core_on(wanted)
+        if core is None:
+            raise ConfigurationError(
+                f"standby_node={wanted} has no free core for the standby"
+            )
+        core_indices[tid] = core
+        return
+    natural_node = cluster.node_of_core(core_indices[tid])
+    if natural_node != commit_node:
+        return
+    occupied = {cluster.node_of_core(index) for index in used}
+    candidates = sorted(
+        range(cluster.nodes),
+        key=lambda node: (node in occupied, node),
+    )
+    for node in candidates:
+        if node == commit_node:
+            continue
+        core = free_core_on(node)
+        if core is not None:
+            core_indices[tid] = core
+            return
+    raise ConfigurationError(
+        "no free core outside the commit unit's node for the standby; "
+        "commit_replication needs at least two nodes with capacity"
+    )
 
 
 @dataclass
@@ -162,65 +228,10 @@ class DSMTXSystem:
         self._stage_bodies: dict[int, Callable] = {}
 
     def _place_standby(self) -> None:
-        """Put the commit standby on a node other than the primary's.
-
-        A standby sharing the primary's node is useless — the one crash
-        it exists to survive would take both.  The standby keeps the
-        seat the placement policy gave it when that seat is already off
-        the commit node (spread placement typically arranges this);
-        otherwise it deterministically moves to the first free core on
-        the lowest-numbered other node, preferring nodes that host no
-        unit at all (a pure survivor).  ``SystemConfig.standby_node``
-        overrides the choice.
-        """
-        cluster = self.cluster
-        tid = self.standby_tid
-        commit_node = cluster.node_of_core(self._core_indices[self.commit_tid])
-        used = {
-            index
-            for other_tid, index in enumerate(self._core_indices)
-            if other_tid != tid
-        }
-
-        def free_core_on(node: int) -> Optional[int]:
-            base = node * cluster.cores_per_node
-            for core in range(base, base + cluster.cores_per_node):
-                if core not in used:
-                    return core
-            return None
-
-        wanted = self.config.standby_node
-        if wanted is not None:
-            if wanted == commit_node:
-                raise ConfigurationError(
-                    f"standby_node={wanted} is the commit unit's node; the "
-                    f"standby must live on a different node to survive it"
-                )
-            core = free_core_on(wanted)
-            if core is None:
-                raise ConfigurationError(
-                    f"standby_node={wanted} has no free core for the standby"
-                )
-            self._core_indices[tid] = core
-            return
-        natural_node = cluster.node_of_core(self._core_indices[tid])
-        if natural_node != commit_node:
-            return
-        occupied = {cluster.node_of_core(index) for index in used}
-        candidates = sorted(
-            range(cluster.nodes),
-            key=lambda node: (node in occupied, node),
-        )
-        for node in candidates:
-            if node == commit_node:
-                continue
-            core = free_core_on(node)
-            if core is not None:
-                self._core_indices[tid] = core
-                return
-        raise ConfigurationError(
-            "no free core outside the commit unit's node for the standby; "
-            "commit_replication needs at least two nodes with capacity"
+        """Seat the commit standby (see :func:`place_standby`)."""
+        place_standby(
+            self.cluster, self._core_indices, self.commit_tid,
+            self.standby_tid, self.config.standby_node,
         )
 
     # -- layout queries ---------------------------------------------------------------------

@@ -39,9 +39,25 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.core.messages import REPL_CHECKPOINT, REPL_FRONTIER, WRITE, WRITE_BLOCK
+from repro.core.messages import (
+    REPL_CHECKPOINT,
+    REPL_FRONTIER,
+    SF_REPL_CHECKPOINT,
+    SF_REPL_ROUND,
+    SF_STOP,
+    WRITE,
+    WRITE_BLOCK,
+    ControlEnvelope,
+)
+from repro.core.reservations import (
+    ReservationStats,
+    RoundRecord,
+    next_round_size,
+)
+from repro.core.stats import FailureRecord
 from repro.errors import (
     ChannelFlushedError,
+    ClusterFailedError,
     NodeCrashed,
     ProcessInterrupt,
     RecoveryAbort,
@@ -50,7 +66,7 @@ from repro.memory import AddressSpace
 from repro.obs.tracer import CAT_FT_PROMOTION, CAT_FT_REPLICATION, PID_RUNTIME
 from repro.sim import Event
 
-__all__ = ["StandbyUnit"]
+__all__ = ["StandbyUnit", "ReservationStandby"]
 
 
 class StandbyUnit:
@@ -229,5 +245,226 @@ class StandbyUnit:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<StandbyUnit tid={self.tid} frontier={self.frontier} "
+            f"log={len(self.replay_log)}>"
+        )
+
+
+class ReservationStandby:
+    """Hot standby of the ``speculative_for`` reservation service.
+
+    The reservation service owns the committed image, the ``write_min``
+    table, and the round scheduler's state — all of it a single point of
+    failure without replication.  The primary streams one
+    ``SF_REPL_ROUND`` record per completed round (the round record, the
+    committed delta, the carried list, and the table counters); because
+    every scheduling decision — batch prefix, round size, carry order —
+    is a pure function of that per-round state, the standby can *shadow*
+    the scheduler exactly: it maintains its own pending queue, round
+    size, stats, and table counters one replicated round at a time, and
+    folds the delta stream into a base image on ``SF_REPL_CHECKPOINT``
+    markers (mirroring the primary's epoch checkpoints, which bound the
+    promotion replay).
+
+    At promotion the standby replays the log tail onto its checkpoint
+    image, resumes a round engine at its shadow of the scheduling state,
+    and runs the service loop itself, re-broadcasting the full image so
+    workers rebuild their snapshots.  Rounds the primary completed past
+    the replicated frontier died with its memory and simply re-execute —
+    deterministically, so winners, stats, and the committed image stay
+    byte-identical to the fault-free run.
+    """
+
+    def __init__(self, system: "SpecForSystem", tid: int) -> None:  # noqa: F821
+        self.system = system
+        self.tid = tid
+        self.core = system.core_of(tid)
+        #: Base image: committed master as of the last mirrored checkpoint.
+        self.image = AddressSpace(f"sf.standby{tid}", faulting=False)
+        #: Committed round deltas since the last checkpoint fold,
+        #: replayed onto the image at promotion.
+        self.replay_log: list[tuple[int, int]] = []
+        #: Completed rounds replicated so far == committed iterations at
+        #: the shadow's frontier.
+        self.frontier = 0
+        #: Shadow of the primary's :class:`ReservationStats` (rounds up
+        #: to the replicated frontier; becomes the promoted service's
+        #: stats object).
+        self.shadow_stats = ReservationStats()
+        iterations = system.workload.iterations
+        #: Shadow of the scheduler state (mirrors ``_RoundEngine``).
+        self.max_round = iterations // system.granularity + 1
+        self.shadow_pending: list[int] = list(range(iterations))
+        self.shadow_size = max(1, self.max_round // 2)
+        self.shadow_round_index = 0
+        #: Shadow of the reservation-table counters at the frontier.
+        self.table_counters: tuple[int, int] = (0, 0)
+        #: True once this unit has been promoted to reservation service.
+        self.promoted = False
+
+    def seed_image(self, master: AddressSpace) -> None:
+        """Bootstrap the base image from the built program state (the
+        epoch-0 checkpoint, distributed with the program launch)."""
+        self.image.apply_blocks(master.extract_blocks())
+
+    # -- main process ------------------------------------------------------------------
+
+    def run(self) -> Generator[Event, Any, None]:
+        system = self.system
+        state = system.state
+        try:
+            while True:
+                if state.promote_pending is not None:
+                    yield from self._promote(state.promote_pending)
+                    return
+                if state.done:
+                    return
+                msg = yield from system._ft_recv(self.tid)
+                if isinstance(msg, ControlEnvelope):
+                    # CTL_PROMOTE wake-up ping; the loop top consumes the
+                    # authoritative state.promote_pending.
+                    continue
+                kind = msg[0]
+                if kind == SF_REPL_ROUND:
+                    self._ingest_round(msg)
+                    yield from self.core.drain()
+                elif kind == SF_REPL_CHECKPOINT:
+                    self._fold(msg[1])
+                    yield from self.core.drain()
+                elif kind == SF_STOP:
+                    return
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # Our own node died; the service-side sweep declares it
+                # and the run degrades to unreplicated.
+                return
+            raise
+
+    # -- replication sink --------------------------------------------------------------
+
+    def _ingest_round(self, payload) -> None:
+        """Advance the shadow by one replicated round (no yields: the
+        shadow mutates atomically, so any prefix of the stream is a
+        consistent promotion point)."""
+        system = self.system
+        _kind, fields, entries, carried, counters = payload
+        record = RoundRecord.from_tuple(fields)
+        self.shadow_stats.record_round(record)
+        self.replay_log.extend(entries)
+        # Mirror _RoundEngine.complete: the primary took the batch as
+        # the pending prefix of length ``attempted``; carried losers
+        # come back in front of the rest.
+        rest = self.shadow_pending[record.attempted:]
+        self.shadow_pending = list(carried) + rest
+        self.shadow_size = next_round_size(
+            self.shadow_size, record.attempted, record.carried, self.max_round
+        )
+        self.shadow_round_index = record.round_index + 1
+        self.table_counters = counters
+        self.frontier = self.shadow_stats.committed
+        words = len(entries)
+        self.core.charge_instructions(
+            system.cluster.queue_op_instructions * (words + len(carried) + 2)
+        )
+        if words:
+            system.stats.ft_repl_words += words
+            obs = system.obs
+            if obs is not None:
+                obs.metrics.counter("ft.repl_words").inc(words)
+
+    def _fold(self, frontier: int) -> None:
+        """Checkpoint marker: fold the replay log into the base image."""
+        if not self.replay_log:
+            return
+        system = self.system
+        words = len(self.replay_log)
+        self.image.apply_writes(self.replay_log)
+        self.replay_log = []
+        self.core.charge_instructions(
+            words * system.config.checkpoint_word_instructions
+        )
+        system.stats.ft_repl_folded_words += words
+        obs = system.obs
+        if obs is not None:
+            obs.tracer.instant(
+                CAT_FT_REPLICATION, f"fold:{frontier}", PID_RUNTIME, self.tid,
+                frontier=frontier, words=words,
+            )
+            obs.metrics.counter("ft.repl_folds").inc()
+
+    # -- promotion ---------------------------------------------------------------------
+
+    def _promote(self, request) -> Generator[Event, Any, None]:
+        """Become the reservation service: replay the log onto the
+        checkpoint image, resume the round engine at the shadow state,
+        and drive the service loop with the survivors."""
+        system = self.system
+        env = system.env
+        config = system.config
+        node, dead_tids, detected_at, last_heard_at = request
+        system.state.promote_pending = None
+        # The primary's declaration also sits on failover_pending; the
+        # promotion record below is its accounting, and the promoted
+        # loop must not re-consume it as a worker failover.
+        system.state.failover_pending = [
+            entry for entry in system.state.failover_pending if entry[0] != node
+        ]
+        system.apply_node_failure(node, dead_tids)
+        if not system.live_workers:
+            raise ClusterFailedError(
+                f"node {node} hosted the reservation service and every "
+                f"remaining worker; nothing survives to re-execute"
+            )
+        replayed = len(self.replay_log)
+        if self.replay_log:
+            self.image.apply_writes(self.replay_log)
+            self.replay_log = []
+        self.core.charge_instructions(
+            config.checkpoint_base_instructions
+            + replayed * config.commit_instructions
+        )
+        yield from self.core.drain()
+        self.promoted = True
+        # Rounds the primary committed past the replicated frontier died
+        # with its master memory; the promoted service re-executes them.
+        recommitted = max(
+            0, system.service.stats.committed - self.shadow_stats.committed
+        )
+        _service, engine = system.promote_reservation_service(self)
+        stats = system.stats
+        stats.failures.append(
+            FailureRecord(
+                node=node,
+                dead_tids=tuple(dead_tids),
+                last_heard_at=last_heard_at,
+                detected_at=detected_at,
+                resumed_at=env.now,
+                restart_base=self.shadow_round_index,
+                lost_iterations=recommitted,
+                surviving_workers=len(system.live_workers),
+                promoted_tid=self.tid,
+                promotion_seconds=env.now - detected_at,
+                replayed_words=replayed,
+                recommitted_iterations=recommitted,
+            )
+        )
+        stats.ft_promotions += 1
+        stats.ft_replayed_words += replayed
+        obs = system.obs
+        if obs is not None:
+            obs.tracer.complete(
+                CAT_FT_PROMOTION, f"promote:node{node}", PID_RUNTIME, self.tid,
+                detected_at, replayed_words=replayed,
+                frontier=self.frontier, recommitted=recommitted,
+            )
+            obs.metrics.counter("ft.promotions").inc()
+            obs.metrics.counter("ft.replayed_words").inc(replayed)
+        # From here on this process *is* the reservation service; the
+        # full=True first broadcast makes every worker rebuild its
+        # snapshot from the replicated image.
+        yield from system._ft_service_loop(engine, self.tid, full_first=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReservationStandby tid={self.tid} frontier={self.frontier} "
             f"log={len(self.replay_log)}>"
         )

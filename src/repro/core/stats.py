@@ -156,6 +156,9 @@ class RunStats:
     ft_promotions: int = 0
     #: Replication-log words replayed at promotion time.
     ft_replayed_words: int = 0
+    #: ``speculative_for`` round attempts voided and re-issued because a
+    #: worker died mid-round (the re-execution cost of survival).
+    ft_round_reexecutions: int = 0
     #: Rounds executed by a ``speculative_for`` run (deterministic
     #: reservations; zero for the pipeline schemes).
     specfor_rounds: int = 0

@@ -91,6 +91,9 @@ class Observability:
                     ("run.ft.replayed_words", stats.ft_replayed_words),
                 ):
                     m.gauge(name).set(value)
+            if stats.ft_round_reexecutions:  # a specfor round was re-issued
+                m.gauge("run.ft.round_reexecutions").set(
+                    stats.ft_round_reexecutions)
         for label, fraction in system.utilization().items():
             m.gauge(f"util.{label}").set(fraction)
 

@@ -41,18 +41,35 @@ from typing import Any, Optional, Sequence
 
 from repro.cluster import MPI, Interconnect, Machine, place_units
 from repro.core.config import SystemConfig
-from repro.core.messages import ENTRY_BYTES, MARKER_BYTES
+from repro.core.messages import (
+    ENTRY_BYTES,
+    FRAME_HEADER_BYTES,
+    MARKER_BYTES,
+    SF_REPL_CHECKPOINT,
+    SF_REPL_ROUND,
+    SF_STOP,
+    ControlEnvelope,
+)
 from repro.core.reservations import (
     ReservationCommitService,
     ReservationStats,
     RoundRecord,
+    next_round_size,
 )
-from repro.core.runtime import RunResult
-from repro.core.stats import RunStats
-from repro.errors import ConfigurationError, ParadigmError
+from repro.core.runtime import RunResult, place_standby
+from repro.core.state import SystemState
+from repro.core.stats import CheckpointRecord, FailureRecord, RunStats
+from repro.core.transport import ReliableTransport
+from repro.errors import (
+    ClusterFailedError,
+    ConfigurationError,
+    NodeCrashed,
+    ParadigmError,
+    ProcessInterrupt,
+)
 from repro.memory import AddressSpace, UnifiedVirtualAddressSpace
 from repro.memory.layout import PAGE_SHIFT, WORD_SHIFT
-from repro.sim import Environment
+from repro.sim import Environment, Store
 
 __all__ = [
     "DONE",
@@ -75,6 +92,20 @@ _TAG_ROUND = "sf_round"
 _TAG_RESERVE = "sf_reserve"
 _TAG_VERDICT = "sf_verdict"
 _TAG_COMMIT = "sf_commit"
+#: Single tag for the fault-tolerant path: framed traffic multiplexes
+#: over one reliable-transport inbox per unit, so the protocol phase
+#: travels in the message itself, not the mailbox key.
+_TAG_FT = "sf_ft"
+
+# Fault-tolerant protocol message kinds (first element of the payload).
+_MSG_ROUND = "round"
+_MSG_RESERVE = "reserve"
+_MSG_VERDICT = "verdict"
+_MSG_COMMIT = "commit"
+#: Shared with the reservation-service standby (see core/messages.py).
+_MSG_STOP = SF_STOP
+_MSG_REPL_ROUND = SF_REPL_ROUND
+_MSG_REPL_CHECKPOINT = SF_REPL_CHECKPOINT
 
 
 @dataclass(frozen=True)
@@ -230,6 +261,43 @@ class _RoundEngine:
         self._losers: list = []
         self._retries: list = []
         self._finished: list = []
+        #: Table-counter checkpoint taken at round start; a fault-aborted
+        #: round rolls back to it so the re-executed round re-applies the
+        #: identical reservations from the identical state.
+        self._table_mark = self.service.table.counters()
+        #: Iterations carried by the last completed round (the list, not
+        #: just the count): the hot standby mirrors the pending queue
+        #: from it.
+        self.last_carried: list = []
+
+    @classmethod
+    def resume(
+        cls,
+        service: ReservationCommitService,
+        iterations: int,
+        granularity: int,
+        pending: Sequence[int],
+        size: int,
+        round_index: int,
+        delta: Sequence[tuple],
+    ) -> "_RoundEngine":
+        """Rebuild an engine at a replicated round boundary (promotion).
+
+        ``pending``/``size``/``round_index`` come from the standby's
+        shadow of the primary's scheduling state; ``delta`` is the full
+        committed image (the promoted service re-broadcasts it whole,
+        exactly like round 0's snapshot).  Every later decision is the
+        same function of this state as it was on the dead primary, which
+        is what keeps the crashed run byte-identical to the fault-free
+        one.
+        """
+        engine = cls(service, iterations, granularity)
+        engine.pending = list(pending)
+        engine.size = size
+        engine.round_index = round_index
+        engine.delta = list(delta)
+        engine._table_mark = service.table.counters()
+        return engine
 
     def begin_round(self) -> Optional[tuple]:
         """Next ``(batch, delta)``, or ``None`` when the loop is done."""
@@ -238,7 +306,24 @@ class _RoundEngine:
         attempted = min(self.size, len(self.pending))
         self._batch = self.pending[:attempted]
         self._rest = self.pending[attempted:]
+        self._table_mark = self.service.table.counters()
         return self._batch, self.delta
+
+    def abort_round(self) -> None:
+        """Void the in-flight round (a worker died mid-round).
+
+        Reservations already applied are released and the table counters
+        roll back to the round-start checkpoint; nothing was committed
+        (commits happen only in :meth:`complete`), so ``pending``,
+        ``size``, ``round_index``, and the broadcast delta are all
+        untouched — re-issuing the same batch over the survivors
+        re-derives the identical winners.
+        """
+        self.service.table.restore_counters(self._table_mark)
+        self.service.stats.reservations = self.service.table.reservations
+        self.service.end_round()
+        self._decisions = []
+        self._losers, self._retries, self._finished = [], [], []
 
     def adjudicate(self, decisions: Sequence[tuple]) -> list:
         """Apply reservations, return winners (sorted ascending).
@@ -293,6 +378,7 @@ class _RoundEngine:
         for _iteration, writes in ok_writes:
             merged.update(writes)
         self.delta = sorted(merged.items())
+        self.last_carried = carried
         self.pending = carried + self._rest
         self.size = _next_round_size(
             self.size, record.attempted, record.carried, self.max_round
@@ -301,18 +387,10 @@ class _RoundEngine:
         return record
 
 
-def _next_round_size(size: int, attempted: int, carried: int, max_round: int) -> int:
-    """Contention-adaptive round size (worker-count independent).
-
-    High carry ratio (> 1/4 of the batch retried) halves the round —
-    smaller prefixes conflict less; low ratio (< 1/16) doubles it back,
-    capped at ``max_round``.
-    """
-    if carried * 4 >= attempted:
-        return max(1, size // 2)
-    if carried * 16 <= attempted:
-        return min(max_round, size * 2)
-    return size
+#: Round-size adaptation lives in :mod:`repro.core.reservations` so the
+#: hot-standby replica can mirror the scheduler without importing this
+#: module (which imports the runtime that imports the standby).
+_next_round_size = next_round_size
 
 
 def _snapshot_entries(space: AddressSpace) -> list:
@@ -424,20 +502,27 @@ class SpecForSystem:
         site = ensure_reservation_site(workload)
         self.workload = workload
         self.num_workers = workers
-        self.num_units = workers + 1
         self.service_tid = workers
         #: Runner/chaos convention: the "commit unit" tid — here the
         #: reservation-commit service, which owns the master image.
+        #: Reassigned to the standby's tid at promotion.
         self.commit_tid = self.service_tid
         self.config = (
             config
             if config is not None
-            else SystemConfig(total_cores=max(3, self.num_units))
+            else SystemConfig(total_cores=max(3, workers + 1))
         )
+        #: Tid of the reservation-service hot standby; ``None`` unless
+        #: ``commit_replication`` is on.  Assigned last so the worker /
+        #: service layout is unchanged by replication.
+        self.standby_tid = workers + 1 if self.config.commit_replication else None
+        self.num_units = workers + 1 + (1 if self.standby_tid is not None else 0)
         if self.config.total_cores < self.num_units:
+            standby = " + 1 standby" if self.standby_tid is not None else ""
             raise ConfigurationError(
-                f"{workers} workers + 1 service need {self.num_units} cores, "
-                f"config grants {self.config.total_cores}"
+                f"{workers} workers + 1 service{standby} need "
+                f"{self.num_units} cores, config grants "
+                f"{self.config.total_cores}"
             )
         self.granularity = granularity
         self.cluster = self.config.cluster
@@ -445,17 +530,59 @@ class SpecForSystem:
         self.machine = Machine(self.env, self.cluster)
         self.interconnect = Interconnect(self.env, self.machine)
         self.mpi = MPI(self.env, self.machine, self.interconnect)
+        self.state = SystemState()
         self.stats = RunStats()
         #: Observability hub; every hook site no-ops while ``None``.
         self.obs = None
         self._core_indices = place_units(
             self.cluster, self.num_units, self.config.placement
         )
+        if self.standby_tid is not None:
+            place_standby(
+                self.cluster, self._core_indices, self.commit_tid,
+                self.standby_tid, self.config.standby_node,
+            )
+        #: Units lost to node failures so far.
+        self.dead_tids: set[int] = set()
+        #: Worker ids still alive (node failures remove entries; the
+        #: round scheduler re-partitions batches over these).
+        self.live_workers: list[int] = list(range(workers))
+        #: Simulation processes hosted on each node (unit main loops,
+        #: heartbeat emitters): the kill set of a node-crash fault.
+        self._node_processes: dict[int, list] = {}
+        #: Reliable ack/retransmit transport; ``None`` keeps the
+        #: fault-free fast path untouched (a single is-None check).
+        self.transport = (
+            ReliableTransport(self) if self.config.fault_tolerance else None
+        )
+        #: One multiplexed inbox per unit (fault-tolerant mode): framed
+        #: traffic and failure-detector wake-up pings share it.
+        self._inboxes = (
+            [Store(self.env) for _ in range(self.num_units)]
+            if self.config.fault_tolerance
+            else None
+        )
         self.uva = UnifiedVirtualAddressSpace(owners=self.num_units)
+        self.site_slots = site.slots
         self.service = ReservationCommitService(site.slots)
         #: Digest/report convention: ``system.commit.master`` is the
         #: committed memory image (same shape as DSMTXSystem).
         self.commit = self.service
+        #: Reservation-service hot standby; ``None`` without replication.
+        if self.standby_tid is not None:
+            from repro.core.standby import ReservationStandby
+
+            self.standby = ReservationStandby(self, self.standby_tid)
+        else:
+            self.standby = None
+        #: Heartbeat failure detection; ``None`` outside fault-tolerant
+        #: mode.  Started by :meth:`run` once unit processes exist.
+        if self.config.fault_tolerance:
+            from repro.core.failure import SpecForFailureDetector
+
+            self.failure_detector = SpecForFailureDetector(self)
+        else:
+            self.failure_detector = None
         from repro.workloads.base import WriteThroughStore
 
         # Program state is always allocated from owner 0's region — the
@@ -484,7 +611,75 @@ class SpecForSystem:
             f"specfor-worker[{w}]": fraction(w) for w in range(self.num_workers)
         }
         report["specfor-service"] = fraction(self.service_tid)
+        if self.standby_tid is not None:
+            report["specfor-standby"] = fraction(self.standby_tid)
         return report
+
+    # -- fault-tolerant plumbing (duck-typed like DSMTXSystem) -----------------
+
+    def inbox_of(self, tid: int):
+        return self._inboxes[tid]
+
+    def register_node_process(self, node: int, process) -> None:
+        """Track a simulation process as hosted on ``node`` so a
+        node-crash fault kills it along with the node."""
+        self._node_processes.setdefault(node, []).append(process)
+
+    def processes_on_node(self, node: int) -> list:
+        """Every registered simulation process hosted on ``node``."""
+        return list(self._node_processes.get(node, ()))
+
+    @property
+    def standby_alive(self) -> bool:
+        return self.standby_tid is not None and self.standby_tid not in self.dead_tids
+
+    def apply_node_failure(self, node: int, dead_tids) -> None:
+        """Drop the dead units from the live scheduling state and the
+        reliable transport (frames to/from them are abandoned)."""
+        self.dead_tids.update(dead_tids)
+        self.live_workers = [
+            w for w in range(self.num_workers) if w not in self.dead_tids
+        ]
+        if self.transport is not None:
+            self.transport.forget_units(dead_tids)
+
+    def promote_reservation_service(self, standby) -> tuple:
+        """Swap the promoted standby in as the reservation service.
+
+        Called by :meth:`ReservationStandby._promote` after the replay:
+        builds a fresh :class:`ReservationCommitService` over the
+        standby's replayed image with the replicated table counters and
+        round records, resumes a :class:`_RoundEngine` at the standby's
+        shadow of the primary's scheduling state, swaps the layout, and
+        backs the dead primary's unreplicated commits out of the run
+        statistics (those iterations re-execute).  Returns ``(service,
+        engine)``; the caller drives the service loop.
+        """
+        shadow = standby.shadow_stats
+        service = ReservationCommitService(self.site_slots, master=standby.image)
+        service.table.restore_counters(standby.table_counters)
+        service.stats = shadow
+        engine = _RoundEngine.resume(
+            service, self.workload.iterations, self.granularity,
+            pending=standby.shadow_pending,
+            size=standby.shadow_size,
+            round_index=standby.shadow_round_index,
+            delta=_snapshot_entries(standby.image),
+        )
+        self.service = service
+        self.commit = service
+        self.commit_tid = standby.tid
+        self.service_tid = standby.tid
+        # The standby seat is consumed by the promotion: the promoted
+        # service runs without a second standby (a later crash of its
+        # node is fatal, exactly like DSMTX after a commit failover).
+        self.standby_tid = None
+        # Rounds the dead primary committed past the replicated frontier
+        # died with its master memory; the promoted service re-executes
+        # them, so their first count is backed out here.
+        self.stats.committed_mtxs = shadow.committed
+        self.stats.words_committed = shadow.words_committed
+        return service, engine
 
     # -- unit processes --------------------------------------------------------
 
@@ -601,19 +796,388 @@ class SpecForSystem:
                 rank, service_rank, commit_results, nbytes, tag=_TAG_COMMIT
             )
 
+    # -- fault-tolerant unit processes -----------------------------------------
+    #
+    # The fault-free procs above stay byte-for-byte what they were (the
+    # nine pinned specfor goldens depend on it); ``fault_tolerance=True``
+    # swaps in the variants below: every message is framed through the
+    # reliable transport into one multiplexed inbox per unit (dedup /
+    # reorder / ack / retransmit under injected loss and duplication),
+    # replies carry (round, attempt) so stale traffic from an aborted
+    # round is discarded, and the service streams each completed round
+    # to the hot standby.
+
+    def _ft_send(self, src_tid: int, dst_tid: int, payload, nbytes: int):
+        """Frame ``payload`` on the (src, dst) link and send it into the
+        destination's ingest box (sequence numbering + retransmit)."""
+        frame = self.transport.stamp(src_tid, dst_tid, payload, nbytes)
+        yield from self.mpi.send(
+            self._core_indices[src_tid], self._core_indices[dst_tid],
+            frame, nbytes, tag=_TAG_FT,
+            mailbox=self.transport.ingest_box(dst_tid),
+        )
+
+    def _ft_recv(self, tid: int):
+        """Blocking receive from a unit's multiplexed inbox, priced like
+        :meth:`repro.cluster.mpi.MPI.recv`."""
+        core = self.core_of(tid)
+        yield from core.drain()
+        payload = yield self._inboxes[tid].get()
+        yield core.compute(self.mpi._recv_cycles)
+        return payload
+
+    def _ft_note_failures(self, engine, in_flight: int) -> bool:
+        """Consume pending node-failure declarations (service side).
+
+        Returns True when a live worker died — the in-flight round must
+        be aborted and re-issued over the survivors.  A standby death
+        only degrades the run (replication stops); it never aborts.
+        """
+        state = self.state
+        aborted = False
+        while state.failover_pending:
+            node, dead_tids, detected_at, last_heard_at = (
+                state.failover_pending.pop(0)
+            )
+            dead_workers = [t for t in dead_tids if t in self.live_workers]
+            self.apply_node_failure(node, dead_tids)
+            if not self.live_workers:
+                raise ClusterFailedError(
+                    f"node {node} took the last live specfor worker; the "
+                    f"iteration space cannot be re-partitioned"
+                )
+            self.stats.failures.append(
+                FailureRecord(
+                    node=node,
+                    dead_tids=tuple(dead_tids),
+                    last_heard_at=last_heard_at,
+                    detected_at=detected_at,
+                    resumed_at=self.env.now,
+                    restart_base=engine.round_index,
+                    lost_iterations=in_flight if dead_workers else 0,
+                    surviving_workers=len(self.live_workers),
+                )
+            )
+            if dead_workers:
+                aborted = True
+            if self.obs is not None:
+                self.obs.metrics.counter("ft.failovers").inc()
+        return aborted
+
+    def _ft_run_round(
+        self, engine, tid: int, core, batch, delta, attempt: int,
+        full: bool, check_cycles: float,
+    ):
+        """One attempt at one round; returns the RoundRecord, or None
+        when a worker death aborted the attempt (re-issue with the
+        survivors)."""
+        stats = self.stats
+        live = list(self.live_workers)
+        round_index = engine.round_index
+        parts = {w: batch[i :: len(live)] for i, w in enumerate(live)}
+        delta_entries = tuple(delta)
+        for w in live:
+            nbytes = (
+                len(parts[w]) * MARKER_BYTES
+                + len(delta_entries) * ENTRY_BYTES
+                + MARKER_BYTES
+                + FRAME_HEADER_BYTES
+            )
+            stats.record_queue_bytes("specfor_round", nbytes)
+            yield from self._ft_send(
+                tid, w,
+                (_MSG_ROUND, round_index, attempt, parts[w], delta_entries, full),
+                nbytes,
+            )
+        decisions = []
+        reserved_slots = 0
+        want = set(live)
+        got: set = set()
+        while got != want:
+            msg = yield from self._ft_recv(tid)
+            if isinstance(msg, ControlEnvelope):
+                if self._ft_note_failures(engine, in_flight=len(batch)):
+                    # Pre-adjudication: no reservation was applied yet,
+                    # the attempt simply restarts over the survivors.
+                    return None
+                continue
+            if msg[0] == _MSG_RESERVE and msg[1] == round_index and msg[2] == attempt:
+                w = msg[3]
+                if w in want and w not in got:
+                    got.add(w)
+                    part = msg[4]
+                    decisions.extend(part)
+                    reserved_slots += sum(len(slots) for _i, _st, slots in part)
+            # Anything else is a stale reply from an aborted attempt (or
+            # a dead primary's epoch) — the attempt tag filters it out.
+        core.charge_cycles(check_cycles * 2 * reserved_slots)
+        winners = engine.adjudicate(decisions)
+        winner_set = set(winners)
+        for w in live:
+            mine = [i for i in parts[w] if i in winner_set]
+            nbytes = len(mine) * MARKER_BYTES + MARKER_BYTES + FRAME_HEADER_BYTES
+            stats.record_queue_bytes("specfor_verdict", nbytes)
+            yield from self._ft_send(
+                tid, w, (_MSG_VERDICT, round_index, attempt, mine), nbytes
+            )
+        commit_results = []
+        got = set()
+        while got != want:
+            msg = yield from self._ft_recv(tid)
+            if isinstance(msg, ControlEnvelope):
+                if self._ft_note_failures(engine, in_flight=len(batch)):
+                    # Post-adjudication: the dead worker's reservations
+                    # are already in the table — void them and roll the
+                    # counters back to the round-start checkpoint.
+                    engine.abort_round()
+                    return None
+                continue
+            if msg[0] == _MSG_COMMIT and msg[1] == round_index and msg[2] == attempt:
+                w = msg[3]
+                if w in want and w not in got:
+                    got.add(w)
+                    commit_results.extend(msg[4])
+        return engine.complete(commit_results)
+
+    def _ft_service_loop(self, engine, tid: int, full_first: bool):
+        """The round scheduler under fault tolerance.
+
+        Shared between the initial service process and a promoted
+        standby (which enters with ``full_first=True`` so every worker
+        rebuilds its snapshot from the replicated image).
+        """
+        config, stats = self.config, self.stats
+        core = self.machine.core(self._core_indices[tid])
+        ipc = self.cluster.instructions_per_cycle
+        check_cycles = config.check_instructions / ipc
+        commit_cycles = config.commit_instructions / ipc
+        obs = self.obs
+        full = full_first
+        spec = engine.service.stats
+        ckpt_committed = spec.committed
+        ckpt_words = spec.words_committed
+        while True:
+            self._ft_note_failures(engine, in_flight=0)
+            start = engine.begin_round()
+            if start is None:
+                break
+            batch, delta = start
+            attempt = 0
+            while True:
+                record = yield from self._ft_run_round(
+                    engine, tid, core, batch, delta, attempt, full, check_cycles
+                )
+                if record is not None:
+                    break
+                attempt += 1
+                stats.ft_round_reexecutions += 1
+                if obs is not None:
+                    obs.metrics.counter("ft.round_reexecutions").inc()
+            full = False
+            core.charge_cycles(commit_cycles * record.words_committed)
+            stats.committed_mtxs += record.completed
+            stats.words_committed += record.words_committed
+            if obs is not None:
+                metrics = obs.metrics
+                metrics.counter("specfor.rounds").inc()
+                metrics.counter("specfor.committed").inc(record.completed)
+                metrics.counter("specfor.reservation_failures").inc(
+                    record.reservation_failures
+                )
+                metrics.counter("specfor.carried").inc(record.carried)
+                metrics.histogram("specfor.round_size").observe(record.attempted)
+            if self.standby_alive:
+                entries = tuple(engine.delta)
+                carried = tuple(engine.last_carried)
+                nbytes = (
+                    len(entries) * ENTRY_BYTES
+                    + len(carried) * MARKER_BYTES
+                    + 8 * MARKER_BYTES
+                    + FRAME_HEADER_BYTES
+                )
+                stats.record_queue_bytes("repl", nbytes)
+                yield from self._ft_send(
+                    tid, self.standby_tid,
+                    (
+                        _MSG_REPL_ROUND, record.as_tuple(), entries, carried,
+                        engine.service.table.counters(),
+                    ),
+                    nbytes,
+                )
+            if spec.committed - ckpt_committed >= config.checkpoint_interval_mtxs:
+                words = spec.words_committed - ckpt_words
+                core.charge_instructions(
+                    config.checkpoint_base_instructions
+                    + words * config.checkpoint_word_instructions
+                )
+                stats.checkpoints.append(
+                    CheckpointRecord(
+                        iteration=spec.committed, words=words, at=self.env.now
+                    )
+                )
+                ckpt_committed = spec.committed
+                ckpt_words = spec.words_committed
+                if self.standby_alive:
+                    nbytes = 2 * MARKER_BYTES + FRAME_HEADER_BYTES
+                    stats.record_queue_bytes("repl", nbytes)
+                    yield from self._ft_send(
+                        tid, self.standby_tid,
+                        (_MSG_REPL_CHECKPOINT, spec.committed), nbytes,
+                    )
+        for w in list(self.live_workers):
+            nbytes = MARKER_BYTES + FRAME_HEADER_BYTES
+            stats.record_queue_bytes("specfor_round", nbytes)
+            yield from self._ft_send(tid, w, (_MSG_STOP,), nbytes)
+        if self.standby_alive:
+            nbytes = MARKER_BYTES + FRAME_HEADER_BYTES
+            stats.record_queue_bytes("repl", nbytes)
+            yield from self._ft_send(tid, self.standby_tid, (_MSG_STOP,), nbytes)
+        # state.terminate() happens in run() *after* env.run completes:
+        # terminating here would self-cancel the retransmit timers of
+        # stop frames still in flight, stranding a worker whose stop a
+        # loss fault dropped.
+
+    def _ft_service_proc(self):
+        engine = _RoundEngine(
+            self.service, self.workload.iterations, self.granularity
+        )
+        try:
+            yield from self._ft_service_loop(
+                engine, self.service_tid, full_first=False
+            )
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                # The service's node died; the standby-side watcher
+                # declares it and the standby takes over.
+                return
+            raise
+
+    def _ft_worker_proc(self, w: int):
+        config, stats = self.config, self.stats
+        core = self.machine.core(self._core_indices[w])
+        ipc = self.cluster.instructions_per_cycle
+        access_cycles = config.access_instructions / ipc
+        replica = AddressSpace(f"specfor.replica{w}")
+        step = self.workload.specfor_step()
+        try:
+            while True:
+                msg = yield from self._ft_recv(w)
+                if isinstance(msg, ControlEnvelope):
+                    continue
+                kind = msg[0]
+                if kind == _MSG_STOP:
+                    return
+                if kind == _MSG_ROUND:
+                    _kind, round_index, attempt, assignment, delta, full = msg
+                    if full:
+                        # Promotion re-broadcast: the committed image,
+                        # whole.  The worker's accumulated snapshot may
+                        # be ahead of the replicated frontier, so it is
+                        # rebuilt from scratch — equivalent to round 0,
+                        # whose delta is the full initial program state.
+                        replica = AddressSpace(f"specfor.replica{w}")
+                    core.charge_cycles(access_cycles * len(delta))
+                    for address, value in delta:
+                        replica.write(address, value)
+                    decisions = []
+                    cycles = 0.0
+                    for iteration in assignment:
+                        status, reserved, step_cycles = _run_reserve(
+                            step, replica, iteration, access_cycles
+                        )
+                        decisions.append((iteration, status, reserved))
+                        cycles += step_cycles
+                    core.charge_cycles(cycles)
+                    nbytes = (
+                        sum(len(slots) for _i, _st, slots in decisions)
+                        * ENTRY_BYTES
+                        + len(decisions) * MARKER_BYTES
+                        + MARKER_BYTES
+                        + FRAME_HEADER_BYTES
+                    )
+                    stats.record_queue_bytes("specfor_reserve", nbytes)
+                    yield from self._ft_send(
+                        w, self.commit_tid,
+                        (_MSG_RESERVE, round_index, attempt, w, decisions),
+                        nbytes,
+                    )
+                elif kind == _MSG_VERDICT:
+                    _kind, round_index, attempt, winners = msg
+                    commit_results = []
+                    cycles = 0.0
+                    for iteration in winners:
+                        ok, writes, step_cycles = _run_commit(
+                            step, replica, iteration, access_cycles
+                        )
+                        commit_results.append((iteration, ok, writes))
+                        cycles += step_cycles
+                    core.charge_cycles(cycles)
+                    nbytes = (
+                        sum(len(writes) for _i, _ok, writes in commit_results)
+                        * ENTRY_BYTES
+                        + len(commit_results) * MARKER_BYTES
+                        + MARKER_BYTES
+                        + FRAME_HEADER_BYTES
+                    )
+                    stats.record_queue_bytes("specfor_commit", nbytes)
+                    yield from self._ft_send(
+                        w, self.commit_tid,
+                        (_MSG_COMMIT, round_index, attempt, w, commit_results),
+                        nbytes,
+                    )
+        except ProcessInterrupt as interrupt:
+            if isinstance(interrupt.cause, NodeCrashed):
+                return
+            raise
+
     # -- execution -------------------------------------------------------------
+
+    def _spawn_unit(self, tid: int, generator, label: str):
+        """Start one unit's main process, registered to its host node."""
+        process = self.env.process(generator, name=label)
+        self.register_node_process(
+            self.cluster.node_of_core(self._core_indices[tid]), process
+        )
+        return process
 
     def run(self) -> RunResult:
         """Drive the loop to completion; returns the usual RunResult."""
         start = self.env.now
-        processes = [
-            self.env.process(self._worker_proc(w), name=f"specfor.worker{w}")
-            for w in range(self.num_workers)
-        ]
-        processes.append(
-            self.env.process(self._service_proc(), name="specfor.service")
-        )
+        if self.config.fault_tolerance:
+            processes = [
+                self._spawn_unit(w, self._ft_worker_proc(w), f"specfor.worker{w}")
+                for w in range(self.num_workers)
+            ]
+            processes.append(
+                self._spawn_unit(
+                    self.service_tid, self._ft_service_proc(), "specfor.service"
+                )
+            )
+            if self.standby is not None:
+                # The initial image is the epoch-0 checkpoint: the
+                # standby starts from the same program state as the
+                # primary.
+                self.standby.seed_image(self.service.master)
+                processes.append(
+                    self._spawn_unit(
+                        self.standby_tid, self.standby.run(), "specfor.standby"
+                    )
+                )
+            self.failure_detector.start()
+        else:
+            processes = [
+                self._spawn_unit(w, self._worker_proc(w), f"specfor.worker{w}")
+                for w in range(self.num_workers)
+            ]
+            processes.append(
+                self._spawn_unit(
+                    self.service_tid, self._service_proc(), "specfor.service"
+                )
+            )
+        if self.env.chaos is not None:
+            self.env.chaos.bind_system(self)
         self.env.run(until=self.env.all_of(processes))
+        self.state.terminate()
         elapsed = self.env.now - start
         spec = self.service.stats
         stats = self.stats

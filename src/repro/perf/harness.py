@@ -156,17 +156,26 @@ def _benchmark(name: str, iterations: int, smoke_iterations: int, access: str):
 
 def _specfor_bench(
     name: str, iterations: int, smoke_iterations: int,
-    workers: int = 4, density: float = 0.5,
+    workers: int = 4, density: float = 0.5, **config_kwargs,
 ) -> Callable[[bool], tuple[int, float]]:
     """A speculative_for run of one irregular workload on the simulated
-    reservations runtime (workers + commit-service units)."""
+    reservations runtime (workers + commit-service units).  Extra
+    ``config_kwargs`` build an explicit :class:`SystemConfig` — the
+    fault-tolerant entries use this to price the framed transport and
+    the replication stream."""
     def run(smoke: bool) -> tuple[int, float]:
         from repro.paradigms import SpecForSystem
         from repro.workloads import ALL_BENCHMARKS
 
         count = smoke_iterations if smoke else iterations
         workload = ALL_BENCHMARKS[name](iterations=count, density=density)
-        system = SpecForSystem(workload, workers=workers)
+        config = None
+        if config_kwargs:
+            from repro.core import SystemConfig
+
+            extra = 1 + (1 if config_kwargs.get("commit_replication") else 0)
+            config = SystemConfig(total_cores=workers + extra, **config_kwargs)
+        system = SpecForSystem(workload, config, workers=workers)
         result = system.run()
         return system.env.events_processed, result.elapsed_seconds
 
@@ -275,11 +284,22 @@ MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
     "specfor_mis_4w": _specfor_bench("maximal_independent_set", 64, 16),
     "specfor_lc_4w": _specfor_bench("list_contraction", 64, 16),
     "sf_dsmtx_8c": _irregular_dsmtx("spanning_forest", 96, 16),
+    # The fault-tolerant reservations runtime: same workload as
+    # specfor_sf_4w through the framed transport with a hot-standby
+    # reservation service, so the pair prices what crash survival costs.
+    "specfor_ft_4w": _specfor_bench(
+        "spanning_forest", 96, 16,
+        fault_tolerance=True, commit_replication=True, placement="spread"),
 }
 
 #: Entries the CI perf-drift guard watches, and the tolerated
 #: regression vs. the committed baseline before the guard fails.
-GUARD_ENTRIES = ("crc32_dsmtx_8c", "engine_micro", "specfor_sf_4w")
+#: specfor_sf_4w and specfor_ft_4w guard both sides of the
+#: fault-tolerance switch: the former is the zero-cost-when-disabled
+#: check (FT machinery creeping into the plain path regresses it), the
+#: latter the framed-transport + replication hot path itself.
+GUARD_ENTRIES = ("crc32_dsmtx_8c", "engine_micro", "specfor_sf_4w",
+                 "specfor_ft_4w")
 GUARD_MAX_REGRESSION = 0.30
 
 

@@ -82,12 +82,61 @@ def _specfor_configs():
     return configs
 
 
+def _sf_worker_crash_plan():
+    # Spread placement at 6 cores seats worker 1 on node 1; the crash
+    # lands mid-round, so the pinned episode covers suspicion, the
+    # in-flight round abort, and re-partitioning over the survivors.
+    from repro.chaos import FaultPlan, NodeCrash
+
+    return FaultPlan(faults=(NodeCrash(node=1, at_s=0.00015),), seed=3)
+
+
+def _sf_service_crash_plan():
+    # Node 4 hosts the reservation service (tid 4 of 6 units, spread);
+    # the crash covers standby promotion: shadow replay, the full-image
+    # re-broadcast, and re-execution of the unreplicated rounds.
+    from repro.chaos import FaultPlan, NodeCrash
+
+    return FaultPlan(faults=(NodeCrash(node=4, at_s=0.00015),), seed=3)
+
+
+def _specfor_ft_configs():
+    """Fault-tolerant speculative_for goldens: the framed-transport
+    fault-free run plus one worker-crash and one service-crash episode.
+    The specfor_* stats lines and the master-image line of all three
+    match the plain ``specfor_sf_4w`` fingerprint exactly (the paradigm
+    survives crashes byte-deterministically); only timing, traffic, and
+    ft_* lines differ.  tests/chaos/test_specfor_failover.py asserts the
+    cross-config equality; these digests pin each episode's bytes."""
+    def cfg(extra=None):
+        kwargs = {
+            "workers": 4,
+            "config_kwargs": {
+                "total_cores": 6, "fault_tolerance": True,
+                "commit_replication": True, "placement": "spread",
+            },
+        }
+        if extra:
+            kwargs.update(extra)
+        return kwargs
+
+    factory = _irregular("spanning_forest", iterations=48)
+    return {
+        "specfor_ft_sf_4w": (factory, "specfor", cfg()),
+        "specfor_ft_crashworker_sf_4w": (
+            factory, "specfor", cfg({"chaos_plan": _sf_worker_crash_plan})),
+        "specfor_ft_crashservice_sf_4w": (
+            factory, "specfor", cfg({"chaos_plan": _sf_service_crash_plan})),
+    }
+
+
 #: name -> (workload factory, scheme, SystemConfig kwargs).  The extra
 #: ``chaos_plan`` key (popped before SystemConfig sees it) attaches a
 #: fault-injection plan: the failover episode itself must be
 #: byte-reproducible, so it is pinned here like any other config.
 #: Scheme ``specfor`` runs on the reservations runtime instead; its
-#: kwargs hold the worker count.
+#: kwargs hold the worker count, plus an optional ``config_kwargs``
+#: dict built into the SystemConfig (fault-tolerant configs).
 CONFIGS = {
     "crc32_dsmtx_8c": (lambda: _crc32(), "dsmtx", {"total_cores": 8}),
     "crc32_misspec_8c": (lambda: _crc32(misspec={12}), "dsmtx", {"total_cores": 8}),
@@ -105,6 +154,7 @@ CONFIGS = {
                            "chaos_plan": _crash_commit_node_plan}),
 }
 CONFIGS.update(_specfor_configs())
+CONFIGS.update(_specfor_ft_configs())
 
 
 def run_fingerprint(name: str) -> str:
@@ -122,6 +172,9 @@ def run_fingerprint(name: str) -> str:
     if scheme == "specfor":
         from repro.paradigms import SpecForSystem
 
+        config_kwargs = kwargs.pop("config_kwargs", None)
+        if config_kwargs is not None:
+            kwargs["config"] = SystemConfig(**config_kwargs)
         system = SpecForSystem(workload, **kwargs)
     else:
         plan = (workload.dsmtx_plan() if scheme == "dsmtx"
@@ -186,6 +239,10 @@ def run_fingerprint(name: str) -> str:
         lines.append(f"ft_repl_folded_words={stats.ft_repl_folded_words}")
         lines.append(f"ft_promotions={stats.ft_promotions}")
         lines.append(f"ft_replayed_words={stats.ft_replayed_words}")
+    # Own conditional line: only specfor worker crashes set it, so every
+    # pre-existing digest (including pipeline failovers) is unchanged.
+    if stats.ft_round_reexecutions:
+        lines.append(f"ft_round_reexecutions={stats.ft_round_reexecutions}")
     for record in stats.failures:
         line = (
             "failure("
