@@ -95,6 +95,19 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
     # pipeline failover runs, which predate the counter, are unchanged.
     if stats.ft_round_reexecutions:
         lines.append(f"ft.round_reexecutions={stats.ft_round_reexecutions}")
+    # Integrity counters: only an integrity-mode run that detected (or
+    # audited) anything prints them, so prior digests are unchanged.
+    integrity_counters = (
+        ("corruptions_detected", stats.ft_corruptions_detected),
+        ("corruptions_repaired", stats.ft_corruptions_repaired),
+        ("corruptions_unrepairable", stats.ft_corruptions_unrepairable),
+        ("scrub_rounds", stats.ft_scrub_rounds),
+        ("scrub_pages", stats.ft_scrub_pages),
+    )
+    if any(value for _name, value in integrity_counters):
+        lines.extend(
+            f"ft.{name}={value}" for name, value in integrity_counters
+        )
     # speculative_for runs only: rounds of the deterministic-reservations
     # scheduler.  Pipeline runs leave these at zero and print nothing.
     if stats.specfor_rounds:
@@ -125,6 +138,8 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
                 f", replayed_words={record.replayed_words}"
                 f", recommitted_iterations={record.recommitted_iterations}"
             )
+        if record.corrupt_image:
+            line += ", corrupt_image=True"
         lines.append(line + ")")
     for record in stats.checkpoints:
         lines.append(
@@ -137,6 +152,17 @@ def run_fingerprint(stats, master=None, chaos=None) -> str:
             lines.append(f"chaos.crash(node={node}, at={at_s!r})")
         for name in ("messages_dropped", "messages_duplicated", "messages_delayed"):
             lines.append(f"chaos.{name}={summary[name]}")
+        # Corruption keys exist only when the plan schedules corruption
+        # faults; older plans' digests are untouched.
+        if "messages_corrupted" in summary:
+            lines.append(
+                f"chaos.messages_corrupted={summary['messages_corrupted']}"
+            )
+        for target, at_s, words in summary.get("state_corruptions", ()):
+            lines.append(
+                f"chaos.state_corruption(target={target!r}, at={at_s!r}, "
+                f"words={words})"
+            )
     return "\n".join(lines)
 
 
@@ -163,12 +189,23 @@ def render_resilience_report(stats, chaos=None, reference=None) -> str:
         if rows:
             sections.append(render_table(["crashed", "at"], rows,
                                          title="Injected crashes"))
-        sections.append(
+        wire_line = (
             "wire faults: "
             f"{summary['messages_dropped']} dropped, "
             f"{summary['messages_duplicated']} duplicated, "
             f"{summary['messages_delayed']} delayed"
         )
+        if "messages_corrupted" in summary:
+            wire_line += f", {summary['messages_corrupted']} corrupted"
+        sections.append(wire_line)
+        corruptions = summary.get("state_corruptions", ())
+        if corruptions:
+            rows = [[target, f"{at_s * 1e3:.3f} ms", str(words)]
+                    for target, at_s, words in corruptions]
+            sections.append(render_table(
+                ["target", "at", "words flipped"], rows,
+                title="Injected state corruption (silent bit flips)",
+            ))
 
     if stats.failures:
         rows = []
@@ -227,6 +264,22 @@ def render_resilience_report(stats, chaos=None, reference=None) -> str:
             f"round re-execution: {stats.ft_round_reexecutions} reservation "
             f"round(s) voided by a worker crash and re-issued to the "
             f"survivors"
+        )
+    if stats.ft_corruptions_detected or stats.ft_scrub_rounds:
+        ft_lines.append(
+            f"integrity: {stats.ft_corruptions_detected} corruption(s) "
+            f"detected, {stats.ft_corruptions_repaired} repaired, "
+            f"{stats.ft_corruptions_unrepairable} unrepairable; "
+            f"{stats.ft_scrub_pages} page audits over "
+            f"{stats.ft_scrub_rounds} scrub sweep(s)"
+        )
+    refused = [r for r in stats.failures if r.corrupt_image]
+    if refused:
+        ft_lines.append(
+            "promotion refused: the standby checkpoint image failed its "
+            "digest check on "
+            + ", ".join(f"node {r.node}" for r in refused)
+            + " (corrupted state was not promoted)"
         )
     if ft_lines:
         sections.append("\n".join(ft_lines))

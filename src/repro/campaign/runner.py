@@ -167,6 +167,7 @@ def _system_config(spec: ScenarioSpec):
         coa_replicas=spec.coa_replicas,
         fault_tolerance=spec.fault_tolerance,
         commit_replication=spec.commit_replication,
+        integrity=spec.integrity,
     )
     if spec.batch_bytes is not None:
         kwargs["batch_bytes"] = spec.batch_bytes
@@ -307,10 +308,13 @@ def _check_expectations(spec: ScenarioSpec, result: ScenarioResult,
         # The fault-free reference must be layout-identical: a commit
         # standby reserves a unit slot, so replication stays on; plain
         # fault tolerance adds no units and is dropped for speed.
+        # Integrity adds no units either, and SystemConfig rejects it
+        # without fault_tolerance, so it follows the same switch.
         ref_config = replace(
             config,
             fault_tolerance=spec.commit_replication,
             commit_replication=spec.commit_replication,
+            integrity=spec.integrity and spec.commit_replication,
         )
         ref_system, _ = _build_system(spec, ref_config)
         ref_stats = ref_system.run().stats

@@ -54,8 +54,10 @@ PLACEMENTS = ("pack", "spread")
 #: survivable, and loss/duplication need the reliable transport to not
 #: silently corrupt the run.  Degradation and stalls merely delay
 #: traffic and are legal in any mode.
+#: ``corruption`` rides along: silent bit flips are only *survivable*
+#: when the reliable transport's checksums can turn them into loss.
 FT_REQUIRED_FAULT_FIELDS = ("crash_node", "crash_worker", "crash_commit",
-                            "drop", "dup")
+                            "drop", "dup", "corruption")
 
 
 # -- validation helpers ----------------------------------------------------------
@@ -158,6 +160,11 @@ class FaultSpec:
     drop: float = 0.0
     #: Per-message duplication probability.
     dup: float = 0.0
+    #: Per-message silent-corruption probability (one bit flipped in a
+    #: value leaf; docs/RESILIENCE.md).  Pair with ``integrity: true``
+    #: on the scenario to exercise detection and repair — without it
+    #: the corruption commits silently.
+    corruption: float = 0.0
     #: Fabric degradation factor (>= 1; 0 disables the window).
     degrade: float = 0.0
     #: Degradation window start (simulated ms).
@@ -173,7 +180,7 @@ class FaultSpec:
 
     _KNOWN = (
         "crash_node", "crash_worker", "crash_commit", "crash_at_ms",
-        "drop", "dup",
+        "drop", "dup", "corruption",
         "degrade", "degrade_at_ms", "degrade_duration_ms",
         "stall_node", "stall_at_ms", "stall_duration_ms",
     )
@@ -189,6 +196,8 @@ class FaultSpec:
             crash_at_ms=_get_float(data, "crash_at_ms", 5.0, path, minimum=0.0),
             drop=_get_float(data, "drop", 0.0, path, minimum=0.0, maximum=1.0),
             dup=_get_float(data, "dup", 0.0, path, minimum=0.0, maximum=1.0),
+            corruption=_get_float(
+                data, "corruption", 0.0, path, minimum=0.0, maximum=1.0),
             degrade=_get_float(data, "degrade", 0.0, path, minimum=0.0),
             degrade_at_ms=_get_float(data, "degrade_at_ms", 0.0, path, minimum=0.0),
             degrade_duration_ms=_get_float(
@@ -197,6 +206,11 @@ class FaultSpec:
             stall_at_ms=_get_float(data, "stall_at_ms", 0.0, path, minimum=0.0),
             stall_duration_ms=_get_float(data, "stall_duration_ms", 0.1, path),
         )
+        if spec.corruption >= 1.0:
+            raise _err(f"{path}.corruption",
+                       "probability 1.0 corrupts every message, which is "
+                       "a partition, not a fault model; did you mean "
+                       "0.999?")
         if 0.0 < spec.degrade < 1.0:
             raise _err(f"{path}.degrade",
                        f"a degradation factor is >= 1 (got {spec.degrade:g}); "
@@ -233,6 +247,8 @@ class FaultSpec:
         }
         if self.crash_worker >= 0:
             data["crash_worker"] = self.crash_worker
+        if self.corruption > 0.0:
+            data["corruption"] = self.corruption
         return data
 
     @property
@@ -249,6 +265,8 @@ class FaultSpec:
             active.append("drop")
         if self.dup > 0.0:
             active.append("dup")
+        if self.corruption > 0.0:
+            active.append("corruption")
         return tuple(active)
 
     @property
@@ -272,6 +290,7 @@ class FaultSpec:
         from repro.chaos import (
             FaultPlan,
             LinkDegrade,
+            MessageCorruption,
             MessageDuplication,
             MessageLoss,
             NodeCrash,
@@ -313,6 +332,8 @@ class FaultSpec:
             faults.append(MessageLoss(probability=self.drop))
         if self.dup:
             faults.append(MessageDuplication(probability=self.dup))
+        if self.corruption:
+            faults.append(MessageCorruption(probability=self.corruption))
         return FaultPlan(faults=tuple(faults), seed=seed)
 
 
@@ -393,6 +414,9 @@ class ScenarioSpec:
     fault_tolerance: bool = False
     #: Run a hot-standby commit replica (requires fault_tolerance).
     commit_replication: bool = False
+    #: Checksum every frame, digest checkpoints/replication, and scrub
+    #: committed memory (requires fault_tolerance; docs/RESILIENCE.md).
+    integrity: bool = False
     #: Iterations whose speculative execution must abort.
     misspec_iterations: tuple = ()
     #: Misspeculate every Nth iteration (0 disables) — the
@@ -413,8 +437,8 @@ class ScenarioSpec:
     _KNOWN = (
         "name", "benchmark", "scheme", "cores", "iterations", "seed",
         "batch_bytes", "placement", "coa_replicas", "fault_tolerance",
-        "commit_replication", "misspec_iterations", "misspec_every",
-        "density", "faults", "expect", "trace",
+        "commit_replication", "integrity", "misspec_iterations",
+        "misspec_every", "density", "faults", "expect", "trace",
     )
 
     @classmethod
@@ -470,7 +494,7 @@ class ScenarioSpec:
                 )
                 faults = replace(
                     faults, crash_node=-1, crash_worker=-1,
-                    crash_commit=False, drop=0.0, dup=0.0)
+                    crash_commit=False, drop=0.0, dup=0.0, corruption=0.0)
         spec = cls(
             name=_get_str(data, "name", benchmark, path),
             benchmark=benchmark,
@@ -484,6 +508,7 @@ class ScenarioSpec:
             coa_replicas=_get_int(data, "coa_replicas", 0, path, minimum=0),
             fault_tolerance=fault_tolerance,
             commit_replication=_get_bool(data, "commit_replication", False, path),
+            integrity=_get_bool(data, "integrity", False, path),
             misspec_iterations=tuple(sorted(set(misspec_raw))),
             misspec_every=_get_int(data, "misspec_every", 0, path, minimum=0),
             density=density,
@@ -496,6 +521,11 @@ class ScenarioSpec:
             raise _err(f"{path}.commit_replication",
                        "a commit standby needs the failure-aware runtime; "
                        "set fault_tolerance: true")
+        if spec.integrity and not spec.fault_tolerance:
+            raise _err(f"{path}.integrity",
+                       "checksums repair corruption by converting it into "
+                       "loss, which only the reliable transport can "
+                       "retransmit; set fault_tolerance: true")
         if spec.scheme == "specfor":
             if spec.coa_replicas:
                 raise _err(f"{path}.coa_replicas",
@@ -583,9 +613,9 @@ class ScenarioSpec:
         """Canonical form: every field explicit, insertion order fixed.
 
         ``from_dict(to_dict(spec)) == spec`` — the round-trip identity
-        the schema tests pin.  Exception: ``density`` appears only when
-        set, so scenarios that predate the knob keep their digests
-        (absent features leave no trace).
+        the schema tests pin.  Exception: ``density`` and ``integrity``
+        appear only when set, so scenarios that predate those knobs
+        keep their digests (absent features leave no trace).
         """
         data = {
             "name": self.name,
@@ -607,6 +637,8 @@ class ScenarioSpec:
         }
         if self.density is not None:
             data["density"] = self.density
+        if self.integrity:
+            data["integrity"] = True
         return data
 
     def digest(self) -> str:

@@ -17,14 +17,17 @@ Typical use (see ``docs/RESILIENCE.md``)::
     result = system.run()                          # crashes, recovers
 """
 
-from repro.chaos.engine import DELIVER, DROP, DUPLICATE, ChaosEngine
+from repro.chaos.engine import CORRUPT, DELIVER, DROP, DUPLICATE, ChaosEngine
 from repro.chaos.plan import (
+    STATE_CORRUPTION_TARGETS,
     FaultPlan,
     LinkDegrade,
+    MessageCorruption,
     MessageDuplication,
     MessageLoss,
     NodeCrash,
     NodeStall,
+    StateCorruption,
 )
 
 __all__ = [
@@ -35,7 +38,11 @@ __all__ = [
     "NodeStall",
     "MessageLoss",
     "MessageDuplication",
+    "MessageCorruption",
+    "StateCorruption",
+    "STATE_CORRUPTION_TARGETS",
     "DELIVER",
     "DROP",
     "DUPLICATE",
+    "CORRUPT",
 ]

@@ -29,6 +29,9 @@ __all__ = [
     "NodeStall",
     "MessageLoss",
     "MessageDuplication",
+    "MessageCorruption",
+    "StateCorruption",
+    "STATE_CORRUPTION_TARGETS",
     "FaultPlan",
 ]
 
@@ -103,14 +106,51 @@ class MessageDuplication:
     end_s: float = math.inf
 
 
+@dataclass(frozen=True)
+class MessageCorruption:
+    """Silently flip one bit in each inter-node message's payload with
+    ``probability`` inside the window (cheap NIC / cable-marginal bit
+    errors that arrive without any error signal).  The corrupted copy is
+    what the wire delivers; the sender's retransmit buffer keeps the
+    intact original, so under ``SystemConfig.integrity`` detection
+    converts the corruption into a loss the retransmit path repairs."""
+
+    probability: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+
+#: Valid :attr:`StateCorruption.target` values, in docs order.
+STATE_CORRUPTION_TARGETS = ("memory", "checkpoint", "speculative")
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """Flip one bit in ``words`` resident words at ``at_s`` (non-ECC
+    memory).  ``target`` picks the victim state:
+
+    * ``"memory"`` — committed words in the commit unit's master (the
+      page-digest scrubber's detection case);
+    * ``"checkpoint"`` — the standby's checkpoint image (promotion must
+      *refuse* the corrupted image; requires commit replication);
+    * ``"speculative"`` — clean committed words cached in a worker's
+      space (value-based read validation detects the corrupt read and
+      the ordinary misspeculation re-execution repairs it).
+    """
+
+    target: str
+    at_s: float
+    words: int = 1
+
+
 def _is_finite_time(value: float) -> bool:
     """A usable schedule time: finite and non-negative (NaN fails)."""
     return math.isfinite(value) and value >= 0
 
 
 _WINDOW_KINDS = (LinkDegrade, NodeStall)
-_PROBABILISTIC_KINDS = (MessageLoss, MessageDuplication)
-_ALL_KINDS = (NodeCrash,) + _WINDOW_KINDS + _PROBABILISTIC_KINDS
+_PROBABILISTIC_KINDS = (MessageLoss, MessageDuplication, MessageCorruption)
+_ALL_KINDS = (NodeCrash, StateCorruption) + _WINDOW_KINDS + _PROBABILISTIC_KINDS
 
 
 @dataclass(frozen=True)
@@ -149,9 +189,37 @@ class FaultPlan:
                     raise ChaosError(
                         f"degrade factors must be >= 1 (it is a *degradation*): {fault!r}"
                     )
+            elif isinstance(fault, StateCorruption):
+                if fault.target not in STATE_CORRUPTION_TARGETS:
+                    known = ", ".join(STATE_CORRUPTION_TARGETS)
+                    raise ChaosError(
+                        f"unknown state-corruption target {fault.target!r}; "
+                        f"did you mean one of: {known}?"
+                    )
+                if not _is_finite_time(fault.at_s):
+                    raise ChaosError(
+                        f"state corruption needs a finite schedule time: {fault!r}"
+                    )
+                if not isinstance(fault.words, int) or fault.words < 1:
+                    raise ChaosError(
+                        f"state corruption must flip at least one word: {fault!r}"
+                    )
             else:
-                if not 0.0 <= fault.probability <= 1.0:
-                    raise ChaosError(f"probability outside [0, 1]: {fault!r}")
+                probability = fault.probability
+                # NaN fails every comparison, so the range is stated as
+                # a requirement; 1.0 is excluded — a certainty is a
+                # partition/fuzzer bug, not a fault model, and under
+                # loss it would defeat even infinite retransmits.
+                if not 0.0 <= probability < 1.0:
+                    hint = (
+                        "; probability 1.0 means *every* message — did you "
+                        "mean 0.999?"
+                        if probability == 1.0
+                        else ""
+                    )
+                    raise ChaosError(
+                        f"probability outside [0, 1): {fault!r}{hint}"
+                    )
                 if not (_is_finite_time(fault.start_s) and fault.end_s > fault.start_s):
                     raise ChaosError(f"empty fault window: {fault!r}")
         self._reject_overlapping_degrades()
@@ -179,6 +247,10 @@ class FaultPlan:
         return tuple(f for f in self.faults if isinstance(f, NodeCrash))
 
     @property
+    def state_corruptions(self) -> tuple:
+        return tuple(f for f in self.faults if isinstance(f, StateCorruption))
+
+    @property
     def needs_random_draws(self) -> bool:
         """True if the plan consumes per-message random draws."""
         return any(isinstance(f, _PROBABILISTIC_KINDS) for f in self.faults)
@@ -195,6 +267,8 @@ class FaultPlan:
         stalls: int = 0,
         loss: float = 0.0,
         duplication: float = 0.0,
+        corruption: float = 0.0,
+        state_corruptions: int = 0,
         crashable_nodes: Optional[Sequence[int]] = None,
     ) -> "FaultPlan":
         """Seeded pseudo-random plan over a ``horizon_s`` run estimate.
@@ -256,6 +330,16 @@ class FaultPlan:
             faults.append(MessageLoss(probability=loss))
         if duplication:
             faults.append(MessageDuplication(probability=duplication))
+        if corruption:
+            faults.append(MessageCorruption(probability=corruption))
+        for _ in range(state_corruptions):
+            # Committed-memory flips land mid-run like the crashes do;
+            # "memory" is the only target every configuration can host.
+            faults.append(
+                StateCorruption(
+                    target="memory", at_s=rng.uniform(0.2, 0.7) * horizon_s
+                )
+            )
         return cls(faults=tuple(faults), seed=seed)
 
     def describe(self) -> str:

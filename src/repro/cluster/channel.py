@@ -55,6 +55,13 @@ class Channel:
         datum; Figure 5b baseline).
     variant:
         MPI send flavour used for the underlying transfers.
+    integrity:
+        Prepend a CRC32 of the batch's canonical encoding to every
+        transfer and verify it on receive.  A mismatch raises
+        :class:`~repro.errors.CommunicationError` — the stand-alone
+        queue has no retransmit buffer, so corruption is fail-stop
+        here rather than repaired (the runtime's reliable transport
+        is the repairing path).
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class Channel:
         item_bytes: int = 16,
         mode: str = "batched",
         variant: MPIVariant = MPIVariant.SEND,
+        integrity: bool = False,
     ) -> None:
         if mode not in ("batched", "direct"):
             raise CommunicationError(f"unknown channel mode: {mode!r}")
@@ -80,6 +88,7 @@ class Channel:
         self.item_bytes = item_bytes
         self.mode = mode
         self.variant = variant
+        self.integrity = integrity
         self.closed = False
 
         self._send_buffer: list[Any] = []
@@ -95,6 +104,37 @@ class Channel:
         self.bytes_produced = 0
         self.items_produced = 0
         self.batches_sent = 0
+        #: Checksum mismatches caught on receive (integrity mode).
+        self.corruptions_detected = 0
+
+    # -- integrity -------------------------------------------------------------
+
+    def _wire(self, items: list, nbytes: int) -> tuple[list, int]:
+        """Wrap a transfer for the wire: prepend the batch CRC when
+        integrity is on (priced at the checksum's wire bytes)."""
+        if not self.integrity:
+            return items, nbytes
+        from repro.core.integrity import CHECKSUM_BYTES, payload_checksum
+
+        self._src_core_obj.charge_instructions(self._queue_op_instructions)
+        return [payload_checksum(items)] + items, nbytes + CHECKSUM_BYTES
+
+    def _unwrap(self, batch: list) -> list:
+        """Verify and strip the leading CRC of a received transfer."""
+        if not self.integrity:
+            return batch
+        from repro.core.integrity import payload_checksum
+
+        self._dst_core_obj.charge_instructions(self._queue_op_instructions)
+        expected, items = batch[0], batch[1:]
+        if payload_checksum(items) != expected:
+            self.corruptions_detected += 1
+            raise CommunicationError(
+                f"checksum mismatch on channel {self.name!r}: the batch "
+                f"was corrupted in flight and this queue has no "
+                f"retransmit path to repair it"
+            )
+        return items
 
     # -- producing -------------------------------------------------------------
 
@@ -112,8 +152,9 @@ class Channel:
         self.bytes_produced += size
         self.items_produced += 1
         if self.mode == "direct":
+            wire, wire_bytes = self._wire([value], size)
             return self.mpi.send(
-                self.src_core, self.dst_core, [value], size, tag=self.name, variant=self.variant
+                self.src_core, self.dst_core, wire, wire_bytes, tag=self.name, variant=self.variant
             )
         self._src_core_obj.charge_instructions(self._queue_op_instructions)
         self._send_buffer.append(value)
@@ -137,8 +178,9 @@ class Channel:
         """Flush, then deliver a close token to the consumer."""
         yield from self.flush_pending()
         self.closed = True
+        wire, wire_bytes = self._wire([CLOSE_TOKEN], 8)
         yield from self.mpi.send(
-            self.src_core, self.dst_core, [CLOSE_TOKEN], 8, tag=self.name, variant=self.variant
+            self.src_core, self.dst_core, wire, wire_bytes, tag=self.name, variant=self.variant
         )
 
     def _push_batch(self) -> Generator[Event, Any, None]:
@@ -147,8 +189,9 @@ class Channel:
         batch, self._send_buffer = self._send_buffer, []
         nbytes, self._send_buffer_bytes = self._send_buffer_bytes, 0
         self.batches_sent += 1
+        wire, wire_bytes = self._wire(batch, nbytes)
         yield from self.mpi.send(
-            self.src_core, self.dst_core, batch, nbytes, tag=self.name, variant=self.variant
+            self.src_core, self.dst_core, wire, wire_bytes, tag=self.name, variant=self.variant
         )
         if obs is not None:
             obs.tracer.complete(
@@ -169,9 +212,10 @@ class Channel:
         flushed while blocked (misspeculation recovery).
         """
         if self._recv_index >= len(self._recv_buffer):
-            self._recv_buffer = yield from self.mpi.recv(
+            batch = yield from self.mpi.recv(
                 self.dst_core, self.src_core, tag=self.name
             )
+            self._recv_buffer = self._unwrap(batch)
             self._recv_index = 0
         self._dst_core_obj.charge_instructions(self._queue_op_instructions)
         value = self._recv_buffer[self._recv_index]
@@ -184,7 +228,7 @@ class Channel:
             ok, batch = self.mpi.try_recv(self.dst_core, self.src_core, tag=self.name)
             if not ok:
                 return False, None
-            self._recv_buffer = batch
+            self._recv_buffer = self._unwrap(batch)
             self._recv_index = 0
         self._dst_core_obj.charge_instructions(self._queue_op_instructions)
         value = self._recv_buffer[self._recv_index]

@@ -179,7 +179,7 @@ class Interconnect:
         stats.total_messages += 1
         # Transmit phase, inlined (this is _transmit_phase without the
         # extra generator frame and spec lookups).
-        verdict = 0  # chaos verdicts: 0 deliver, 1 drop, 2 duplicate
+        verdict = 0  # chaos verdicts: 0 deliver, 1 drop, 2 duplicate, 3 corrupt
         if inter_node:
             stats.inter_node_bytes += nbytes
             latency, bandwidth = self._inter
@@ -192,6 +192,12 @@ class Interconnect:
                     node_index_of[src_core], node_index_of[dst_core],
                     latency, bandwidth,
                 )
+                if verdict == 3:
+                    # Silent corruption: deliver once, but with bits
+                    # flipped in a *copy* of the payload (the sender's
+                    # retransmit buffer keeps the intact original).
+                    payload = chaos.corrupt_payload(payload)
+                    verdict = 0
             src_node = self._node_of[src_core]
             src_node.bytes_sent += nbytes
             tx = src_node.nic_tx.request()

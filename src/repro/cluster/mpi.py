@@ -102,7 +102,7 @@ class MPI:
         stats = ic.stats
         stats.total_bytes += wire_bytes
         stats.total_messages += 1
-        verdict = 0  # chaos verdicts: 0 deliver, 1 drop, 2 duplicate
+        verdict = 0  # chaos verdicts: 0 deliver, 1 drop, 2 duplicate, 3 corrupt
         if inter_node:
             stats.inter_node_bytes += wire_bytes
             latency, bandwidth = ic._inter
@@ -115,6 +115,12 @@ class MPI:
                     node_index_of[src_rank], node_index_of[dst_rank],
                     latency, bandwidth,
                 )
+                if verdict == 3:
+                    # Silent corruption: deliver once, but with bits
+                    # flipped in a *copy* of the payload (the sender's
+                    # retransmit buffer keeps the intact original).
+                    payload = chaos.corrupt_payload(payload)
+                    verdict = 0
             src_node = ic._node_of[src_rank]
             src_node.bytes_sent += wire_bytes
             tx = src_node.nic_tx.request()

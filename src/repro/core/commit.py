@@ -41,7 +41,7 @@ from repro.core.messages import (
 )
 from repro.core.stats import CheckpointRecord, FailureRecord, RecoveryRecord
 from repro.errors import NodeCrashed, ProcessInterrupt, RecoveryError
-from repro.memory import AddressSpace
+from repro.memory import AddressSpace, page_number
 from repro.obs.tracer import (
     CAT_COMMIT,
     CAT_FT_CHECKPOINT,
@@ -87,6 +87,12 @@ class CommitUnit:
             and tid == system.commit_tid
             else None
         )
+        #: Integrity mode: authoritative page digests of master memory,
+        #: updated at apply time (committed writes and SEQ re-execution
+        #: go through commit bookkeeping; a silent flip does not — that
+        #: asymmetry is what the scrubber audits).  ``None`` when off.
+        self._integrity = self._ft and system.config.integrity
+        self._page_digests: dict | None = {} if self._integrity else None
         #: Promotion provenance, set on a promoted unit:
         #: (standby_tid, promotion_seconds, replayed_words, recommitted).
         self._promotion = None
@@ -124,6 +130,16 @@ class CommitUnit:
 
     def _run(self) -> Generator[Event, Any, None]:
         system = self.system
+        if self._integrity:
+            # Seed the digest table from the current master: the
+            # workload prologue's initial state for a fresh unit, the
+            # replayed checkpoint image for a promoted one.
+            from repro.core.integrity import page_digest
+
+            self._page_digests = {
+                page.number: page_digest(page)
+                for page in self.master.iter_pages()
+            }
         while self.next_commit < system.total_iterations:
             state = system.state
             if state.failover_pending:
@@ -270,6 +286,20 @@ class CommitUnit:
                 if system.config.coa_replicas:
                     self._check_read_only(writes)
                 words += self.master.apply_entries(writes)
+                if self._integrity:
+                    # Re-digest *before* the replication stream yields:
+                    # the scrubber can run at any yield point, and a
+                    # stale table entry would read this legitimate
+                    # commit as corruption.
+                    touched: set = set()
+                    for entry in writes:
+                        if entry[0] == WRITE:
+                            touched.add(page_number(entry[1]))
+                        else:
+                            first = page_number(entry[1])
+                            last = page_number(entry[1] + (len(entry[2]) << 3) - 8)
+                            touched.update(range(first, last + 1))
+                    self._refresh_digests(touched)
                 if repl is not None:
                     # Stream in the exact apply order so the standby's
                     # replay reproduces master memory word for word.
@@ -294,9 +324,27 @@ class CommitUnit:
                 )
         if committed and self._ft:
             if self._maybe_checkpoint(committed_words) and repl is not None:
-                yield from repl.produce(
-                    (REPL_CHECKPOINT, self.next_commit), nbytes=MARKER_BYTES
-                )
+                if self._integrity:
+                    # End-to-end checkpoint digest: the standby folds
+                    # its replay log at this marker and verifies the
+                    # result against the primary's master digest.
+                    from repro.core.integrity import (
+                        CHECKSUM_BYTES,
+                        space_digest,
+                    )
+
+                    yield from repl.produce(
+                        (
+                            REPL_CHECKPOINT,
+                            self.next_commit,
+                            space_digest(self.master),
+                        ),
+                        nbytes=MARKER_BYTES + CHECKSUM_BYTES,
+                    )
+                else:
+                    yield from repl.produce(
+                        (REPL_CHECKPOINT, self.next_commit), nbytes=MARKER_BYTES
+                    )
             if repl is not None:
                 # Bound replication lag to one group-commit round: the
                 # standby's frontier is at most a round behind.
@@ -355,6 +403,118 @@ class CommitUnit:
                 PID_RUNTIME, self.tid, iteration=self.next_commit, words=words,
             )
             obs.metrics.counter("ft.checkpoints").inc()
+        return True
+
+    # -- integrity scrubbing (integrity mode) ------------------------------------------
+
+    def _refresh_digests(self, page_numbers) -> None:
+        """Re-digest the given master pages after commit-side writes."""
+        from repro.core.integrity import page_digest
+
+        table = self._page_digests
+        master = self.master
+        for number in page_numbers:
+            table[number] = page_digest(master.get_page(number))
+
+    def scrub_once(self) -> int:
+        """One scrub sweep: audit every committed page against the
+        authoritative digest table.
+
+        Every mutation of master memory goes through commit bookkeeping
+        and refreshes its page digest; a silent flip does not — so a
+        page whose content no longer matches its recorded digest has
+        been corrupted in place.  Repair comes from the replicated
+        copy when it is provably current: the standby's folded image
+        plus its replay log reconstruct the page at the replicated
+        frontier, and when that reconstruction matches the
+        authoritative digest (no commit has touched the page since),
+        it is installed over the corrupted page — a management-path
+        page fetch, priced on the commit core like a COA install.
+        Otherwise the corruption is counted unrepairable: the run
+        finishes, but the resilience report flags it instead of
+        presenting the poisoned words as committed results.
+
+        Returns the number of corrupted pages found this sweep.
+        """
+        from repro.core.integrity import page_digest
+
+        system = self.system
+        stats = system.stats
+        table = self._page_digests
+        stats.ft_scrub_rounds += 1
+        obs = system.obs
+        found = 0
+        audited = 0
+        audited_words = 0
+        for page in list(self.master.iter_pages()):
+            audited += 1
+            audited_words += page.word_count
+            expected = table.get(page.number)
+            if expected is None:
+                table[page.number] = page_digest(page)
+                continue
+            if page_digest(page) == expected:
+                continue
+            found += 1
+            stats.ft_corruptions_detected += 1
+            repaired = self._repair_page(page, expected)
+            if repaired:
+                stats.ft_corruptions_repaired += 1
+            else:
+                stats.ft_corruptions_unrepairable += 1
+            if obs is not None:
+                from repro.obs.tracer import CAT_INTEGRITY, PID_RUNTIME
+
+                obs.tracer.instant(
+                    CAT_INTEGRITY, "scrub_corruption", PID_RUNTIME, self.tid,
+                    page=page.number, repaired=repaired,
+                )
+                obs.metrics.counter(
+                    "integrity.scrub_repaired" if repaired
+                    else "integrity.scrub_unrepairable"
+                ).inc()
+        stats.ft_scrub_pages += audited
+        self.core.charge_instructions(
+            audited_words * system.config.checkpoint_word_instructions
+        )
+        return found
+
+    def _repair_page(self, page, expected: int) -> bool:
+        """Restore a corrupted master page from the standby's copy.
+
+        Only a provably *current* copy is used: image + replay log give
+        the page at the replicated frontier, verified against the
+        authoritative digest before installation.  A stale or absent
+        copy (no standby, standby dead or promoted, or commits landed
+        on the page since the frontier) refuses the repair — installing
+        old data would be a second corruption.
+        """
+        from repro.core.integrity import page_digest
+        from repro.memory import word_index
+
+        system = self.system
+        standby = getattr(system, "standby", None)
+        if (
+            standby is None
+            or standby.promoted
+            or system.standby_tid in system.dead_tids
+        ):
+            return False
+        from repro.memory.page import Page
+
+        base = standby.image.pages.get(page.number)
+        candidate = base.snapshot() if base is not None else Page(page.number)
+        for address, value in standby.replay_log:
+            if page_number(address) == page.number:
+                candidate.install_word(word_index(address), value)
+        if page_digest(candidate) != expected:
+            return False
+        page.words[:] = candidate.words
+        page.present_mask = candidate.present_mask
+        # Management-path fetch: page bytes on the wire, an install on
+        # the commit core.
+        system.stats.record_queue_bytes("scrub", system.cluster.page_bytes)
+        self.core.charge_instructions(system.config.coa_install_instructions)
         return True
 
     def _check_read_only(self, writes) -> None:
@@ -443,7 +603,8 @@ class CommitUnit:
         # SEQ: single-threaded re-execution of [next_commit .. misspec].
         reexecuted = 0
         context = MasterContext(
-            system, self.master, self.core, record_writes=self._repl is not None
+            system, self.master, self.core,
+            record_writes=self._repl is not None or self._integrity,
         )
         for iteration in range(self.next_commit, misspec_iteration + 1):
             context.begin_iteration(iteration)
@@ -453,6 +614,11 @@ class CommitUnit:
         seq_done = env.now
         system.stats.committed_mtxs += reexecuted
         self.next_commit = misspec_iteration + 1
+        if self._integrity:
+            # SEQ wrote master directly; re-digest the touched pages.
+            self._refresh_digests(
+                {page_number(address) for address, _value in context.written}
+            )
         if self._repl is not None:
             # SEQ wrote master memory directly; the standby needs those
             # words too, under the advanced frontier.

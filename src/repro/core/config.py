@@ -176,6 +176,18 @@ class SystemConfig:
     #: off the commit node, otherwise the first node (preferring empty
     #: ones) other than the commit unit's with a free core.
     standby_node: Optional[int] = None
+    #: End-to-end integrity mode: every framed send carries a CRC32 of
+    #: its payload (verified and dropped-on-mismatch at the receiver, so
+    #: silent wire corruption becomes a loss the retransmit machinery
+    #: repairs), epoch checkpoints and replication folds carry state
+    #: digests (a corrupted image is *refused* at promotion), and a
+    #: periodic scrubber audits committed pages against the commit
+    #: unit's digest table (docs/RESILIENCE.md).  Requires
+    #: ``fault_tolerance`` — detection without retransmission could only
+    #: turn silent corruption into a hang.
+    integrity: bool = False
+    #: Seconds between committed-page scrub sweeps (integrity mode).
+    scrub_interval_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.total_cores < 3:
@@ -197,6 +209,13 @@ class SystemConfig:
                 "commit_replication needs the failure-aware runtime: "
                 "set fault_tolerance=True"
             )
+        if self.integrity and not self.fault_tolerance:
+            raise ConfigurationError(
+                "integrity needs the failure-aware runtime (checksummed "
+                "frames repair via retransmission): set fault_tolerance=True"
+            )
+        if self.scrub_interval_s <= 0:
+            raise ConfigurationError("scrub_interval_s must be positive")
         if self.standby_node is not None:
             if not self.commit_replication:
                 raise ConfigurationError(

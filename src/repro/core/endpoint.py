@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator
 
-from repro.core.messages import FRAME_HEADER_BYTES, BatchEnvelope, ControlEnvelope
+from repro.core.messages import BatchEnvelope, ControlEnvelope
 from repro.errors import RecoveryAbort
 from repro.obs.tracer import CAT_MPI_RECV, PID_RUNTIME
 from repro.sim import Event, Store
@@ -176,7 +176,7 @@ class Endpoint:
             )
         payload_out = envelope
         if transport is not None:
-            nbytes += FRAME_HEADER_BYTES
+            nbytes += transport.extra_bytes
             payload_out = transport.stamp(self.tid, dst_tid, envelope, nbytes)
         yield from self.system.mpi.send(
             self._core.index,

@@ -150,12 +150,17 @@ class Frame(NamedTuple):
     """Reliable-transport framing around an envelope (fault-tolerant
     mode only): a per-(src, dst) sequence number the receiver uses to
     deduplicate, reorder, and cumulatively acknowledge unit traffic.
+
+    Under ``SystemConfig.integrity`` the sender also stamps a CRC32 of
+    the payload's canonical encoding (:mod:`repro.core.integrity`);
+    ``checksum == -1`` means unstamped (integrity off).
     """
 
     src_tid: int
     dst_tid: int
     seq: int
     payload: Any
+    checksum: int = -1
 
 
 class Ack(NamedTuple):

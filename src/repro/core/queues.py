@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
-from repro.core.messages import FRAME_HEADER_BYTES, BatchEnvelope, entry_bytes
+from repro.core.messages import BatchEnvelope, entry_bytes
 from repro.obs.tracer import CAT_QUEUE, PID_RUNTIME
 from repro.sim import Event, Resource
 
@@ -172,7 +172,7 @@ class RuntimeQueue:
         )
         payload = envelope
         if self._transport is not None:
-            nbytes += FRAME_HEADER_BYTES
+            nbytes += self._transport.extra_bytes
             payload = self._transport.stamp(
                 self.src_tid, self.dst_tid, envelope, nbytes
             )

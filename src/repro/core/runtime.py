@@ -493,6 +493,29 @@ class DSMTXSystem:
         )
         return process
 
+    def _scrub_process(self):
+        """Periodic page-digest audit of committed memory.
+
+        Re-reads ``self.commit`` every sweep so the scrubber follows a
+        standby promotion, and sits out sweeps while the commit unit's
+        node is dead (the promotion races the detector) or a recovery
+        is rolling master forward (SEQ writes words across many yield
+        points; auditing half-applied state would read legitimate
+        re-execution as corruption)."""
+        from repro.core.state import RunMode
+
+        interval = self.config.scrub_interval_s
+        while not self.state.done:
+            yield self.env.timeout(interval)
+            if self.state.done:
+                return
+            if self.state.mode != RunMode.RUN:
+                continue
+            commit = self.commit
+            if commit.tid in self.dead_tids:
+                continue
+            commit.scrub_once()
+
     def run(self, iterations: Optional[int] = None) -> RunResult:
         """Execute the workload's parallel region to completion."""
         self.total_iterations = (
@@ -531,6 +554,10 @@ class DSMTXSystem:
             )
         if self.failure_detector is not None:
             self.failure_detector.start()
+        if self.config.integrity:
+            # Auxiliary process (not in the completion set): abandoned
+            # when the run's own processes finish.
+            self.env.process(self._scrub_process(), name="scrubber")
         if self.env.chaos is not None:
             self.env.chaos.bind_system(self)
         self.env.run(until=self.env.all_of(processes))

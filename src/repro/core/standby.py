@@ -91,6 +91,16 @@ class StandbyUnit:
         self.frontier = 0
         #: True once this unit has been promoted to commit unit.
         self.promoted = False
+        #: Integrity mode: verify every fold's result against the
+        #: primary's checkpoint digest.
+        self._integrity = system.config.integrity
+        #: Sticky corruption flag: a fold whose folded image failed its
+        #: digest check.  Promotion *refuses* a corrupted image; a later
+        #: fold that verifies clean (the corrupt word was overwritten by
+        #: replayed writes) clears it and counts a repair.
+        self.image_corrupt = False
+        #: Digest of the image at the last *clean* fold.
+        self._verified_digest = None
 
     def seed_image(self, master: AddressSpace) -> None:
         """Bootstrap the base image from the initial master memory.
@@ -166,7 +176,9 @@ class StandbyUnit:
                 self._round = []
                 self.frontier = entry[1]
             elif kind == REPL_CHECKPOINT:
-                self._fold(entry[1])
+                # A 3rd element is the primary's master digest at the
+                # checkpoint (integrity mode).
+                self._fold(entry[1], entry[2] if len(entry) > 2 else None)
             self.core.charge_instructions(op_instructions)
         if words:
             system.stats.ft_repl_words += words
@@ -175,19 +187,28 @@ class StandbyUnit:
                 obs.metrics.counter("ft.repl_words").inc(words)
         yield from self.core.drain()
 
-    def _fold(self, frontier: int) -> None:
+    def _fold(self, frontier: int, digest=None) -> None:
         """Checkpoint marker: fold the replay log into the base image
-        (the standby-side mirror of the primary's epoch checkpoint)."""
-        if not self.replay_log:
-            return
+        (the standby-side mirror of the primary's epoch checkpoint).
+
+        In integrity mode the marker carries the primary's master
+        digest; after the fold, image and master hold the same
+        committed prefix, so any mismatch means the image (or the
+        stream) was silently corrupted — the image is flagged and a
+        promotion will refuse it."""
         system = self.system
         words = len(self.replay_log)
-        self.image.apply_writes(self.replay_log)
-        self.replay_log = []
-        self.core.charge_instructions(
-            words * system.config.checkpoint_word_instructions
-        )
-        system.stats.ft_repl_folded_words += words
+        if words:
+            self.image.apply_writes(self.replay_log)
+            self.replay_log = []
+            self.core.charge_instructions(
+                words * system.config.checkpoint_word_instructions
+            )
+            system.stats.ft_repl_folded_words += words
+        if digest is not None:
+            self._verify_image(digest, frontier)
+        if not words:
+            return
         obs = system.obs
         if obs is not None:
             obs.tracer.instant(
@@ -195,6 +216,41 @@ class StandbyUnit:
                 frontier=frontier, words=words,
             )
             obs.metrics.counter("ft.repl_folds").inc()
+
+    def _verify_image(self, digest: int, frontier: int) -> None:
+        """Compare the folded image against the primary's checkpoint
+        digest; flag (or heal) the sticky corruption state."""
+        from repro.core.integrity import space_digest
+
+        system = self.system
+        stats = system.stats
+        actual = space_digest(self.image)
+        self.core.charge_instructions(
+            sum(page.word_count for page in self.image.iter_pages())
+            * system.config.checkpoint_word_instructions
+        )
+        obs = system.obs
+        if actual == digest:
+            self._verified_digest = digest
+            if self.image_corrupt:
+                # The corrupted words were overwritten by replayed
+                # committed writes: the image verifies clean again.
+                self.image_corrupt = False
+                stats.ft_corruptions_repaired += 1
+                if obs is not None:
+                    obs.metrics.counter("integrity.image_healed").inc()
+            return
+        if not self.image_corrupt:
+            self.image_corrupt = True
+            stats.ft_corruptions_detected += 1
+            if obs is not None:
+                from repro.obs.tracer import CAT_INTEGRITY
+
+                obs.tracer.instant(
+                    CAT_INTEGRITY, "checkpoint_digest_mismatch",
+                    PID_RUNTIME, self.tid, frontier=frontier,
+                )
+                obs.metrics.counter("integrity.image_corrupt").inc()
 
     # -- promotion ---------------------------------------------------------------------
 
@@ -207,6 +263,46 @@ class StandbyUnit:
         config = system.config
         node, _dead_tids, detected_at, _last_heard_at = request
         system.state.promote_pending = None
+        if self._integrity:
+            # With nothing left to replay, the fold-verified image is
+            # promoted verbatim: re-check its digest to catch corruption
+            # that landed *after* the last fold.  (A nonempty log has no
+            # reference digest at this frontier; the sticky fold-time
+            # flag is the authority there.)
+            if not self.replay_log and self._verified_digest is not None:
+                from repro.core.integrity import space_digest
+
+                if space_digest(self.image) != self._verified_digest:
+                    self.image_corrupt = True
+                    system.stats.ft_corruptions_detected += 1
+            if self.image_corrupt:
+                stats = system.stats
+                stats.ft_corruptions_unrepairable += 1
+                stats.failures.append(
+                    FailureRecord(
+                        node=node,
+                        dead_tids=tuple(_dead_tids),
+                        last_heard_at=_last_heard_at,
+                        detected_at=detected_at,
+                        resumed_at=env.now,
+                        promoted_tid=self.tid,
+                        corrupt_image=True,
+                    )
+                )
+                obs = system.obs
+                if obs is not None:
+                    from repro.obs.tracer import CAT_INTEGRITY
+
+                    obs.tracer.instant(
+                        CAT_INTEGRITY, "promotion_refused", PID_RUNTIME,
+                        self.tid, node=node, frontier=self.frontier,
+                    )
+                    obs.metrics.counter("integrity.promotions_refused").inc()
+                raise ClusterFailedError(
+                    f"standby tid {self.tid} refuses promotion: its "
+                    f"checkpoint image failed the digest check (silent "
+                    f"corruption with no clean copy to repair from)"
+                )
         # A half-replicated round is not known-consistent; its
         # iterations are at or past the frontier and re-execute anyway.
         self._round = []

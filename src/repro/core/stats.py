@@ -80,6 +80,9 @@ class FailureRecord:
     #: replicated frontier — lost with its master memory and
     #: re-executed (re-committed) by the survivors.
     recommitted_iterations: int = 0
+    #: True when the standby's checkpoint image failed its digest check
+    #: at promotion and the failover was refused (integrity mode).
+    corrupt_image: bool = False
 
     @property
     def recovery_seconds(self) -> float:
@@ -159,6 +162,21 @@ class RunStats:
     #: ``speculative_for`` round attempts voided and re-issued because a
     #: worker died mid-round (the re-execution cost of survival).
     ft_round_reexecutions: int = 0
+    #: Corruptions caught by an integrity check: checksum-mismatched
+    #: frames dropped at ingest, digest-mismatched checkpoint images,
+    #: and scrub-detected committed-page corruption (integrity mode).
+    ft_corruptions_detected: int = 0
+    #: Detected corruptions healed — a dropped frame's intact
+    #: retransmission ingested, or a corrupted page re-fetched/re-run.
+    ft_corruptions_repaired: int = 0
+    #: Detected corruptions with no clean copy to repair from (e.g. a
+    #: corrupted checkpoint image at promotion): the run refuses to
+    #: serve the data instead of silently using it.
+    ft_corruptions_unrepairable: int = 0
+    #: Scrub sweeps completed over committed memory (integrity mode).
+    ft_scrub_rounds: int = 0
+    #: Page audits performed across all scrub sweeps.
+    ft_scrub_pages: int = 0
     #: Rounds executed by a ``speculative_for`` run (deterministic
     #: reservations; zero for the pipeline schemes).
     specfor_rounds: int = 0

@@ -38,7 +38,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cluster.interconnect import _Delivery
-from repro.core.messages import Frame
+from repro.core.integrity import CHECKSUM_BYTES, payload_checksum
+from repro.core.messages import FRAME_HEADER_BYTES, Frame
 
 __all__ = ["ReliableTransport", "IngestBox"]
 
@@ -64,7 +65,10 @@ class IngestBox:
     in-flight-loss semantics of a crash).
     """
 
-    __slots__ = ("transport", "dst_tid", "inbox", "_expected", "_reorder")
+    __slots__ = (
+        "transport", "dst_tid", "inbox", "_expected", "_reorder",
+        "_corrupt_seen",
+    )
 
     def __init__(self, transport: "ReliableTransport", dst_tid: int, inbox: Any) -> None:
         self.transport = transport
@@ -74,6 +78,9 @@ class IngestBox:
         self._expected: dict[int, int] = {}
         #: Per-source out-of-order frames: src_tid -> {seq: payload}.
         self._reorder: dict[int, dict[int, Any]] = {}
+        #: (src_tid, seq) of frames dropped for checksum mismatch; an
+        #: intact later arrival of the same frame counts as a repair.
+        self._corrupt_seen: set[tuple[int, int]] = set()
 
     def put_nowait(self, frame: Frame) -> None:
         transport = self.transport
@@ -81,8 +88,32 @@ class IngestBox:
         if transport.is_dead_unit(src) or transport.is_dead_unit(self.dst_tid):
             transport.stats.ft_frames_from_dead_dropped += 1
             return
-        expected = self._expected.get(src, 0)
         seq = frame.seq
+        if transport.integrity and frame.checksum != -1:
+            if payload_checksum(frame.payload) != frame.checksum:
+                # Detection converts silent corruption into loss: the
+                # frame is dropped unacknowledged, and the sender's
+                # retransmit timer re-delivers the intact original (the
+                # unacked buffer aliases the uncorrupted frame).
+                transport.stats.ft_corruptions_detected += 1
+                self._corrupt_seen.add((src, seq))
+                obs = transport.system.obs
+                if obs is not None:
+                    from repro.obs.tracer import CAT_INTEGRITY, PID_RUNTIME
+
+                    obs.tracer.instant(
+                        CAT_INTEGRITY, "frame_checksum_mismatch",
+                        PID_RUNTIME, self.dst_tid, src=src, seq=seq,
+                    )
+                    obs.metrics.counter("integrity.frames_dropped").inc()
+                return
+            if self._corrupt_seen and (src, seq) in self._corrupt_seen:
+                self._corrupt_seen.discard((src, seq))
+                transport.stats.ft_corruptions_repaired += 1
+                obs = transport.system.obs
+                if obs is not None:
+                    obs.metrics.counter("integrity.frames_repaired").inc()
+        expected = self._expected.get(src, 0)
         if seq < expected:
             transport.stats.ft_duplicates_dropped += 1
         elif seq == expected:
@@ -121,6 +152,18 @@ class ReliableTransport:
         self._rto_cap = spec.retransmit_timeout_cap_s
         self._max_retransmits = spec.max_retransmits
         self._ack_bytes = spec.ack_bytes
+        #: Checksum mode (``SystemConfig.integrity``): stamp a CRC32 on
+        #: every frame, verify at every ingest.
+        self.integrity = system.config.integrity
+        #: Wire bytes the checksum adds per frame (0 when integrity is
+        #: off).  Senders that already price the frame header themselves
+        #: add just this.
+        self.checksum_bytes = CHECKSUM_BYTES if self.integrity else 0
+        #: Wire bytes the transport adds per framed envelope — the frame
+        #: header, plus the checksum when integrity is on.  Callers add
+        #: this instead of ``FRAME_HEADER_BYTES`` so both modes price
+        #: their actual framing.
+        self.extra_bytes = FRAME_HEADER_BYTES + self.checksum_bytes
         self._links: dict[tuple[int, int], _SenderLink] = {}
         self._boxes: dict[int, IngestBox] = {}
         #: (latency, bandwidth) of the wire between two units, cached.
@@ -159,7 +202,12 @@ class ReliableTransport:
             link = self._links[(src_tid, dst_tid)] = _SenderLink()
         seq = link.next_seq
         link.next_seq = seq + 1
-        frame = Frame(src_tid, dst_tid, seq, envelope)
+        if self.integrity:
+            frame = Frame(
+                src_tid, dst_tid, seq, envelope, payload_checksum(envelope)
+            )
+        else:
+            frame = Frame(src_tid, dst_tid, seq, envelope)
         link.unacked[seq] = (frame, wire_bytes)
         self._arm_timer(link, frame, self._rto, 0)
         return frame

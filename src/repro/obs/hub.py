@@ -94,6 +94,17 @@ class Observability:
             if stats.ft_round_reexecutions:  # a specfor round was re-issued
                 m.gauge("run.ft.round_reexecutions").set(
                     stats.ft_round_reexecutions)
+            if stats.ft_corruptions_detected or stats.ft_scrub_rounds:
+                # Integrity mode saw corruption (or at least scrubbed).
+                for name, value in (
+                    ("run.ft.integrity_detected", stats.ft_corruptions_detected),
+                    ("run.ft.integrity_repaired", stats.ft_corruptions_repaired),
+                    ("run.ft.integrity_unrepairable",
+                     stats.ft_corruptions_unrepairable),
+                    ("run.ft.integrity_scrub_rounds", stats.ft_scrub_rounds),
+                    ("run.ft.integrity_scrub_pages", stats.ft_scrub_pages),
+                ):
+                    m.gauge(name).set(value)
         for label, fraction in system.utilization().items():
             m.gauge(f"util.{label}").set(fraction)
 

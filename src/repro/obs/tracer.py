@@ -33,6 +33,8 @@ category            meaning
                     (fault-tolerant mode)
 ``ft.checkpoint``   epoch checkpoints of committed state (commit unit)
 ``chaos``           injected faults: crashes, drops, duplications, windows
+``integrity``       end-to-end integrity events: checksum mismatches,
+                    digest verification failures, scrub detections
 ==================  ==========================================================
 
 Tracks: runtime units trace under ``pid == PID_RUNTIME`` with their unit
@@ -70,6 +72,7 @@ __all__ = [
     "CAT_FT_REPLICATION",
     "CAT_FT_PROMOTION",
     "CAT_CHAOS",
+    "CAT_INTEGRITY",
     "ALL_CATEGORIES",
 ]
 
@@ -93,6 +96,7 @@ CAT_FT_CHECKPOINT = "ft.checkpoint"
 CAT_FT_REPLICATION = "ft.replication"
 CAT_FT_PROMOTION = "ft.promotion"
 CAT_CHAOS = "chaos"
+CAT_INTEGRITY = "integrity"
 
 ALL_CATEGORIES = (
     CAT_MPI_SEND,
@@ -110,6 +114,7 @@ ALL_CATEGORIES = (
     CAT_FT_REPLICATION,
     CAT_FT_PROMOTION,
     CAT_CHAOS,
+    CAT_INTEGRITY,
 )
 
 _SECONDS_TO_US = 1e6

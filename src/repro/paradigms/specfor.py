@@ -43,7 +43,6 @@ from repro.cluster import MPI, Interconnect, Machine, place_units
 from repro.core.config import SystemConfig
 from repro.core.messages import (
     ENTRY_BYTES,
-    FRAME_HEADER_BYTES,
     MARKER_BYTES,
     SF_REPL_CHECKPOINT,
     SF_REPL_ROUND,
@@ -881,7 +880,7 @@ class SpecForSystem:
                 len(parts[w]) * MARKER_BYTES
                 + len(delta_entries) * ENTRY_BYTES
                 + MARKER_BYTES
-                + FRAME_HEADER_BYTES
+                + self.transport.extra_bytes
             )
             stats.record_queue_bytes("specfor_round", nbytes)
             yield from self._ft_send(
@@ -915,7 +914,7 @@ class SpecForSystem:
         winner_set = set(winners)
         for w in live:
             mine = [i for i in parts[w] if i in winner_set]
-            nbytes = len(mine) * MARKER_BYTES + MARKER_BYTES + FRAME_HEADER_BYTES
+            nbytes = len(mine) * MARKER_BYTES + MARKER_BYTES + self.transport.extra_bytes
             stats.record_queue_bytes("specfor_verdict", nbytes)
             yield from self._ft_send(
                 tid, w, (_MSG_VERDICT, round_index, attempt, mine), nbytes
@@ -993,7 +992,7 @@ class SpecForSystem:
                     len(entries) * ENTRY_BYTES
                     + len(carried) * MARKER_BYTES
                     + 8 * MARKER_BYTES
-                    + FRAME_HEADER_BYTES
+                    + self.transport.extra_bytes
                 )
                 stats.record_queue_bytes("repl", nbytes)
                 yield from self._ft_send(
@@ -1018,18 +1017,18 @@ class SpecForSystem:
                 ckpt_committed = spec.committed
                 ckpt_words = spec.words_committed
                 if self.standby_alive:
-                    nbytes = 2 * MARKER_BYTES + FRAME_HEADER_BYTES
+                    nbytes = 2 * MARKER_BYTES + self.transport.extra_bytes
                     stats.record_queue_bytes("repl", nbytes)
                     yield from self._ft_send(
                         tid, self.standby_tid,
                         (_MSG_REPL_CHECKPOINT, spec.committed), nbytes,
                     )
         for w in list(self.live_workers):
-            nbytes = MARKER_BYTES + FRAME_HEADER_BYTES
+            nbytes = MARKER_BYTES + self.transport.extra_bytes
             stats.record_queue_bytes("specfor_round", nbytes)
             yield from self._ft_send(tid, w, (_MSG_STOP,), nbytes)
         if self.standby_alive:
-            nbytes = MARKER_BYTES + FRAME_HEADER_BYTES
+            nbytes = MARKER_BYTES + self.transport.extra_bytes
             stats.record_queue_bytes("repl", nbytes)
             yield from self._ft_send(tid, self.standby_tid, (_MSG_STOP,), nbytes)
         # state.terminate() happens in run() *after* env.run completes:
@@ -1093,7 +1092,7 @@ class SpecForSystem:
                         * ENTRY_BYTES
                         + len(decisions) * MARKER_BYTES
                         + MARKER_BYTES
-                        + FRAME_HEADER_BYTES
+                        + self.transport.extra_bytes
                     )
                     stats.record_queue_bytes("specfor_reserve", nbytes)
                     yield from self._ft_send(
@@ -1117,7 +1116,7 @@ class SpecForSystem:
                         * ENTRY_BYTES
                         + len(commit_results) * MARKER_BYTES
                         + MARKER_BYTES
-                        + FRAME_HEADER_BYTES
+                        + self.transport.extra_bytes
                     )
                     stats.record_queue_bytes("specfor_commit", nbytes)
                     yield from self._ft_send(

@@ -257,6 +257,18 @@ MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
                                          fault_tolerance=True,
                                          commit_replication=True,
                                          placement="spread"),
+    # End-to-end integrity on top of the standby pair: CRC32 framing on
+    # every reliable-transport message, page digests on commit, and the
+    # committed-memory scrubber armed.  The spread vs. crc32_ft_standby_8c
+    # prices the checksummed transport; crc32_ft_standby_8c itself (and
+    # crc32_dsmtx_8c below it) double as the zero-cost-when-disabled
+    # guard — integrity work leaking into integrity=False runs regresses
+    # them (docs/RESILIENCE.md).
+    "crc32_integrity_8c": _system_bench(_crc32(48, 8), cores=8,
+                                        fault_tolerance=True,
+                                        commit_replication=True,
+                                        placement="spread",
+                                        integrity=True),
     # Batched-access A/B pairs (docs/PERFORMANCE.md "Batched access"):
     # each _word/_block pair performs the same simulated work through
     # the per-word vs. block context APIs, so the spread is the host
@@ -298,8 +310,13 @@ MATRIX: dict[str, Callable[[bool], tuple[int, float]]] = {
 #: fault-tolerance switch: the former is the zero-cost-when-disabled
 #: check (FT machinery creeping into the plain path regresses it), the
 #: latter the framed-transport + replication hot path itself.
+#: crc32_ft_standby_8c / crc32_integrity_8c do the same for the
+#: integrity switch: the former fails if checksum/digest work leaks
+#: into integrity=False runs, the latter watches the checksummed
+#: transport + scrubber hot path itself.
 GUARD_ENTRIES = ("crc32_dsmtx_8c", "engine_micro", "specfor_sf_4w",
-                 "specfor_ft_4w")
+                 "specfor_ft_4w", "crc32_ft_standby_8c",
+                 "crc32_integrity_8c")
 GUARD_MAX_REGRESSION = 0.30
 
 

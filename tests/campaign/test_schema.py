@@ -194,6 +194,58 @@ def test_crash_commit_resolves_against_the_built_system():
         spec.build_plan(seed=0)  # needs the commit node
 
 
+# -- integrity & silent corruption -----------------------------------------------
+
+
+def test_integrity_requires_fault_tolerance():
+    with pytest.raises(CampaignError) as excinfo:
+        ScenarioSpec.from_dict({"benchmark": "crc32", "integrity": True})
+    assert "integrity" in str(excinfo.value)
+    assert "fault_tolerance" in str(excinfo.value)
+
+
+def test_corruption_probability_one_gets_a_hint():
+    with pytest.raises(CampaignError, match="did you mean"):
+        ScenarioSpec.from_dict(
+            {"benchmark": "crc32", "fault_tolerance": True,
+             "faults": {"corruption": 1.0}})
+
+
+def test_corruption_is_ignored_without_ft():
+    # Silent bit flips are only survivable when the reliable
+    # transport's checksums can turn them into loss, so corruption
+    # follows the same normalize-and-warn rule as drop/dup.
+    with pytest.warns(CampaignValidationWarning) as caught:
+        spec = ScenarioSpec.from_dict(
+            {"benchmark": "crc32", "faults": {"corruption": 0.05}})
+    assert "corruption" in str(caught[0].message)
+    assert spec.faults.corruption == 0.0
+
+
+def test_corruption_builds_a_message_corruption_fault():
+    from repro.chaos import MessageCorruption
+
+    spec = FaultSpec(corruption=0.02)
+    plan = spec.build_plan(seed=4)
+    (fault,) = plan.faults
+    assert isinstance(fault, MessageCorruption)
+    assert fault.probability == pytest.approx(0.02)
+
+
+def test_integrity_and_corruption_leave_old_digests_alone():
+    # Absent features leave no trace: a scenario that never mentions
+    # the new knobs dumps (and digests) exactly as it always did.
+    plain = ScenarioSpec.from_dict({"benchmark": "crc32"})
+    assert "integrity" not in plain.to_dict()
+    assert "corruption" not in plain.to_dict()["faults"]
+    spec = ScenarioSpec.from_dict(
+        {"benchmark": "crc32", "fault_tolerance": True, "integrity": True,
+         "faults": {"corruption": 0.01}})
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert spec.digest() != plain.digest()
+
+
 # -- campaign expansion ----------------------------------------------------------
 
 

@@ -102,7 +102,8 @@ def test_loss_and_duplication_draws_are_seed_deterministic():
 
 def test_loss_window_bounds_the_draws():
     plan = FaultPlan(
-        faults=(MessageLoss(probability=1.0, start_s=0.01, end_s=0.02),), seed=1
+        faults=(MessageLoss(probability=0.999999, start_s=0.01, end_s=0.02),),
+        seed=1,
     )
     env, engine = attached(plan)
     assert engine.on_wire(0, 1, 1e-5, 1e9)[0] == DELIVER  # before the window

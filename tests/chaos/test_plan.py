@@ -5,10 +5,12 @@ import pytest
 from repro.chaos import (
     FaultPlan,
     LinkDegrade,
+    MessageCorruption,
     MessageDuplication,
     MessageLoss,
     NodeCrash,
     NodeStall,
+    StateCorruption,
 )
 from repro.errors import ChaosError
 
@@ -47,6 +49,12 @@ def test_probabilistic_faults_need_draws():
     MessageLoss(probability=-0.1),
     MessageLoss(probability=0.5, start_s=0.2, end_s=0.1),
     MessageDuplication(probability=2.0),
+    MessageCorruption(probability=1.5),
+    MessageCorruption(probability=-0.01),
+    MessageCorruption(probability=0.1, start_s=0.2, end_s=0.1),
+    StateCorruption("memory", at_s=-1.0),
+    StateCorruption("memory", at_s=0.01, words=0),
+    StateCorruption("memory", at_s=0.01, words=1.5),
     "not a fault",
 ])
 def test_invalid_faults_are_rejected(bad):
@@ -65,12 +73,51 @@ def test_invalid_faults_are_rejected(bad):
     NodeStall(node=0, at_s=0.0, duration_s=float("nan")),
     NodeStall(node=0, at_s=0.0, duration_s=0.0),
     MessageLoss(probability=0.5, start_s=float("nan")),
+    MessageLoss(probability=float("nan")),
+    MessageCorruption(probability=float("nan")),
+    MessageCorruption(probability=0.1, start_s=float("nan")),
+    StateCorruption("memory", at_s=float("nan")),
+    StateCorruption("memory", at_s=float("inf")),
 ])
 def test_non_finite_and_zero_length_windows_are_rejected(bad):
     # NaN fails every comparison, so naive `x < 0` validation lets it
     # through; these pin the requirement-style checks.
     with pytest.raises(ChaosError):
         FaultPlan(faults=(bad,))
+
+
+def test_certain_probability_gets_a_did_you_mean_hint():
+    # 1.0 is a partition, not a fault model; the message must say so.
+    for kind in (MessageLoss, MessageDuplication, MessageCorruption):
+        with pytest.raises(ChaosError, match=r"did you\s+mean 0\.999"):
+            FaultPlan(faults=(kind(probability=1.0),))
+
+
+def test_unknown_corruption_target_names_the_valid_ones():
+    with pytest.raises(
+        ChaosError, match="memory, checkpoint, speculative"
+    ):
+        FaultPlan(faults=(StateCorruption("master", at_s=0.01),))
+
+
+def test_corruption_faults_need_draws_but_scheduled_flips_do_not():
+    assert FaultPlan(
+        faults=(MessageCorruption(probability=0.1),)
+    ).needs_random_draws
+    # A scheduled state flip seeds its own RNG from the plan; it is not
+    # a per-message draw.
+    assert not FaultPlan(
+        faults=(StateCorruption("memory", at_s=0.01),)
+    ).needs_random_draws
+
+
+def test_state_corruptions_property_filters_the_schedule():
+    flips = (
+        StateCorruption("memory", at_s=0.01),
+        StateCorruption("checkpoint", at_s=0.02, words=3),
+    )
+    plan = FaultPlan(faults=flips + (NodeCrash(node=1, at_s=0.03),))
+    assert plan.state_corruptions == flips
 
 
 def test_overlapping_degrade_windows_are_rejected():

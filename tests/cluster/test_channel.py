@@ -15,7 +15,8 @@ from repro.errors import ChannelClosedError, ChannelFlushedError, CommunicationE
 from repro.sim import Environment
 
 
-def make_channel(batch_bytes=None, mode="batched", item_bytes=16, **spec_kwargs):
+def make_channel(batch_bytes=None, mode="batched", item_bytes=16,
+                 integrity=False, **spec_kwargs):
     env = Environment()
     spec = ClusterSpec(nodes=4, cores_per_node=4, **spec_kwargs)
     machine = Machine(env, spec)
@@ -23,6 +24,7 @@ def make_channel(batch_bytes=None, mode="batched", item_bytes=16, **spec_kwargs)
     channel = Channel(
         mpi, src_core=0, dst_core=4, name="q0",
         batch_bytes=batch_bytes, item_bytes=item_bytes, mode=mode,
+        integrity=integrity,
     )
     return env, channel
 
@@ -210,6 +212,99 @@ def test_stats_track_bytes_and_items():
 def test_unknown_mode_rejected():
     with pytest.raises(CommunicationError):
         make_channel(mode="bogus")
+
+
+def _attach_corruption(env, probability=0.999999):
+    """Wire a near-certain MessageCorruption plan into ``env``.
+
+    src_core=0 and dst_core=4 sit on different nodes (4 cores per
+    node), so every batch crosses the inter-node wire the chaos engine
+    adjudicates.
+    """
+    from repro.chaos import ChaosEngine, FaultPlan, MessageCorruption
+
+    plan = FaultPlan(faults=(MessageCorruption(probability=probability),))
+    engine = ChaosEngine(plan)
+    engine.attach(env)
+    return engine
+
+
+def test_integrity_roundtrip_is_transparent():
+    # On a clean wire the checksum must change nothing observable:
+    # same values, same order, close token intact, zero detections.
+    env, channel = make_channel(batch_bytes=64, integrity=True)
+    received = []
+
+    def producer():
+        for i in range(10):
+            yield from channel.produce(i)
+        yield from channel.close()
+
+    def consumer():
+        while True:
+            value = yield from channel.consume()
+            received.append(value)
+            if value is CLOSE_TOKEN:
+                return
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == list(range(10)) + [CLOSE_TOKEN]
+    assert channel.corruptions_detected == 0
+
+
+def test_corrupted_batch_is_fail_stop_under_integrity():
+    # The stand-alone queue has no retransmit buffer, so a checksum
+    # mismatch cannot be repaired — it must surface as an error, not
+    # as silently wrong data.
+    env, channel = make_channel(batch_bytes=64, integrity=True)
+    engine = _attach_corruption(env)
+    outcome = []
+
+    def producer():
+        for i in range(4):
+            yield from channel.produce(i)
+        yield from channel.flush_pending()
+
+    def consumer():
+        try:
+            yield from channel.consume()
+        except CommunicationError as exc:
+            outcome.append(str(exc))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert engine.messages_corrupted == 1
+    assert channel.corruptions_detected == 1
+    assert outcome and "checksum mismatch" in outcome[0]
+
+
+def test_corruption_without_integrity_is_silent():
+    # The hazard the checksum exists for: with integrity off the
+    # corrupted batch is delivered as if nothing happened, and the
+    # consumer computes on wrong values without any error signal.
+    env, channel = make_channel(batch_bytes=64)
+    engine = _attach_corruption(env)
+    received = []
+
+    def producer():
+        for i in range(4):
+            yield from channel.produce(i)
+        yield from channel.flush_pending()
+
+    def consumer():
+        for _ in range(4):
+            received.append((yield from channel.consume()))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert engine.messages_corrupted == 1
+    assert channel.corruptions_detected == 0
+    assert len(received) == 4
+    assert received != [0, 1, 2, 3]
 
 
 def _queue_stream_bandwidth(batch_bytes, messages=20_000, item_bytes=8):

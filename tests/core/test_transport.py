@@ -16,6 +16,7 @@ class FakeTransport:
         self.stats = RunStats()
         self.dead = set()
         self.acks = []
+        self.integrity = False
 
     def is_dead_unit(self, tid):
         return tid in self.dead

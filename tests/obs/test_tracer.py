@@ -84,4 +84,4 @@ def test_track_names():
 
 
 def test_category_constants_are_distinct():
-    assert len(set(ALL_CATEGORIES)) == len(ALL_CATEGORIES) == 15
+    assert len(set(ALL_CATEGORIES)) == len(ALL_CATEGORIES) == 16
